@@ -1,0 +1,63 @@
+"""Shared fixtures for the per-figure benchmarks.
+
+The benchmark configurations are scaled-down versions of the paper's
+(see DESIGN.md): large enough that the figures' comparative shapes are
+stable, small enough that ``pytest benchmarks/ --benchmark-only``
+finishes in minutes.  Networks are built once per session and shared.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.workload import Query, generate_workload
+from repro.p2p.network import SuperPeerNetwork
+
+#: The benchmark counterpart of the paper's default configuration
+#: (4000 peers, 250 points/peer, d=8, k=3, DEG_sp=4, uniform).
+BENCH_PEERS = 800
+BENCH_POINTS = 50
+BENCH_DIMS = 8
+BENCH_K = 3
+BENCH_SEED = 20070415
+
+
+@pytest.fixture(scope="session")
+def bench_network() -> SuperPeerNetwork:
+    """The default benchmark network (40 super-peers, 40k points)."""
+    return SuperPeerNetwork.build(
+        n_peers=BENCH_PEERS,
+        points_per_peer=BENCH_POINTS,
+        dimensionality=BENCH_DIMS,
+        seed=BENCH_SEED,
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_queries(bench_network) -> list[Query]:
+    """Five k=3 queries with randomized subspaces and initiators."""
+    rng = np.random.default_rng(BENCH_SEED + 1)
+    return generate_workload(
+        num_queries=5,
+        dimensionality=BENCH_DIMS,
+        query_dimensionality=BENCH_K,
+        superpeer_ids=bench_network.topology.superpeer_ids,
+        rng=rng,
+    )
+
+
+@pytest.fixture(scope="session")
+def clustered_network() -> SuperPeerNetwork:
+    """Clustered d=3 network for Figures 4(g)/4(h)."""
+    return SuperPeerNetwork.build(
+        n_peers=400,
+        points_per_peer=50,
+        dimensionality=3,
+        dataset="clustered",
+        seed=BENCH_SEED,
+    )
+
+
+def mean(values) -> float:
+    return float(np.mean(list(values)))

@@ -1,0 +1,34 @@
+"""Ablation: skycube computation with and without ext-skyline sharing.
+
+``skycube_via_extended`` exploits the lattice monotonicity
+``ext-SKY_V ⊆ ext-SKY_U`` (V ⊆ U) to shrink every subspace's candidate
+set to its parent's ext-skyline; the brute-force oracle recomputes each
+of the ``2^d − 1`` skylines over the full data.  Same results, and the
+sharing should win on any non-trivial input.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import PointSet
+from repro.core.skycube import skycube, skycube_via_extended
+
+
+@pytest.fixture(scope="module")
+def points():
+    rng = np.random.default_rng(21)
+    return PointSet(rng.random((400, 6)))
+
+
+def test_skycube_brute_force(benchmark, points):
+    cube = benchmark.pedantic(skycube, args=(points,), rounds=3, iterations=1)
+    assert len(cube) == 2**6 - 1
+
+
+def test_skycube_shared(benchmark, points):
+    cube = benchmark.pedantic(skycube_via_extended, args=(points,), rounds=3, iterations=1)
+    assert len(cube) == 2**6 - 1
+
+
+def test_sharing_matches_brute_force(points):
+    assert skycube_via_extended(points) == skycube(points)

@@ -1,0 +1,58 @@
+"""Ablation: how much does the f(p) threshold actually prune?
+
+Two measurements behind the paper's design: (a) Algorithm 1's own early
+termination against a full BNL scan of the same store, and (b) the
+extra pruning a propagated initial threshold buys at a remote
+super-peer.  Pruning power falls as d grows relative to k — ``f`` is a
+min over *all* dimensions — which is visible in the examined fractions.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.algorithms.bnl import block_nested_loops
+from repro.core.dataset import PointSet
+from repro.core.local_skyline import local_subspace_skyline
+from repro.core.store import SortedByF
+
+
+def _store(d, n=3000, seed=9):
+    rng = np.random.default_rng(seed)
+    return SortedByF.from_points(PointSet(rng.random((n, d))))
+
+
+@pytest.mark.parametrize("d", [4, 8])
+def test_algorithm1_scan(benchmark, d):
+    store = _store(d)
+    result = benchmark(local_subspace_skyline, store, (0, 1, 2))
+    assert result.examined <= result.input_size
+
+
+@pytest.mark.parametrize("d", [4, 8])
+def test_bnl_full_scan(benchmark, d):
+    store = _store(d)
+    result = benchmark(block_nested_loops, store.points, (0, 1, 2))
+    assert len(result) > 0
+
+
+def test_early_termination_prunes_scans():
+    """Algorithm 1 reads a strict prefix; the prefix grows with d."""
+    fractions = {}
+    for d in (4, 6, 8):
+        store = _store(d)
+        comp = local_subspace_skyline(store, (0, 1, 2))
+        fractions[d] = comp.examined / comp.input_size
+        assert fractions[d] < 1.0
+    assert fractions[4] < fractions[8]
+
+
+def test_initial_threshold_prunes_further():
+    """A propagated threshold t (from another partition) skips work."""
+    store = _store(8)
+    other = _store(8, seed=77)
+    t = local_subspace_skyline(other, (0, 1, 2)).threshold
+    free = local_subspace_skyline(store, (0, 1, 2))
+    capped = local_subspace_skyline(store, (0, 1, 2), initial_threshold=t)
+    assert capped.examined <= free.examined

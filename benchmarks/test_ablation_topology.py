@@ -1,0 +1,82 @@
+"""Ablation: random backbone vs. HyperCuP-style hypercube.
+
+The paper fixes the super-peer topology ("we assume that the super-peer
+topology is pre-defined") and uses GT-ITM random graphs; Edutella's
+HyperCuP is the structured alternative cited in related work.  Both are
+built over the *same* data partitions here, so any difference is pure
+routing: the hypercube guarantees a log2(N_sp) diameter, the random
+graph achieves comparable expander-like paths only in expectation.
+Correctness must be identical either way.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import PointSet
+from repro.data.workload import generate_workload
+from repro.p2p.network import SuperPeerNetwork
+from repro.p2p.topology import Topology
+from repro.skypeer.executor import execute_query
+from repro.skypeer.variants import Variant
+
+N_PEERS = 320
+N_SUPERPEERS = 32
+POINTS = 40
+D = 6
+
+
+def _partitions(topology):
+    rng = np.random.default_rng(71)
+    partitions = {}
+    next_id = 0
+    for peers in topology.peers_of.values():
+        for pid in peers:
+            partitions[pid] = PointSet(
+                rng.random((POINTS, D)), np.arange(next_id, next_id + POINTS)
+            )
+            next_id += POINTS
+    return partitions
+
+
+def _topology(kind):
+    if kind == "random":
+        return Topology.generate(
+            n_peers=N_PEERS, n_superpeers=N_SUPERPEERS, degree=4.0, seed=71
+        )
+    return Topology.generate_hypercube(n_peers=N_PEERS, n_superpeers=N_SUPERPEERS)
+
+
+def _network(kind):
+    topology = _topology(kind)
+    return SuperPeerNetwork.from_partitions(topology, _partitions(topology))
+
+
+@pytest.mark.parametrize("kind", ["random", "hypercube"])
+def test_topology_benchmark(benchmark, kind):
+    network = _network(kind)
+    rng = np.random.default_rng(3)
+    query = generate_workload(1, D, 3, network.topology.superpeer_ids, rng)[0]
+    benchmark(execute_query, network, query, Variant.FTFM)
+
+
+def test_hypercube_diameter_bound():
+    """The structured guarantee: diameter <= ceil(log2(N_sp))."""
+    cube = _topology("hypercube")
+    hops = cube.hops_from(0)
+    assert max(hops.values()) <= math.ceil(math.log2(N_SUPERPEERS))
+
+
+def test_results_identical_across_topologies():
+    """Topology affects cost, never correctness (same data both sides:
+    the peer attachment layout is identical by construction)."""
+    random_net = _network("random")
+    cube_net = _network("hypercube")
+    assert random_net.topology.peers_of == cube_net.topology.peers_of
+    rng = np.random.default_rng(3)
+    queries = generate_workload(2, D, 3, random_net.topology.superpeer_ids, rng)
+    for query in queries:
+        a = execute_query(random_net, query, Variant.FTPM).result_ids
+        b = execute_query(cube_net, query, Variant.FTPM).result_ids
+        assert a == b

@@ -1,0 +1,37 @@
+"""Figure 3(a): pre-processing cost and selectivity.
+
+Benchmarks the full pre-processing phase (peer ext-skylines + super-peer
+merges) and checks the selectivity trend of the figure: the ext-skyline
+fraction grows with dimensionality and the super-peer merge always
+shaves off part of what the peers uploaded.
+"""
+
+import pytest
+
+from repro.p2p.network import SuperPeerNetwork
+
+
+@pytest.mark.parametrize("d", [5, 7, 9])
+def test_preprocessing_phase(benchmark, d):
+    def build():
+        return SuperPeerNetwork.build(
+            n_peers=200, points_per_peer=50, dimensionality=d, seed=7
+        )
+
+    network = benchmark(build)
+    report = network.preprocessing
+    assert 0 < report.sel_sp <= report.sel_p <= 1
+
+
+def test_selectivity_shape_matches_paper():
+    """SEL_p and SEL_sp grow with d; SEL_sp/SEL_p < 1 (Fig. 3(a))."""
+    sel_p, sel_sp = [], []
+    for d in (5, 7, 9):
+        net = SuperPeerNetwork.build(
+            n_peers=200, points_per_peer=50, dimensionality=d, seed=7
+        )
+        sel_p.append(net.preprocessing.sel_p)
+        sel_sp.append(net.preprocessing.sel_sp)
+    assert sel_p == sorted(sel_p)
+    assert sel_sp == sorted(sel_sp)
+    assert all(sp < p for sp, p in zip(sel_sp, sel_p))

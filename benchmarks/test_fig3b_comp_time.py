@@ -1,0 +1,40 @@
+"""Figure 3(b): computational time per variant (network delay ignored).
+
+Benchmarks query execution per variant and asserts the figure's shape:
+naive is the most expensive computationally and the fixed-threshold
+variants beat the refined ones on uniform data.
+"""
+
+import pytest
+
+from repro.skypeer.executor import execute_query
+from repro.skypeer.variants import Variant
+
+
+def mean(values):
+    vals = list(values)
+    return sum(vals) / len(vals)
+
+
+@pytest.mark.parametrize("variant", list(Variant), ids=lambda v: v.value)
+def test_variant_execution(benchmark, bench_network, bench_queries, variant):
+    query = bench_queries[0]
+    result = benchmark(execute_query, bench_network, query, variant)
+    assert len(result.result) > 0
+
+
+def test_comp_time_shape_matches_paper(bench_network, bench_queries):
+    """naive > RT*M >= FT*M in simulated computational time."""
+    comp = {
+        v: mean(
+            execute_query(bench_network, q, v).computational_time
+            for q in bench_queries
+        )
+        for v in Variant
+    }
+    assert comp[Variant.NAIVE] > comp[Variant.FTFM]
+    assert comp[Variant.NAIVE] > comp[Variant.FTPM]
+    assert comp[Variant.NAIVE] > comp[Variant.RTFM]
+    assert comp[Variant.NAIVE] > comp[Variant.RTPM]
+    # refinement serializes local computations along the tree
+    assert comp[Variant.RTFM] > comp[Variant.FTFM] * 0.9

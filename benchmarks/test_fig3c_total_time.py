@@ -1,0 +1,38 @@
+"""Figure 3(c): total response time per variant (4 KB/s links).
+
+The figure's shape: progressive merging keeps total time low; naive and
+the fixed-merging variants pay for relaying every list hop-by-hop to
+the initiator.
+"""
+
+import pytest
+
+from repro.skypeer.executor import execute_query
+from repro.skypeer.variants import Variant
+
+
+def mean(values):
+    vals = list(values)
+    return sum(vals) / len(vals)
+
+
+@pytest.mark.parametrize(
+    "variant", [Variant.FTFM, Variant.FTPM, Variant.NAIVE], ids=lambda v: v.value
+)
+def test_variant_execution_with_delays(benchmark, bench_network, bench_queries, variant):
+    query = bench_queries[1]
+    result = benchmark(execute_query, bench_network, query, variant)
+    assert result.total_time > result.computational_time
+
+
+def test_total_time_shape_matches_paper(bench_network, bench_queries):
+    total = {
+        v: mean(execute_query(bench_network, q, v).total_time for q in bench_queries)
+        for v in Variant
+    }
+    # progressive merging wins clearly at this scale
+    assert total[Variant.FTPM] < total[Variant.FTFM] / 1.5
+    assert total[Variant.RTPM] < total[Variant.RTFM] / 1.5
+    # every variant beats naive (FM variants may tie within jitter)
+    for v in Variant.skypeer_variants():
+        assert total[v] <= total[Variant.NAIVE] * 1.02

@@ -1,0 +1,39 @@
+"""Figure 3(d): transferred volume, FTFM vs FTPM, k in {2, 3}.
+
+The figure's shape: progressive merging reduces the transferred volume
+at every dimensionality and query dimensionality.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.workload import generate_workload
+from repro.skypeer.executor import execute_query
+from repro.skypeer.variants import Variant
+
+
+def _queries(network, k, n=4):
+    rng = np.random.default_rng(42)
+    return generate_workload(
+        num_queries=n,
+        dimensionality=network.dimensionality,
+        query_dimensionality=k,
+        superpeer_ids=network.topology.superpeer_ids,
+        rng=rng,
+    )
+
+
+@pytest.mark.parametrize("k", [2, 3])
+@pytest.mark.parametrize("variant", [Variant.FTFM, Variant.FTPM], ids=lambda v: v.value)
+def test_volume_benchmark(benchmark, bench_network, k, variant):
+    query = _queries(bench_network, k, n=1)[0]
+    result = benchmark(execute_query, bench_network, query, variant)
+    assert result.volume_bytes > 0
+
+
+@pytest.mark.parametrize("k", [2, 3])
+def test_progressive_merging_ships_less(bench_network, k):
+    for query in _queries(bench_network, k):
+        fm = execute_query(bench_network, query, Variant.FTFM)
+        pm = execute_query(bench_network, query, Variant.FTPM)
+        assert pm.volume_bytes < fm.volume_bytes

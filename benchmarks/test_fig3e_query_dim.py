@@ -1,0 +1,44 @@
+"""Figure 3(e): computational time vs. query dimensionality, FTFM vs RTFM.
+
+Shape: on uniform data the fixed-threshold variant is at least as fast
+as the refined one for every k — refinement buys no pruning there while
+serializing the forwarding.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.workload import generate_workload
+from repro.skypeer.executor import execute_query
+from repro.skypeer.variants import Variant
+
+
+def _queries(network, k, n=4):
+    rng = np.random.default_rng(7)
+    return generate_workload(
+        num_queries=n,
+        dimensionality=network.dimensionality,
+        query_dimensionality=k,
+        superpeer_ids=network.topology.superpeer_ids,
+        rng=rng,
+    )
+
+
+@pytest.mark.parametrize("k", [2, 3, 4])
+@pytest.mark.parametrize("variant", [Variant.FTFM, Variant.RTFM], ids=lambda v: v.value)
+def test_query_dim_benchmark(benchmark, bench_network, k, variant):
+    query = _queries(bench_network, k, n=1)[0]
+    result = benchmark(execute_query, bench_network, query, variant)
+    assert len(result.result) > 0
+
+
+@pytest.mark.parametrize("k", [2, 3, 4])
+def test_fixed_threshold_not_slower_on_uniform(bench_network, k):
+    queries = _queries(bench_network, k)
+    ft = np.mean([
+        execute_query(bench_network, q, Variant.FTFM).computational_time for q in queries
+    ])
+    rt = np.mean([
+        execute_query(bench_network, q, Variant.RTFM).computational_time for q in queries
+    ])
+    assert ft <= rt * 1.10  # 10% wall-clock jitter allowance

@@ -1,0 +1,41 @@
+"""Figure 4(a): total response time vs. query dimensionality.
+
+Shape: the progressive-merging variants scale much better with k than
+fixed merging and naive.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.workload import generate_workload
+from repro.skypeer.executor import execute_query
+from repro.skypeer.variants import Variant
+
+
+def _queries(network, k, n=3):
+    rng = np.random.default_rng(17)
+    return generate_workload(
+        num_queries=n,
+        dimensionality=network.dimensionality,
+        query_dimensionality=k,
+        superpeer_ids=network.topology.superpeer_ids,
+        rng=rng,
+    )
+
+
+@pytest.mark.parametrize("k", [2, 3, 4])
+def test_total_time_benchmark(benchmark, bench_network, k):
+    query = _queries(bench_network, k, n=1)[0]
+    benchmark(execute_query, bench_network, query, Variant.FTPM)
+
+
+@pytest.mark.parametrize("k", [2, 3, 4])
+def test_progressive_merging_scales_with_k(bench_network, k):
+    queries = _queries(bench_network, k)
+    pm = np.mean([execute_query(bench_network, q, Variant.FTPM).total_time for q in queries])
+    fm = np.mean([execute_query(bench_network, q, Variant.FTFM).total_time for q in queries])
+    naive = np.mean(
+        [execute_query(bench_network, q, Variant.NAIVE).total_time for q in queries]
+    )
+    assert pm < fm
+    assert pm < naive

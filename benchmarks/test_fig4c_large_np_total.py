@@ -1,0 +1,48 @@
+"""Figure 4(c): total time on larger networks (N_sp = 1%).
+
+Shape: in total time too, progressive merging beats naive and the gap
+widens with network size.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.workload import generate_workload
+from repro.p2p.network import SuperPeerNetwork
+from repro.skypeer.executor import execute_query
+from repro.skypeer.variants import Variant
+
+SIZES = (500, 1000, 2000)
+
+
+def _network(n_peers):
+    return SuperPeerNetwork.build(
+        n_peers=n_peers,
+        points_per_peer=25,
+        dimensionality=8,
+        n_superpeers=max(4, n_peers // 50),
+        seed=31,
+    )
+
+
+def _mean_total(network, variant, n_queries=3):
+    rng = np.random.default_rng(19)
+    queries = generate_workload(n_queries, 8, 3, network.topology.superpeer_ids, rng)
+    return np.mean([execute_query(network, q, variant).total_time for q in queries])
+
+
+@pytest.mark.parametrize("n_peers", SIZES)
+def test_total_time_benchmark(benchmark, n_peers):
+    network = _network(n_peers)
+    rng = np.random.default_rng(19)
+    query = generate_workload(1, 8, 3, network.topology.superpeer_ids, rng)[0]
+    benchmark(execute_query, network, query, Variant.FTPM)
+
+
+def test_total_improvement_grows_with_network():
+    factors = []
+    for n_peers in SIZES:
+        network = _network(n_peers)
+        factors.append(_mean_total(network, Variant.NAIVE) / _mean_total(network, Variant.FTPM))
+    assert all(f > 1.0 for f in factors), factors
+    assert factors[-1] > factors[0], factors

@@ -1,0 +1,43 @@
+"""Figure 4(d): computational time vs. super-peer degree.
+
+Shape: computational time is essentially flat in DEG_sp — the degree
+changes routing, not the skyline work.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.workload import generate_workload
+from repro.p2p.network import SuperPeerNetwork
+from repro.skypeer.executor import execute_query
+from repro.skypeer.variants import Variant
+
+DEGREES = (4, 7)
+
+
+def _network(degree):
+    return SuperPeerNetwork.build(
+        n_peers=400, points_per_peer=50, dimensionality=8, degree=float(degree), seed=3
+    )
+
+
+def _mean_comp(network, n_queries=4):
+    rng = np.random.default_rng(23)
+    queries = generate_workload(n_queries, 8, 3, network.topology.superpeer_ids, rng)
+    return np.mean(
+        [execute_query(network, q, Variant.FTPM).computational_time for q in queries]
+    )
+
+
+@pytest.mark.parametrize("degree", DEGREES)
+def test_degree_benchmark(benchmark, degree):
+    network = _network(degree)
+    rng = np.random.default_rng(23)
+    query = generate_workload(1, 8, 3, network.topology.superpeer_ids, rng)[0]
+    benchmark(execute_query, network, query, Variant.FTPM)
+
+
+def test_comp_time_flat_in_degree():
+    comp = {deg: _mean_comp(_network(deg)) for deg in DEGREES}
+    ratio = comp[7] / comp[4]
+    assert 0.5 < ratio < 2.0, comp  # flat up to wall-clock jitter

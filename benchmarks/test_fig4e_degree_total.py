@@ -1,0 +1,42 @@
+"""Figure 4(e): total time vs. super-peer degree.
+
+Shape: total time decreases as DEG_sp grows — denser backbones mean
+shorter routing paths and fewer relay hops per result.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.workload import generate_workload
+from repro.p2p.network import SuperPeerNetwork
+from repro.skypeer.executor import execute_query
+from repro.skypeer.variants import Variant
+
+DEGREES = (4, 7)
+
+
+def _network(degree):
+    return SuperPeerNetwork.build(
+        n_peers=400, points_per_peer=50, dimensionality=8, degree=float(degree), seed=3
+    )
+
+
+def _mean_total(network, variant, n_queries=4):
+    rng = np.random.default_rng(29)
+    queries = generate_workload(n_queries, 8, 3, network.topology.superpeer_ids, rng)
+    return np.mean([execute_query(network, q, variant).total_time for q in queries])
+
+
+@pytest.mark.parametrize("degree", DEGREES)
+def test_degree_total_benchmark(benchmark, degree):
+    network = _network(degree)
+    rng = np.random.default_rng(29)
+    query = generate_workload(1, 8, 3, network.topology.superpeer_ids, rng)[0]
+    benchmark(execute_query, network, query, Variant.FTFM)
+
+
+def test_total_time_decreases_with_degree():
+    """Fixed merging relays along paths, so shorter paths -> less time."""
+    t4 = _mean_total(_network(4), Variant.FTFM)
+    t7 = _mean_total(_network(7), Variant.FTFM)
+    assert t7 < t4, (t4, t7)

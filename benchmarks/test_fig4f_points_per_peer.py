@@ -1,0 +1,46 @@
+"""Figure 4(f): total time vs. points per peer (250-1000 in the paper).
+
+Shape: progressive merging's advantage over fixed merging widens as
+each peer contributes more points.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.workload import generate_workload
+from repro.p2p.network import SuperPeerNetwork
+from repro.skypeer.executor import execute_query
+from repro.skypeer.variants import Variant
+
+POINTS = (50, 100, 200)  # paper's 250..1000 scaled
+
+
+def _network(points_per_peer):
+    return SuperPeerNetwork.build(
+        n_peers=200, points_per_peer=points_per_peer, dimensionality=8, seed=37
+    )
+
+
+def _mean_total(network, variant, n_queries=3):
+    rng = np.random.default_rng(41)
+    queries = generate_workload(n_queries, 8, 3, network.topology.superpeer_ids, rng)
+    return np.mean([execute_query(network, q, variant).total_time for q in queries])
+
+
+@pytest.mark.parametrize("points", POINTS)
+def test_points_per_peer_benchmark(benchmark, points):
+    network = _network(points)
+    rng = np.random.default_rng(41)
+    query = generate_workload(1, 8, 3, network.topology.superpeer_ids, rng)[0]
+    benchmark(execute_query, network, query, Variant.FTPM)
+
+
+def test_pm_advantage_grows_with_points_per_peer():
+    gaps = []
+    for points in POINTS:
+        network = _network(points)
+        fm = _mean_total(network, Variant.FTFM)
+        pm = _mean_total(network, Variant.FTPM)
+        assert pm < fm, (points, pm, fm)
+        gaps.append(fm - pm)
+    assert gaps[-1] > gaps[0], gaps

@@ -1,0 +1,50 @@
+"""Figure 4(h): clustered data, increasing dimensionality, FT vs RT.
+
+Shape: the value of threshold refinement is elevated on clustered data
+— RT never ships more than FT, at any dimensionality.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.workload import Query
+from repro.p2p.network import SuperPeerNetwork
+from repro.skypeer.executor import execute_query
+from repro.skypeer.variants import Variant
+
+DIMS = (3, 4, 5)
+
+
+def _network(d):
+    return SuperPeerNetwork.build(
+        n_peers=200, points_per_peer=50, dimensionality=d, dataset="clustered", seed=47
+    )
+
+
+def _queries(network, n=3):
+    rng = np.random.default_rng(53)
+    ids = network.topology.superpeer_ids
+    sub = tuple(range(network.dimensionality))
+    return [Query(subspace=sub, initiator=int(rng.choice(ids))) for _ in range(n)]
+
+
+@pytest.mark.parametrize("d", DIMS)
+def test_clustered_dim_benchmark(benchmark, d):
+    network = _network(d)
+    query = _queries(network, n=1)[0]
+    benchmark(execute_query, network, query, Variant.RTPM)
+
+
+@pytest.mark.parametrize("d", DIMS)
+def test_refinement_never_ships_more(d):
+    """Under fixed merging every super-peer's RT list is a pointwise
+    subset of its FT list (lower threshold, same data), so RT volume
+    is bounded by FT volume.  (Under progressive merging a pruned
+    dominator can spare dominated points in a subtree merge, so the
+    per-subtree inequality is not a theorem — FM is the clean check.)
+    """
+    network = _network(d)
+    for query in _queries(network):
+        ft = execute_query(network, query, Variant.FTFM)
+        rt = execute_query(network, query, Variant.RTFM)
+        assert rt.volume_bytes <= ft.volume_bytes

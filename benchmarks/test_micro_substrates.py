@@ -1,0 +1,72 @@
+"""Micro-benchmarks for the substrates.
+
+Not a paper figure — these pin the costs of the building blocks every
+experiment rests on: R-tree construction and queries, wire
+encode/decode, Algorithm 2 merges, and the pre-processing primitives.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import PointSet
+from repro.core.extended_skyline import extended_skyline
+from repro.core.merging import merge_sorted_skylines
+from repro.core.store import SortedByF
+from repro.index.rtree import RTree
+from repro.p2p.wire import ResultMessage, decode
+
+
+@pytest.fixture(scope="module")
+def cloud():
+    rng = np.random.default_rng(2)
+    return rng.random((5000, 4))
+
+
+class TestRTreeMicro:
+    def test_bulk_load(self, benchmark, cloud):
+        tree = benchmark(RTree.bulk_load, cloud)
+        assert len(tree) == len(cloud)
+
+    def test_incremental_insert(self, benchmark, cloud):
+        def build():
+            tree = RTree(4)
+            for i in range(500):
+                tree.insert(i, cloud[i])
+            return tree
+
+        tree = benchmark(build)
+        assert len(tree) == 500
+
+    def test_dominance_probe(self, benchmark, cloud):
+        tree = RTree.bulk_load(cloud)
+        probe = np.full(4, 0.5)
+        result = benchmark(tree.exists_dominator, probe)
+        assert result  # something dominates the center of a 5000 cloud
+
+
+class TestWireMicro:
+    def test_encode_decode_roundtrip(self, benchmark, cloud):
+        store = SortedByF.from_points(PointSet(cloud[:200]))
+        msg = ResultMessage.from_store(1, 0, store, (0, 1, 2))
+
+        def roundtrip():
+            return decode(msg.encode())
+
+        back = benchmark(roundtrip)
+        assert len(back) == 200
+
+
+class TestCoreMicro:
+    def test_extended_skyline_5000(self, benchmark, cloud):
+        points = PointSet(cloud)
+        result = benchmark.pedantic(extended_skyline, args=(points,), rounds=3)
+        assert len(result.result) > 0
+
+    def test_merge_of_many_lists(self, benchmark, cloud):
+        rng = np.random.default_rng(5)
+        lists = [
+            SortedByF.from_points(PointSet(rng.random((40, 4)), np.arange(i * 40, (i + 1) * 40)))
+            for i in range(50)
+        ]
+        result = benchmark(merge_sorted_skylines, lists, (0, 1, 2))
+        assert len(result.result) > 0

@@ -1,0 +1,64 @@
+"""Compare the SKYPEER variants across data distributions.
+
+Reproduces the qualitative story of the evaluation in one run: on
+uniform data fixed thresholds win and progressive merging slashes
+volume; on clustered data threshold refinement starts to pay off.
+
+Run with:  python examples/variant_explorer.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import Query, SuperPeerNetwork, Variant, execute_query
+from repro.data.workload import generate_workload
+
+
+def explore(dataset: str, dimensionality: int, k: int) -> None:
+    network = SuperPeerNetwork.build(
+        n_peers=300,
+        points_per_peer=50,
+        dimensionality=dimensionality,
+        dataset=dataset,
+        seed=5,
+    )
+    rng = np.random.default_rng(8)
+    queries = generate_workload(
+        num_queries=4,
+        dimensionality=dimensionality,
+        query_dimensionality=k,
+        superpeer_ids=network.topology.superpeer_ids,
+        rng=rng,
+    )
+    print(f"\n=== {dataset} data, d={dimensionality}, k={k}, "
+          f"{network.n_superpeers} super-peers ===")
+    print(f"{'variant':>8} {'comp ms':>10} {'total s':>10} {'volume KB':>11} {'messages':>9}")
+    for variant in Variant:
+        comp, total, vol, msgs = [], [], [], []
+        for query in queries:
+            run = execute_query(network, query, variant)
+            comp.append(run.computational_time * 1e3)
+            total.append(run.total_time)
+            vol.append(run.volume_kb)
+            msgs.append(run.message_count)
+        print(
+            f"{variant.value:>8} {np.mean(comp):10.2f} {np.mean(total):10.3f} "
+            f"{np.mean(vol):11.1f} {np.mean(msgs):9.0f}"
+        )
+
+
+def main() -> None:
+    explore("uniform", dimensionality=8, k=3)
+    explore("clustered", dimensionality=4, k=4)
+    explore("anticorrelated", dimensionality=5, k=3)
+    print(
+        "\nreading guide: naive ships full local skylines and merges centrally;"
+        "\n*TPM variants merge along the tree (low volume and total time);"
+        "\nRT*M refine the threshold hop-by-hop — compare their volume on"
+        "\nclustered vs uniform data."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+"""SKYPEER — subspace skyline computation over distributed data.
+
+A faithful, self-contained reproduction of Vlachou, Doulkeridis,
+Kotidis & Vazirgiannis, *"SKYPEER: Efficient Subspace Skyline
+Computation over Distributed Data"*, ICDE 2007.
+
+Quickstart
+----------
+>>> from repro import SuperPeerNetwork, Query, Variant, execute_query
+>>> net = SuperPeerNetwork.build(n_peers=100, points_per_peer=50,
+...                              dimensionality=6, seed=7)
+>>> query = Query(subspace=(0, 2, 5), initiator=net.topology.superpeer_ids[0])
+>>> answer = execute_query(net, query, Variant.FTPM)
+>>> len(answer.result.points) > 0
+True
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+reproduction of every table and figure of the paper.
+"""
+
+from .core import (
+    PointSet,
+    RangeConstraint,
+    SkylineComputation,
+    SortedByF,
+    constrained_subspace_skyline,
+    extended_skyline,
+    extended_skyline_points,
+    local_subspace_skyline,
+    merge_sorted_skylines,
+    skycube,
+    subspace_skyline,
+    subspace_skyline_points,
+)
+from .data import Query, generate_workload, load_csv
+from .io import load_network, load_pointset, save_network, save_pointset
+from .p2p import (
+    CostModel,
+    PreprocessingReport,
+    SuperPeerNetwork,
+    Topology,
+    delete_points,
+    fail_peer,
+    insert_points,
+    join_peer,
+)
+from .skypeer import (
+    ConstrainedQuery,
+    QueryExecution,
+    Variant,
+    execute_constrained_query,
+    execute_query,
+    run_protocol,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "PointSet",
+    "SortedByF",
+    "SkylineComputation",
+    "RangeConstraint",
+    "extended_skyline",
+    "extended_skyline_points",
+    "subspace_skyline",
+    "subspace_skyline_points",
+    "constrained_subspace_skyline",
+    "local_subspace_skyline",
+    "merge_sorted_skylines",
+    "skycube",
+    # data
+    "Query",
+    "generate_workload",
+    "load_csv",
+    "save_pointset",
+    "load_pointset",
+    "save_network",
+    "load_network",
+    # p2p
+    "Topology",
+    "SuperPeerNetwork",
+    "PreprocessingReport",
+    "CostModel",
+    "join_peer",
+    "fail_peer",
+    "insert_points",
+    "delete_points",
+    # engine
+    "Variant",
+    "QueryExecution",
+    "execute_query",
+    "run_protocol",
+    "ConstrainedQuery",
+    "execute_constrained_query",
+]

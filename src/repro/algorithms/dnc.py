@@ -1,0 +1,86 @@
+"""Divide & Conquer skyline [Borzsonyi et al., ICDE'01].
+
+The input is split in half on the median of the first queried
+dimension; skylines of both halves are computed recursively and then
+merged by removing the points of the "high" half dominated by a point
+of the "low" half.  (Because the split dimension orders the halves,
+low-half points can never be dominated by high-half points — except for
+ties on the split value, which the merge handles explicitly.)
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..core.dataset import PointSet
+from ..core.dominance import any_dominator, sum_sorted_skyline_positions
+from ..core.subspace import full_space, normalize_subspace
+
+__all__ = ["divide_and_conquer"]
+
+_BASE_CASE = 64
+
+
+def divide_and_conquer(
+    points: PointSet,
+    subspace: Sequence[int] | None = None,
+    strict: bool = False,
+) -> PointSet:
+    """Return the (extended) skyline of ``points`` on ``subspace``."""
+    d = points.dimensionality
+    cols = list(full_space(d) if subspace is None else normalize_subspace(subspace, d))
+    values = points.values[:, cols]
+    indices = np.arange(len(points), dtype=np.int64)
+    survivors = _dnc(values, indices, strict)
+    survivors.sort()
+    return points.take(survivors)
+
+
+def _dnc(values: np.ndarray, indices: np.ndarray, strict: bool) -> list[int]:
+    n = values.shape[0]
+    if n <= _BASE_CASE:
+        return _base_skyline(values, indices, strict)
+    split_dim = 0
+    order = np.argsort(values[:, split_dim], kind="stable")
+    half = n // 2
+    low_rows, high_rows = order[:half], order[half:]
+    low = _dnc(values[low_rows], indices[low_rows], strict)
+    high = _dnc(values[high_rows], indices[high_rows], strict)
+    return _merge_halves(values, indices, low, high, strict)
+
+
+def _base_skyline(values: np.ndarray, indices: np.ndarray, strict: bool) -> list[int]:
+    # The tie-group-safe sum-sorted scan (see repro.core.dominance).
+    return [int(indices[pos]) for pos in sum_sorted_skyline_positions(values, strict=strict)]
+
+
+def _merge_halves(
+    values: np.ndarray,
+    indices: np.ndarray,
+    low: list[int],
+    high: list[int],
+    strict: bool,
+) -> list[int]:
+    # Low-half points have split-dim values <= high-half points, so in
+    # the common case only high points need filtering.  Ties on the
+    # split value, however, let a high point dominate a low point, so a
+    # second pass filters low points against the high survivors.  (A
+    # dominator of a low point always survives pass one: anything
+    # dominating it would transitively dominate the low point, which no
+    # low-skyline point can.)
+    index_of = {int(g): i for i, g in enumerate(indices)}
+    low_rows = values[[index_of[g] for g in low]] if low else np.empty((0, values.shape[1]))
+    high_survivors = [
+        g
+        for g in high
+        if not (low_rows.shape[0] and any_dominator(low_rows, values[index_of[g]], strict=strict))
+    ]
+    if not high_survivors:
+        return list(low)
+    high_rows = values[[index_of[g] for g in high_survivors]]
+    low_survivors = [
+        g for g in low if not any_dominator(high_rows, values[index_of[g]], strict=strict)
+    ]
+    return low_survivors + high_survivors

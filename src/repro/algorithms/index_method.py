@@ -1,0 +1,93 @@
+"""The Index method [Tan, Eng, Ooi — VLDB 2001].
+
+Points are partitioned into ``d`` sorted lists: a point joins the list
+of its *minimum* coordinate, sorted ascending by that value.  The lists
+are then consumed in lockstep — always advancing the list whose head
+has the smallest minC value — while a growing skyline filters batches.
+
+The correctness hinges on the same monotonicity the SKYPEER mapping
+later generalizes: once every list's head exceeds the smallest
+``max``-coordinate among found skyline points, nothing that remains can
+be a skyline point.  (This family resemblance is why the module lives
+here: the paper's ``f(p) = min_i p[i]`` with its Observation-5
+threshold is the distributed re-telling of this structure.)
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Sequence
+
+import numpy as np
+
+from ..core.dataset import PointSet
+from ..core.dominance import any_dominator, dominated_mask
+from ..core.subspace import full_space, normalize_subspace
+
+__all__ = ["index_method_skyline"]
+
+
+def index_method_skyline(
+    points: PointSet, subspace: Sequence[int] | None = None, strict: bool = False
+) -> PointSet:
+    """Return the (extended) skyline of ``points`` on ``subspace``."""
+    d = points.dimensionality
+    cols = list(full_space(d) if subspace is None else normalize_subspace(subspace, d))
+    proj = points.values[:, cols]
+    n, k = proj.shape
+    if n == 0:
+        return points.take([])
+
+    # Build the k lists: point -> (argmin dimension, min value).
+    owner = np.argmin(proj, axis=1)
+    min_value = proj[np.arange(n), owner]
+    lists: list[np.ndarray] = []
+    for j in range(k):
+        members = np.nonzero(owner == j)[0]
+        lists.append(members[np.argsort(min_value[members], kind="stable")])
+
+    positions = [0] * k
+    heap = [
+        (float(min_value[lst[0]]), j) for j, lst in enumerate(lists) if len(lst)
+    ]
+    heapq.heapify(heap)
+
+    skyline_rows = np.empty((64, k), dtype=np.float64)
+    count = 0
+    kept: list[int] = []
+    threshold = float("inf")
+
+    while heap:
+        head_value, j = heapq.heappop(heap)
+        if head_value > threshold:
+            break  # every remaining head is beyond the stop line
+        idx = int(lists[j][positions[j]])
+        positions[j] += 1
+        if positions[j] < len(lists[j]):
+            heapq.heappush(
+                heap, (float(min_value[lists[j][positions[j]]]), j)
+            )
+        row = proj[idx]
+        if count and any_dominator(skyline_rows[:count], row, strict=strict):
+            continue
+        # evict dominated earlier picks (ties across lists make this
+        # possible: equal minC points are processed in heap order)
+        if count:
+            doomed = dominated_mask(skyline_rows[:count], row, strict=strict)
+            if np.any(doomed):
+                keep_mask = ~doomed
+                kept = [p for p, keep_it in zip(kept, keep_mask) if keep_it]
+                remaining = int(keep_mask.sum())
+                skyline_rows[:remaining] = skyline_rows[:count][keep_mask]
+                count = remaining
+        if count == skyline_rows.shape[0]:
+            skyline_rows = np.concatenate(
+                [skyline_rows, np.empty_like(skyline_rows)], axis=0
+            )
+        skyline_rows[count] = row
+        count += 1
+        kept.append(idx)
+        threshold = min(threshold, float(row.max()))
+
+    kept.sort()
+    return points.take(kept)

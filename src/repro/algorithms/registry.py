@@ -1,0 +1,42 @@
+"""Name-based dispatch over the centralized skyline algorithms."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from ..core.dataset import PointSet
+from .bbs import branch_and_bound_skyline
+from .bitmap import bitmap_skyline
+from .bnl import block_nested_loops
+from .dnc import divide_and_conquer
+from .index_method import index_method_skyline
+from .sfs import sort_filter_skyline
+
+__all__ = ["ALGORITHMS", "compute_skyline"]
+
+SkylineAlgorithm = Callable[..., PointSet]
+
+ALGORITHMS: dict[str, SkylineAlgorithm] = {
+    "bnl": block_nested_loops,
+    "sfs": sort_filter_skyline,
+    "dnc": divide_and_conquer,
+    "bbs": branch_and_bound_skyline,
+    "bitmap": bitmap_skyline,
+    "index": index_method_skyline,
+}
+
+
+def compute_skyline(
+    points: PointSet,
+    subspace: Sequence[int] | None = None,
+    algorithm: str = "sfs",
+    strict: bool = False,
+) -> PointSet:
+    """Compute a (subspace, optionally extended) skyline by algorithm name."""
+    try:
+        fn = ALGORITHMS[algorithm]
+    except KeyError:
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; expected one of {sorted(ALGORITHMS)}"
+        ) from None
+    return fn(points, subspace, strict=strict)

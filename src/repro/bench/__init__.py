@@ -1,0 +1,54 @@
+"""Benchmark harness: one experiment per table/figure of the paper."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from . import fig3a, fig3b, fig3c, fig3d, fig3e, fig3f
+from . import fig4a, fig4b, fig4c, fig4d, fig4e, fig4f, fig4g, fig4h
+from .config import SCALES, ExperimentConfig, Scale, resolve_scale
+from .harness import VariantStats, build_network, make_queries, run_queries
+from .report import ResultTable
+
+__all__ = [
+    "EXPERIMENTS",
+    "run_experiment",
+    "ExperimentConfig",
+    "Scale",
+    "SCALES",
+    "resolve_scale",
+    "ResultTable",
+    "VariantStats",
+    "build_network",
+    "make_queries",
+    "run_queries",
+]
+
+#: Experiment id -> runner.  Ids match the paper's figure numbers.
+EXPERIMENTS: dict[str, Callable[..., ResultTable]] = {
+    "fig3a": fig3a.run,
+    "fig3b": fig3b.run,
+    "fig3c": fig3c.run,
+    "fig3d": fig3d.run,
+    "fig3e": fig3e.run,
+    "fig3f": fig3f.run,
+    "fig4a": fig4a.run,
+    "fig4b": fig4b.run,
+    "fig4c": fig4c.run,
+    "fig4d": fig4d.run,
+    "fig4e": fig4e.run,
+    "fig4f": fig4f.run,
+    "fig4g": fig4g.run,
+    "fig4h": fig4h.run,
+}
+
+
+def run_experiment(experiment_id: str, scale: str | None = None) -> ResultTable:
+    """Run one paper experiment by id (e.g. ``"fig3b"``)."""
+    try:
+        runner = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise ValueError(
+            f"unknown experiment {experiment_id!r}; expected one of {sorted(EXPERIMENTS)}"
+        ) from None
+    return runner(scale)

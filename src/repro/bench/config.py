@@ -1,0 +1,87 @@
+"""Experiment scaling and configuration.
+
+Every experiment is defined at *paper scale* (the parameter values of
+section 6) and mapped down by a :class:`Scale`: a pure-Python simulator
+is orders of magnitude slower than the authors' Java testbed, so the
+default scales shrink the network and per-peer cardinality while
+keeping every ratio that drives the figures' shapes (super-peer
+fraction, query dimensionality, degree, data distribution).
+
+Scales
+------
+``tiny``    — seconds; used by the pytest benchmarks and CI.
+``default`` — a couple of minutes per figure; the EXPERIMENTS.md runs.
+``paper``   — the full parameters of the paper (hours in CPython).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+
+__all__ = ["Scale", "SCALES", "resolve_scale", "ExperimentConfig"]
+
+
+@dataclass(frozen=True)
+class Scale:
+    """How far to shrink a paper-scale experiment."""
+
+    name: str
+    peer_factor: float
+    points_factor: float
+    queries: int
+
+    def peers(self, paper_peers: int) -> int:
+        return max(4, round(paper_peers * self.peer_factor))
+
+    def points_per_peer(self, paper_points: int) -> int:
+        return max(5, round(paper_points * self.points_factor))
+
+
+SCALES: dict[str, Scale] = {
+    "tiny": Scale(name="tiny", peer_factor=1 / 40, points_factor=1 / 10, queries=2),
+    "default": Scale(name="default", peer_factor=1 / 10, points_factor=1 / 5, queries=5),
+    "paper": Scale(name="paper", peer_factor=1.0, points_factor=1.0, queries=100),
+}
+
+
+def resolve_scale(scale: str | Scale | None = None) -> Scale:
+    """Resolve a scale by name, instance or the REPRO_SCALE env var."""
+    if isinstance(scale, Scale):
+        return scale
+    name = scale or os.environ.get("REPRO_SCALE", "default")
+    try:
+        return SCALES[name]
+    except KeyError:
+        raise ValueError(f"unknown scale {name!r}; expected one of {sorted(SCALES)}") from None
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """One network configuration of the evaluation.
+
+    Defaults are the paper's: d=8, k=3, DEG_sp=4, N_p=4000, 250 points
+    per peer, uniform data (section 6).  ``n_superpeers=None`` applies
+    the paper's percentage rule to the (scaled) peer count.
+    """
+
+    n_peers: int = 4000
+    points_per_peer: int = 250
+    dimensionality: int = 8
+    query_dimensionality: int = 3
+    degree: float = 4.0
+    dataset: str = "uniform"
+    n_superpeers: int | None = None
+    seed: int = 20070415  # ICDE'07 week; any fixed value works
+
+    def scaled(self, scale: Scale) -> "ExperimentConfig":
+        """Shrink peers and cardinality by the given scale."""
+        return replace(
+            self,
+            n_peers=scale.peers(self.n_peers),
+            points_per_peer=scale.points_per_peer(self.points_per_peer),
+        )
+
+    @property
+    def total_points(self) -> int:
+        return self.n_peers * self.points_per_peer

@@ -1,0 +1,117 @@
+"""Generate EXPERIMENTS.md: paper-vs-measured for every table & figure.
+
+Usage::
+
+    python -m repro.bench.export [--scale default] [--output EXPERIMENTS.md]
+
+Each experiment's module docstring carries the paper's expected shape;
+the exporter runs the experiment, renders the measured series, and
+assembles the full document.  Numbers are machine-dependent wall-clock;
+the *shapes* are what reproduce (see the per-figure notes).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from . import EXPERIMENTS, run_experiment
+from .config import SCALES, resolve_scale
+
+__all__ = ["build_document", "main"]
+
+_PREAMBLE = """\
+# EXPERIMENTS — paper vs. measured
+
+Reproduction record for every table and figure of the evaluation
+(section 6) of *SKYPEER: Efficient Subspace Skyline Computation over
+Distributed Data* (ICDE 2007).
+
+**How to read this file.**  The paper ran Java on 3 GHz Pentium
+machines with up to 80000 simulated peers; this reproduction runs pure
+Python.  Absolute numbers therefore differ by construction — what the
+paper's figures establish, and what is reproduced here, is the
+*comparative shape*: which strategy wins, by roughly what factor, and
+how the trend moves along each swept parameter.  Every figure below
+lists the paper's claim and the measured series.
+
+**Scale.**  This document was generated at scale `{scale}`:
+peer counts x{peer_factor:g}, points-per-peer x{points_factor:g},
+{queries} queries per configuration (averages reported).  Regenerate
+with `python -m repro.bench.export --scale {scale}`, or run any single
+experiment with `skypeer figure <id> --scale <scale>`.  `--scale paper`
+uses the paper's exact parameters (N_p up to 80000; hours in CPython).
+
+**Metrics.**  *Computational time* is the longest-path time over the
+execution schedule counting computation only (Figure 3(b)'s
+"neglecting network delays"); *total time* adds store-and-forward
+transfers at the paper's 4 KB/s per connection; *volume* counts the
+bytes of every query/result message crossing every link.  Timings are
+wall-clock measurements of the actual Python computations and hence
+jitter a few percent between runs; volumes and message counts are
+deterministic.
+
+**Known deviations.**  (1) Algorithm 1/2 process threshold *ties*
+(`f(p) == t`), which the paper's `<` loop would drop — required for the
+proven exactness; see DESIGN.md.  (2) The naive baseline is implemented
+without the f(p) machinery at all (BNL local skylines, central BNL
+merge), matching its role in section 3.2 as the pre-mapping strawman.
+(3) At reduced scale the *TPM-vs-*TFM computational-time gap of
+Figure 3(b) is within jitter (their merge inputs shrink with the
+network); the gap on *total* time and *volume*, the paper's headline,
+is large and stable.  (4) Figures whose claim is a *relative*
+computational trend (3(f), 4(b)) additionally report a deterministic
+"work" basis — the critical-path count of examined points — because at
+reduced scale a single OS scheduling hiccup among N_sp measured
+super-peer durations can distort a wall-clock max; the benchmark suite
+asserts the paper's growth trends on that noise-free basis.
+
+---
+"""
+
+
+def build_document(scale_name: str | None = None) -> str:
+    """Run every experiment and build the Markdown document."""
+    scale = resolve_scale(scale_name)
+    sections = [
+        _PREAMBLE.format(
+            scale=scale.name,
+            peer_factor=scale.peer_factor,
+            points_factor=scale.points_factor,
+            queries=scale.queries,
+        )
+    ]
+    for name in sorted(EXPERIMENTS):
+        module = sys.modules[EXPERIMENTS[name].__module__]
+        doc = (module.__doc__ or "").strip()
+        started = time.time()
+        table = run_experiment(name, scale.name)
+        elapsed = time.time() - started
+        sections.append(table.to_markdown())
+        sections.append(f"\n**Paper's claim.** {_reflow(doc)}\n")
+        sections.append(f"*(regenerated in {elapsed:.1f}s)*\n\n---\n")
+    return "\n".join(sections)
+
+
+def _reflow(docstring: str) -> str:
+    lines = [line.strip() for line in docstring.splitlines()]
+    # Drop the headline (it repeats the table title) and join the rest.
+    body = " ".join(line for line in lines[1:] if line)
+    return body or lines[0]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=sorted(SCALES), default=None)
+    parser.add_argument("--output", type=Path, default=Path("EXPERIMENTS.md"))
+    args = parser.parse_args(argv)
+    document = build_document(args.scale)
+    args.output.write_text(document)
+    print(f"wrote {args.output} ({len(document.splitlines())} lines)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,39 @@
+"""Figure 3(a) — pre-processing selectivity vs. data dimensionality.
+
+Paper shape: all three percentages grow with ``d``; at d=7 roughly 59%
+of the points travel peer → super-peer (SEL_p) while only ~22% survive
+the super-peer merge (SEL_sp); SEL_sp/SEL_p stays well below 1.
+"""
+
+from __future__ import annotations
+
+from .config import ExperimentConfig, resolve_scale
+from .harness import build_network
+from .report import ResultTable
+
+__all__ = ["run"]
+
+
+def run(scale: str | None = None) -> ResultTable:
+    scale_obj = resolve_scale(scale)
+    table = ResultTable(
+        experiment="fig3a",
+        title="pre-processing selectivity vs d (uniform, %)",
+        columns=["d", "SEL_p %", "SEL_sp %", "SEL_sp/SEL_p %", "upload KB", "compute s"],
+    )
+    for d in range(5, 11):
+        config = ExperimentConfig(dimensionality=d).scaled(scale_obj)
+        report = build_network(config).preprocessing
+        table.add_row(**{
+            "d": d,
+            "SEL_p %": 100.0 * report.sel_p,
+            "SEL_sp %": 100.0 * report.sel_sp,
+            "SEL_sp/SEL_p %": 100.0 * report.sel_ratio,
+            "upload KB": report.upload_kb,
+            "compute s": report.compute_seconds,
+        })
+    table.add_note(
+        f"scale={scale_obj.name}: N_p={config.n_peers}, "
+        f"{config.points_per_peer} points/peer (paper: 4000 peers, 250 points/peer)"
+    )
+    return table

@@ -1,0 +1,30 @@
+"""Figure 3(b) — computational time vs. data dimensionality.
+
+Paper shape: naive is the most expensive at every ``d``; the refined
+threshold variants (RT*M) cost more than the fixed ones (FT*M); all
+four SKYPEER variants beat naive.
+"""
+
+from __future__ import annotations
+
+from ..skypeer.variants import Variant
+from .report import ResultTable
+from .sweeps import sweep_dimensionality
+
+__all__ = ["run"]
+
+
+def run(scale: str | None = None) -> ResultTable:
+    results = sweep_dimensionality(scale)
+    table = ResultTable(
+        experiment="fig3b",
+        title="computational time vs d (ms, network delay ignored)",
+        columns=["d"] + [v.value for v in Variant],
+    )
+    for d, stats in results.items():
+        row = {"d": d}
+        for variant in Variant:
+            row[variant.value] = stats[variant].mean_computational_time * 1e3
+        table.add_row(**row)
+    table.add_note("paper shape: naive > RT*M > FT*M at every d")
+    return table

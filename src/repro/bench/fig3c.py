@@ -1,0 +1,30 @@
+"""Figure 3(c) — total response time vs. data dimensionality.
+
+Paper shape: progressive merging (*TPM) keeps total time low (it ships
+far fewer bytes through the 4 KB/s links and avoids the relay funnel at
+the initiator); every SKYPEER variant beats naive.
+"""
+
+from __future__ import annotations
+
+from ..skypeer.variants import Variant
+from .report import ResultTable
+from .sweeps import sweep_dimensionality
+
+__all__ = ["run"]
+
+
+def run(scale: str | None = None) -> ResultTable:
+    results = sweep_dimensionality(scale)
+    table = ResultTable(
+        experiment="fig3c",
+        title="total response time vs d (s, 4 KB/s links)",
+        columns=["d"] + [v.value for v in Variant],
+    )
+    for d, stats in results.items():
+        row = {"d": d}
+        for variant in Variant:
+            row[variant.value] = stats[variant].mean_total_time
+        table.add_row(**row)
+    table.add_note("paper shape: *TPM lowest; naive and *TFM dominated by transfer")
+    return table

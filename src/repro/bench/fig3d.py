@@ -1,0 +1,36 @@
+"""Figure 3(d) — transferred volume vs. data dimensionality.
+
+Paper shape: FTPM transfers noticeably less than FTFM at every ``d``
+and for both query dimensionalities (k = 2, 3); volume grows with d.
+"""
+
+from __future__ import annotations
+
+from ..skypeer.variants import Variant
+from .config import ExperimentConfig, resolve_scale
+from .harness import build_network, make_queries, run_queries
+from .report import ResultTable
+
+__all__ = ["run"]
+
+
+def run(scale: str | None = None) -> ResultTable:
+    scale_obj = resolve_scale(scale)
+    table = ResultTable(
+        experiment="fig3d",
+        title="transferred volume vs d (KB), FTFM vs FTPM, k in {2, 3}",
+        columns=["d", "FTFM k=2", "FTPM k=2", "FTFM k=3", "FTPM k=3"],
+    )
+    variants = (Variant.FTFM, Variant.FTPM)
+    for d in range(5, 11):
+        row: dict = {"d": d}
+        for k in (2, 3):
+            config = ExperimentConfig(dimensionality=d, query_dimensionality=k).scaled(scale_obj)
+            network = build_network(config)
+            queries = make_queries(network, config, scale_obj.queries)
+            stats = run_queries(network, queries, variants)
+            row[f"FTFM k={k}"] = stats[Variant.FTFM].mean_volume_kb
+            row[f"FTPM k={k}"] = stats[Variant.FTPM].mean_volume_kb
+        table.add_row(**row)
+    table.add_note("paper shape: progressive merging reduces volume at every (d, k)")
+    return table

@@ -1,0 +1,31 @@
+"""Figure 3(e) — computational time vs. query dimensionality (12000 peers).
+
+Paper shape: fixed threshold (FTFM) stays at or below refined threshold
+(RTFM) on uniform data — refinement buys no pruning there and its
+serialized forwarding costs time.  Both grow with k.
+"""
+
+from __future__ import annotations
+
+from ..skypeer.variants import Variant
+from .report import ResultTable
+from .sweeps import sweep_query_dimensionality
+
+__all__ = ["run"]
+
+
+def run(scale: str | None = None) -> ResultTable:
+    results = sweep_query_dimensionality(scale)
+    table = ResultTable(
+        experiment="fig3e",
+        title="computational time vs k (ms), FTFM vs RTFM, 12000 peers",
+        columns=["k", "FTFM", "RTFM"],
+    )
+    for k, stats in results.items():
+        table.add_row(
+            k=k,
+            FTFM=stats[Variant.FTFM].mean_computational_time * 1e3,
+            RTFM=stats[Variant.RTFM].mean_computational_time * 1e3,
+        )
+    table.add_note("paper shape: FTFM <= RTFM on uniform data")
+    return table

@@ -1,0 +1,29 @@
+"""Figure 4(a) — total response time vs. query dimensionality (12000 peers).
+
+Paper shape: progressive merging scales much better with k than fixed
+merging and naive; naive is the worst throughout.
+"""
+
+from __future__ import annotations
+
+from ..skypeer.variants import Variant
+from .report import ResultTable
+from .sweeps import sweep_query_dimensionality
+
+__all__ = ["run"]
+
+
+def run(scale: str | None = None) -> ResultTable:
+    results = sweep_query_dimensionality(scale)
+    table = ResultTable(
+        experiment="fig4a",
+        title="total response time vs k (s), 12000 peers",
+        columns=["k"] + [v.value for v in Variant],
+    )
+    for k, stats in results.items():
+        row = {"k": k}
+        for variant in Variant:
+            row[variant.value] = stats[variant].mean_total_time
+        table.add_row(**row)
+    table.add_note("paper shape: *TPM scales best with k; naive worst")
+    return table

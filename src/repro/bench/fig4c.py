@@ -1,0 +1,29 @@
+"""Figure 4(c) — total time for large networks (20000-80000 peers).
+
+Paper shape: same as 4(b) on the total-time axis — progressive merging
+widens its lead over naive as the network grows.
+"""
+
+from __future__ import annotations
+
+from ..skypeer.variants import Variant
+from .report import ResultTable
+from .sweeps import sweep_large_network_size
+
+__all__ = ["run"]
+
+
+def run(scale: str | None = None) -> ResultTable:
+    results = sweep_large_network_size(scale)
+    table = ResultTable(
+        experiment="fig4c",
+        title="total response time vs large N_p (s, N_sp = 1%)",
+        columns=["N_p (paper)"] + [v.value for v in Variant],
+    )
+    for n_peers, stats in results.items():
+        row = {"N_p (paper)": n_peers}
+        for variant in Variant:
+            row[variant.value] = stats[variant].mean_total_time
+        table.add_row(**row)
+    table.add_note("paper shape: *TPM improvement over naive grows with N_p")
+    return table

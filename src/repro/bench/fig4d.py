@@ -1,0 +1,29 @@
+"""Figure 4(d) — computational time vs. super-peer degree.
+
+Paper shape: computational time is essentially flat in DEG_sp — the
+degree changes routing paths, not the skyline work.
+"""
+
+from __future__ import annotations
+
+from ..skypeer.variants import Variant
+from .report import ResultTable
+from .sweeps import sweep_degree
+
+__all__ = ["run"]
+
+
+def run(scale: str | None = None) -> ResultTable:
+    results = sweep_degree(scale)
+    table = ResultTable(
+        experiment="fig4d",
+        title="computational time vs DEG_sp (ms)",
+        columns=["DEG_sp"] + [v.value for v in Variant],
+    )
+    for degree, stats in results.items():
+        row = {"DEG_sp": degree}
+        for variant in Variant:
+            row[variant.value] = stats[variant].mean_computational_time * 1e3
+        table.add_row(**row)
+    table.add_note("paper shape: flat in DEG_sp")
+    return table

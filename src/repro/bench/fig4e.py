@@ -1,0 +1,29 @@
+"""Figure 4(e) — total response time vs. super-peer degree.
+
+Paper shape: total time drops as DEG_sp grows — denser backbones have
+shorter routing paths, hence fewer relay hops per result list.
+"""
+
+from __future__ import annotations
+
+from ..skypeer.variants import Variant
+from .report import ResultTable
+from .sweeps import sweep_degree
+
+__all__ = ["run"]
+
+
+def run(scale: str | None = None) -> ResultTable:
+    results = sweep_degree(scale)
+    table = ResultTable(
+        experiment="fig4e",
+        title="total response time vs DEG_sp (s)",
+        columns=["DEG_sp"] + [v.value for v in Variant],
+    )
+    for degree, stats in results.items():
+        row = {"DEG_sp": degree}
+        for variant in Variant:
+            row[variant.value] = stats[variant].mean_total_time
+        table.add_row(**row)
+    table.add_note("paper shape: decreasing in DEG_sp (shorter routing paths)")
+    return table

@@ -1,0 +1,30 @@
+"""Figure 4(f) — total time vs. points per peer (250-1000).
+
+Paper shape: the progressive-merging variants clearly beat the
+fixed-merging ones, and the gap widens as each peer contributes more
+points (bigger result lists make the relay funnel hurt more).
+"""
+
+from __future__ import annotations
+
+from ..skypeer.variants import Variant
+from .report import ResultTable
+from .sweeps import sweep_points_per_peer
+
+__all__ = ["run"]
+
+
+def run(scale: str | None = None) -> ResultTable:
+    results = sweep_points_per_peer(scale)
+    table = ResultTable(
+        experiment="fig4f",
+        title="total response time vs points per peer (s)",
+        columns=["points/peer (paper)"] + [v.value for v in Variant],
+    )
+    for points, stats in results.items():
+        row = {"points/peer (paper)": points}
+        for variant in Variant:
+            row[variant.value] = stats[variant].mean_total_time
+        table.add_row(**row)
+    table.add_note("paper shape: *TPM lead over *TFM widens with points/peer")
+    return table

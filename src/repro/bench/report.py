@@ -1,0 +1,90 @@
+"""Result tables for the figure experiments.
+
+Each experiment returns a :class:`ResultTable` — the rows/series the
+corresponding paper figure plots — renderable as aligned text (console)
+or Markdown (EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["ResultTable"]
+
+
+@dataclass
+class ResultTable:
+    """A labelled table of experiment results."""
+
+    experiment: str
+    title: str
+    columns: list[str]
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, **values: Any) -> None:
+        unknown = set(values) - set(self.columns)
+        if unknown:
+            raise ValueError(f"unknown columns: {sorted(unknown)}")
+        self.rows.append(values)
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def column(self, name: str) -> list[Any]:
+        """All values of one column, in row order (shape assertions)."""
+        if name not in self.columns:
+            raise KeyError(name)
+        return [row.get(name) for row in self.rows]
+
+    # ------------------------------------------------------------------
+    # rendering
+    # ------------------------------------------------------------------
+    def _formatted(self) -> list[list[str]]:
+        out = []
+        for row in self.rows:
+            out.append([_fmt(row.get(col)) for col in self.columns])
+        return out
+
+    def to_text(self) -> str:
+        body = self._formatted()
+        widths = [
+            max(len(col), *(len(r[i]) for r in body)) if body else len(col)
+            for i, col in enumerate(self.columns)
+        ]
+        lines = [f"== {self.experiment}: {self.title} =="]
+        lines.append("  ".join(col.ljust(w) for col, w in zip(self.columns, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in body:
+            lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def to_markdown(self) -> str:
+        body = self._formatted()
+        lines = [f"### {self.experiment} — {self.title}", ""]
+        lines.append("| " + " | ".join(self.columns) + " |")
+        lines.append("|" + "|".join("---" for _ in self.columns) + "|")
+        for row in body:
+            lines.append("| " + " | ".join(row) + " |")
+        for note in self.notes:
+            lines.append("")
+            lines.append(f"*{note}*")
+        return "\n".join(lines)
+
+
+def _fmt(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 100:
+            return f"{value:.0f}"
+        if magnitude >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)

@@ -1,0 +1,142 @@
+"""Command-line interface.
+
+::
+
+    skypeer figure fig3b --scale tiny       # one experiment
+    skypeer all --scale default             # every table/figure
+    skypeer export --scale default          # regenerate EXPERIMENTS.md
+    skypeer query --peers 400 --dims 8 --subspace 0,3,6 --variant FTPM \
+            [--explain] [--json]
+    skypeer list                            # available experiments
+
+(Equivalently: ``python -m repro.cli ...``.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Sequence
+
+from . import bench
+from .bench.config import SCALES
+from .data.workload import Query
+from .p2p.network import SuperPeerNetwork
+from .skypeer.executor import execute_query
+from .skypeer.variants import Variant
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="skypeer",
+        description="SKYPEER (ICDE 2007) reproduction: distributed subspace skylines",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fig = sub.add_parser("figure", help="run one paper experiment")
+    fig.add_argument("experiment", choices=sorted(bench.EXPERIMENTS))
+    fig.add_argument("--scale", choices=sorted(SCALES), default=None)
+    fig.add_argument("--markdown", action="store_true", help="emit Markdown instead of text")
+
+    allp = sub.add_parser("all", help="run every experiment")
+    allp.add_argument("--scale", choices=sorted(SCALES), default=None)
+    allp.add_argument("--markdown", action="store_true")
+
+    sub.add_parser("list", help="list experiments")
+
+    q = sub.add_parser("query", help="run one distributed query and print metrics")
+    q.add_argument("--peers", type=int, default=400)
+    q.add_argument("--points-per-peer", type=int, default=50)
+    q.add_argument("--dims", type=int, default=8)
+    q.add_argument("--subspace", type=str, default="0,3,6",
+                   help="comma-separated dimension indices")
+    q.add_argument("--variant", type=str, default="FTPM",
+                   help="FTFM | FTPM | RTFM | RTPM | naive")
+    q.add_argument("--dataset", choices=("uniform", "clustered", "correlated", "anticorrelated"),
+                   default="uniform")
+    q.add_argument("--seed", type=int, default=0)
+    q.add_argument("--explain", action="store_true",
+                   help="print a per-super-peer execution breakdown")
+    q.add_argument("--json", action="store_true",
+                   help="emit the execution report as JSON")
+
+    ex = sub.add_parser("export", help="regenerate EXPERIMENTS.md")
+    ex.add_argument("--scale", choices=sorted(SCALES), default=None)
+    ex.add_argument("--output", default="EXPERIMENTS.md")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        for name in sorted(bench.EXPERIMENTS):
+            doc = sys.modules[bench.EXPERIMENTS[name].__module__].__doc__ or ""
+            headline = doc.strip().splitlines()[0]
+            print(f"{name}: {headline}")
+        return 0
+    if args.command == "figure":
+        table = bench.run_experiment(args.experiment, args.scale)
+        print(table.to_markdown() if args.markdown else table.to_text())
+        return 0
+    if args.command == "all":
+        for name in sorted(bench.EXPERIMENTS):
+            started = time.time()
+            table = bench.run_experiment(name, args.scale)
+            print(table.to_markdown() if args.markdown else table.to_text())
+            print(f"[{name} finished in {time.time() - started:.1f}s]")
+            print()
+        return 0
+    if args.command == "query":
+        return _run_single_query(args)
+    if args.command == "export":
+        from .bench.export import main as export_main
+
+        return export_main(["--output", args.output] +
+                           (["--scale", args.scale] if args.scale else []))
+    raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
+
+
+def _run_single_query(args: argparse.Namespace) -> int:
+    subspace = tuple(int(x) for x in args.subspace.split(","))
+    variant = Variant.parse(args.variant)
+    print(
+        f"building network: {args.peers} peers x {args.points_per_peer} points, "
+        f"d={args.dims}, dataset={args.dataset}"
+    )
+    network = SuperPeerNetwork.build(
+        n_peers=args.peers,
+        points_per_peer=args.points_per_peer,
+        dimensionality=args.dims,
+        dataset=args.dataset,
+        seed=args.seed,
+    )
+    report = network.preprocessing
+    print(
+        f"pre-processing: SEL_p={100 * report.sel_p:.1f}% "
+        f"SEL_sp={100 * report.sel_sp:.1f}%"
+    )
+    query = Query(subspace=subspace, initiator=network.topology.superpeer_ids[0])
+    execution = execute_query(network, query, variant)
+    if args.json:
+        from .skypeer.inspection import execution_report_json
+
+        print(execution_report_json(execution))
+        return 0
+    print(f"variant {variant.value}: |SKY_U| = {len(execution.result)}")
+    print(f"  computational time : {execution.computational_time * 1e3:.2f} ms")
+    print(f"  total time (4KB/s) : {execution.total_time:.3f} s")
+    print(f"  transferred volume : {execution.volume_kb:.1f} KB")
+    print(f"  messages           : {execution.message_count}")
+    if args.explain:
+        from .skypeer.inspection import format_execution
+
+        print()
+        print(format_execution(execution))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,80 @@
+"""Extended skyline computation (section 4 of the paper).
+
+The *extended skyline* of a space ``U`` is the set of points not
+ext-dominated (strictly smaller on every dimension of ``U``) by any
+other point.  Observations 3 and 4 establish the property everything in
+SKYPEER rests on:
+
+    for every subspace ``V ⊆ U``:  ``SKY_V ⊆ ext-SKY_U``
+
+so a peer that ships ``ext-SKY_D`` to its super-peer has shipped enough
+information to answer *any* subspace skyline query exactly.
+
+Two implementations are provided: the threshold-based scan (Algorithm 1
+run in strict mode — what a peer actually executes) and a direct
+vectorized mask (used as an oracle and for bulk analytics).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from .dataset import PointSet
+from .dominance import extended_skyline_mask, skyline_mask
+from .local_skyline import SkylineComputation, local_subspace_skyline
+from .store import SortedByF
+from .subspace import full_space, normalize_subspace
+
+__all__ = [
+    "extended_skyline",
+    "extended_skyline_points",
+    "subspace_skyline",
+    "subspace_skyline_points",
+]
+
+
+def extended_skyline(
+    points: PointSet,
+    subspace: Sequence[int] | None = None,
+    index_kind: str = "block",
+) -> SkylineComputation:
+    """Compute ``ext-SKY_U`` with the threshold-based scan.
+
+    This is the peer-side pre-processing computation of section 5.3:
+    Algorithm 1 with the dominance test replaced by ext-domination.
+    ``subspace=None`` means the full space ``D`` (the only subspace the
+    pre-processing phase ever uses, but tests exercise others).
+    """
+    d = points.dimensionality
+    cols = full_space(d) if subspace is None else normalize_subspace(subspace, d)
+    store = SortedByF.from_points(points)
+    return local_subspace_skyline(
+        store, cols, initial_threshold=math.inf, strict=True, index_kind=index_kind
+    )
+
+
+def extended_skyline_points(
+    points: PointSet, subspace: Sequence[int] | None = None
+) -> PointSet:
+    """``ext-SKY_U`` via the direct vectorized mask (order-preserving)."""
+    d = points.dimensionality
+    cols = None if subspace is None else normalize_subspace(subspace, d)
+    return points.mask(extended_skyline_mask(points.values, cols))
+
+
+def subspace_skyline(
+    points: PointSet, subspace: Sequence[int], index_kind: str = "block"
+) -> SkylineComputation:
+    """Centralized ``SKY_U`` with the threshold-based scan (Algorithm 1)."""
+    cols = normalize_subspace(subspace, points.dimensionality)
+    store = SortedByF.from_points(points)
+    return local_subspace_skyline(
+        store, cols, initial_threshold=math.inf, strict=False, index_kind=index_kind
+    )
+
+
+def subspace_skyline_points(points: PointSet, subspace: Sequence[int]) -> PointSet:
+    """Centralized ``SKY_U`` via the direct vectorized mask."""
+    cols = normalize_subspace(subspace, points.dimensionality)
+    return points.mask(skyline_mask(points.values, cols))

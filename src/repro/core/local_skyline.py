@@ -1,0 +1,204 @@
+"""Algorithm 1 — threshold-based local subspace skyline computation.
+
+The store is scanned in ascending ``f(p)`` order.  Every examined point
+is tested for dominance against the skyline found so far; survivors are
+inserted (evicting any candidate they dominate) and the threshold is
+lowered to ``min(threshold, dist_U(p))``.  The scan terminates as soon
+as the next ``f(p)`` exceeds the threshold — by Observation 5 no later
+point can be a skyline point.
+
+The same routine computes the *extended* skyline (``strict=True``):
+the dominance test becomes ext-domination and distances refer to the
+full space, which is exactly how the pre-processing phase of section
+5.3 reuses Algorithm 1.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .dataset import PointSet
+from .indexes import make_index
+from .mapping import dist_values
+from .store import SortedByF
+
+__all__ = ["SkylineComputation", "local_subspace_skyline"]
+
+
+@dataclass
+class SkylineComputation:
+    """Outcome of one threshold-based skyline scan.
+
+    Attributes
+    ----------
+    result:
+        Surviving skyline points (full-space coordinates), in ascending
+        ``f`` order, together with their ``f`` values.
+    threshold:
+        Final threshold: ``min`` of the initial threshold and
+        ``dist_U(p)`` over every inserted point.  This is the refined
+        ``t'`` the RT* variants attach to the forwarded query.
+    examined:
+        Number of points read from the store before termination.
+    comparisons:
+        Dominance comparisons performed (abstract work measure).
+    duration:
+        Wall-clock seconds spent inside the scan.
+    """
+
+    result: SortedByF
+    threshold: float
+    examined: int
+    comparisons: int
+    duration: float
+    input_size: int = 0
+
+    @property
+    def points(self) -> PointSet:
+        return self.result.points
+
+    @property
+    def pruned_by_threshold(self) -> int:
+        """Points never examined thanks to early termination."""
+        return self.input_size - self.examined
+
+
+def local_subspace_skyline(
+    store: SortedByF,
+    subspace: Sequence[int],
+    initial_threshold: float = math.inf,
+    strict: bool = False,
+    index_kind: str = "block",
+) -> SkylineComputation:
+    """Run Algorithm 1 over an f-sorted store.
+
+    Parameters
+    ----------
+    store:
+        The super-peer's ext-skyline points sorted ascending by ``f``.
+    subspace:
+        Query dimensions ``U`` (full space for pre-processing).
+    initial_threshold:
+        Threshold ``t`` carried by the query; ``inf`` when absent.
+    strict:
+        ``True`` switches to ext-domination (pre-processing mode).
+    index_kind:
+        Dominance index implementation (``block``, ``list``, ``rtree``).
+
+    Notes
+    -----
+    Ties with the threshold (``f(p) == t``) are *examined* rather than
+    pruned; Observation 5 only licenses pruning for strictly larger
+    ``f`` (see :func:`repro.core.mapping.can_prune`).
+    """
+    started = time.perf_counter()
+    cols = list(subspace)
+    n = len(store)
+    index = make_index(index_kind, len(cols), strict=strict)
+    threshold = float(initial_threshold)
+    proj = store.points.values[:, cols] if n else np.empty((0, len(cols)))
+    dists = dist_values(store.points.values, cols) if n else np.empty(0)
+    f = store.f
+    if index_kind == "block":
+        examined, threshold = _chunked_scan(index, proj, f, dists, threshold, strict)
+    else:
+        examined, threshold = _pointwise_scan(index, proj, f, dists, threshold)
+    positions = index.positions()
+    result_points = store.points.take(positions)
+    result = SortedByF(result_points, f[positions] if positions else np.zeros(0))
+    return SkylineComputation(
+        result=result,
+        threshold=threshold,
+        examined=examined,
+        comparisons=index.comparisons,
+        duration=time.perf_counter() - started,
+        input_size=n,
+    )
+
+
+def _pointwise_scan(index, proj, f, dists, threshold: float) -> tuple[int, float]:
+    """The paper's per-point loop, verbatim (any dominance index)."""
+    examined = 0
+    for i in range(proj.shape[0]):
+        if f[i] > threshold:
+            break
+        examined += 1
+        row = proj[i]
+        if index.is_dominated(row):
+            continue
+        index.insert_and_prune(i, row)
+        if dists[i] < threshold:
+            threshold = float(dists[i])
+    return examined, threshold
+
+
+#: Points pre-filtered per vectorized batch.  Chosen so the batch
+#: dominance test amortizes numpy dispatch without growing the
+#: batch-vs-candidates matrix beyond cache-friendly sizes.
+_SCAN_CHUNK = 256
+
+
+def _chunked_scan(index, proj, f, dists, threshold: float, strict: bool) -> tuple[int, float]:
+    """Vectorized variant of the scan, identical semantics.
+
+    Each batch of f-ascending points is tested against the current
+    candidate block in one matrix comparison; only the (few) survivors
+    go through the per-point insert/evict/threshold path.  A verdict of
+    "dominated" stays valid even when the dominator is later evicted,
+    because its evictor dominates transitively.  Batch boundaries honor
+    the threshold known at batch start; points a tighter mid-batch
+    threshold would have pruned are merely examined and discarded, so
+    exactness is unaffected (they are dominated by the threshold point).
+    """
+    n = proj.shape[0]
+    examined = 0
+    i = 0
+    while i < n:
+        if f[i] > threshold:
+            break
+        hi = min(n, i + _SCAN_CHUNK)
+        # Only points with f <= threshold may be skyline points.
+        hi = i + int(np.searchsorted(f[i:hi], threshold, side="right"))
+        chunk = proj[i:hi]
+        examined += hi - i
+        block = index.block_view()
+        if block.shape[0]:
+            index.comparisons += block.shape[0] * chunk.shape[0]
+            if strict:
+                dominated = np.any(np.all(block[None, :, :] < chunk[:, None, :], axis=2), axis=1)
+            else:
+                less_eq = np.all(block[None, :, :] <= chunk[:, None, :], axis=2)
+                less = np.any(block[None, :, :] < chunk[:, None, :], axis=2)
+                dominated = np.any(less_eq & less, axis=1)
+            candidates = np.nonzero(~dominated)[0]
+        else:
+            candidates = np.arange(chunk.shape[0])
+        if candidates.size:
+            # Pairwise pass among the batch survivors: a survivor stays
+            # iff no other survivor dominates it.  (A point a per-point
+            # loop would first insert and later evict is simply never
+            # inserted — the final set is identical.)
+            sub = chunk[candidates]
+            index.comparisons += candidates.size * candidates.size
+            if strict:
+                dom = np.all(sub[None, :, :] < sub[:, None, :], axis=2)
+            else:
+                # dom[i, j] = j dominates i = (j <= i everywhere) and
+                # not (i <= j everywhere); one 3-D reduction suffices
+                # since le & le.T means "equal on every dimension".
+                le = np.all(sub[None, :, :] <= sub[:, None, :], axis=2)
+                dom = le & ~le.T
+            winners = candidates[~np.any(dom, axis=1)]
+            if winners.size:
+                positions = i + winners
+                index.bulk_insert(positions, chunk[winners])
+                batch_min = float(dists[positions].min())
+                if batch_min < threshold:
+                    threshold = batch_min
+        i = hi
+    return examined, threshold

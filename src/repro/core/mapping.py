@@ -1,0 +1,89 @@
+"""The monotone one-dimensional mapping of section 5.1.
+
+Every ``d``-dimensional point ``p`` is mapped to
+
+    ``f(p) = min_{i in D} p[i]``                       (paper, eq. 1)
+
+and, for a queried subspace ``U``, its L-infinity distance from the
+origin is
+
+    ``dist_U(p) = max_{i in U} p[i]``.
+
+Observation 5 (the pruning rule): if ``p_sky`` is a skyline point of
+``U`` then no point ``p`` with ``f(p) > dist_U(p_sky)`` can belong to
+the skyline of ``U`` — each of its coordinates exceeds every coordinate
+of ``p_sky`` on ``U``, hence ``p_sky`` dominates it.  Note the paper
+computes ``f`` from the *origin* rather than SUBSKY's maximum corner
+precisely because the maximum corner is unknown in a distributed
+setting.
+
+``f(p)`` is computed once over the full space ``D``; ``dist_U`` is
+recomputed per query.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .dataset import PointSet
+
+__all__ = ["f_values", "f_value", "dist_values", "dist_value", "sort_by_f", "can_prune"]
+
+
+def f_values(values: np.ndarray) -> np.ndarray:
+    """Vector of ``f(p) = min_i p[i]`` for each row of ``values``."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim != 2:
+        raise ValueError("expected a (n, d) array")
+    if values.shape[0] == 0:
+        return np.zeros(0, dtype=np.float64)
+    return values.min(axis=1)
+
+
+def f_value(point: np.ndarray) -> float:
+    """``f(p)`` for a single point."""
+    return float(np.min(np.asarray(point, dtype=np.float64)))
+
+
+def dist_values(values: np.ndarray, subspace: Sequence[int]) -> np.ndarray:
+    """Vector of ``dist_U(p) = max_{i in U} p[i]`` for each row."""
+    values = np.asarray(values, dtype=np.float64)
+    cols = list(subspace)
+    if not cols:
+        raise ValueError("subspace must be non-empty")
+    if values.shape[0] == 0:
+        return np.zeros(0, dtype=np.float64)
+    return values[:, cols].max(axis=1)
+
+
+def dist_value(point: np.ndarray, subspace: Sequence[int]) -> float:
+    """``dist_U(p)`` for a single point."""
+    cols = list(subspace)
+    if not cols:
+        raise ValueError("subspace must be non-empty")
+    return float(np.max(np.asarray(point, dtype=np.float64)[cols]))
+
+
+def sort_by_f(points: PointSet) -> tuple[PointSet, np.ndarray]:
+    """Return ``points`` sorted ascending by ``f(p)`` plus the sorted keys.
+
+    Every super-peer stores its extended skyline in this order (section
+    5.2.1) so that Algorithm 1 can scan it with early termination.
+    """
+    keys = f_values(points.values)
+    order = np.argsort(keys, kind="stable")
+    return points.take(order), keys[order]
+
+
+def can_prune(f_of_p: float, threshold: float) -> bool:
+    """Observation 5 as a predicate.
+
+    Only a *strictly* larger ``f(p)`` is safely prunable: when
+    ``f(p) == dist_U(p_sky)`` the point may tie ``p_sky`` on every
+    queried dimension and still be a skyline point, so it must be
+    examined.  (The paper's pseudo-code stops at ``>=``; we deviate to
+    preserve the exactness guarantee under ties — see DESIGN.md.)
+    """
+    return f_of_p > threshold

@@ -1,0 +1,51 @@
+"""Skyline cardinality estimation.
+
+For ``n`` i.i.d. points with independent continuous coordinates the
+expected skyline size obeys the classic recurrence (Buchta 1989;
+Bentley et al. 1978 for the asymptotics)
+
+    ``E(n, 1) = 1``,    ``E(n, d) = sum_{k=1..n} E(k, d-1) / k``
+
+with the closed-form asymptotic ``(ln n)^(d-1) / (d-1)!``.  The
+evaluation section's intuition — skylines (and ext-skylines) blow up
+with dimensionality, which is why Figure 3(a)'s selectivities climb
+with ``d`` — is quantified by these estimates, and the test-suite
+Monte-Carlo-validates the skyline machinery against them.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["expected_uniform_skyline_size", "asymptotic_skyline_size"]
+
+
+def expected_uniform_skyline_size(n: int, d: int) -> float:
+    """Exact expected skyline size for ``n`` i.i.d. continuous points.
+
+    Exact under the "no ties, independent dimensions" model — uniform,
+    Gaussian, any product of continuous marginals.  Computed by the
+    recurrence in O(n*d) with vectorized prefix sums.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if d <= 0:
+        raise ValueError("d must be positive")
+    if n == 0:
+        return 0.0
+    inverse_k = 1.0 / np.arange(1, n + 1)
+    level = np.ones(n)  # E(k, 1) for k = 1..n
+    for _dim in range(2, d + 1):
+        level = np.cumsum(level * inverse_k)
+    return float(level[-1])
+
+
+def asymptotic_skyline_size(n: int, d: int) -> float:
+    """The ``(ln n)^(d-1) / (d-1)!`` asymptotic."""
+    if n <= 1:
+        return float(min(n, 1))
+    if d <= 0:
+        raise ValueError("d must be positive")
+    return math.log(n) ** (d - 1) / math.factorial(d - 1)

@@ -1,0 +1,53 @@
+"""The f-sorted point store kept by every super-peer.
+
+Section 5.2.1: "each super-peer can access the stored ext-skyline
+points in an ascending order of their f(p) values".  ``SortedByF``
+bundles a :class:`~repro.core.dataset.PointSet` with its pre-computed
+``f`` values, sorted ascending, which is the exact access path both
+Algorithm 1 and Algorithm 2 need.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .dataset import PointSet
+from .mapping import f_values
+
+__all__ = ["SortedByF"]
+
+
+class SortedByF:
+    """A point set sorted ascending by ``f(p)`` with cached keys."""
+
+    __slots__ = ("points", "f")
+
+    def __init__(self, points: PointSet, f: np.ndarray):
+        if len(points) != len(f):
+            raise ValueError("one f value per point required")
+        if len(f) > 1 and np.any(np.diff(f) < 0):
+            raise ValueError("points must be sorted ascending by f")
+        self.points = points
+        self.f = np.asarray(f, dtype=np.float64)
+        self.f.setflags(write=False)
+
+    @classmethod
+    def from_points(cls, points: PointSet) -> "SortedByF":
+        """Sort an arbitrary point set by ``f`` and cache the keys."""
+        keys = f_values(points.values)
+        order = np.argsort(keys, kind="stable")
+        return cls(points.take(order), keys[order])
+
+    @classmethod
+    def empty(cls, dimensionality: int) -> "SortedByF":
+        return cls(PointSet.empty(dimensionality), np.zeros(0, dtype=np.float64))
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    @property
+    def dimensionality(self) -> int:
+        return self.points.dimensionality
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SortedByF(n={len(self)}, d={self.dimensionality})"

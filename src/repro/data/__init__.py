@@ -1,0 +1,29 @@
+"""Synthetic data, partitioning and query workloads."""
+
+from .generators import (
+    GENERATOR_KINDS,
+    anticorrelated,
+    clustered,
+    correlated,
+    make_generator,
+    uniform,
+)
+from .loader import ColumnSpec, LoadedDataset, load_csv
+from .partition import partition_by_sizes, partition_evenly
+from .workload import Query, generate_workload
+
+__all__ = [
+    "uniform",
+    "clustered",
+    "correlated",
+    "anticorrelated",
+    "make_generator",
+    "GENERATOR_KINDS",
+    "partition_evenly",
+    "partition_by_sizes",
+    "load_csv",
+    "ColumnSpec",
+    "LoadedDataset",
+    "Query",
+    "generate_workload",
+]

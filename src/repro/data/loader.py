@@ -1,0 +1,124 @@
+"""Loading real tabular data into point sets.
+
+Skylines assume *min* semantics on non-negative values; real data has
+max-attributes (ratings), arbitrary ranges, and junk rows.  The loader
+handles the boring parts:
+
+* pick named columns from a CSV (header required);
+* invert max-attributes (``maximize=...``) so "bigger is better"
+  becomes "smaller is better";
+* min-max normalize each column into [0, 1] (the unit space the
+  generators and the cost model assume);
+* skip rows with missing or non-numeric values in the used columns.
+
+``ColumnSpec`` records the transformation so query results can be
+mapped back to original values (``denormalize``).
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..core.dataset import PointSet
+
+__all__ = ["ColumnSpec", "LoadedDataset", "load_csv"]
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """How one CSV column became one skyline dimension."""
+
+    name: str
+    minimum: float
+    maximum: float
+    maximized: bool
+
+    def denormalize(self, value: float) -> float:
+        """Map a [0, 1] coordinate back to the original scale."""
+        span = self.maximum - self.minimum
+        raw = value * span + self.minimum if span else self.minimum
+        if self.maximized:
+            raw = self.maximum + self.minimum - raw
+        return raw
+
+
+@dataclass(frozen=True)
+class LoadedDataset:
+    """A normalized point set plus its column book-keeping."""
+
+    points: PointSet
+    columns: tuple[ColumnSpec, ...]
+    skipped_rows: int
+
+    @property
+    def dimensionality(self) -> int:
+        return self.points.dimensionality
+
+
+def load_csv(
+    path: str | Path,
+    columns: Sequence[str],
+    maximize: Iterable[str] = (),
+    delimiter: str = ",",
+) -> LoadedDataset:
+    """Load ``columns`` of a CSV file as a normalized point set.
+
+    Parameters
+    ----------
+    path:
+        CSV file with a header row.
+    columns:
+        The attribute columns, in dimension order.
+    maximize:
+        Columns where larger raw values are better; they are inverted
+        so the skyline's min semantics apply uniformly.
+    """
+    columns = list(columns)
+    if not columns:
+        raise ValueError("need at least one column")
+    maximize_set = set(maximize)
+    unknown = maximize_set - set(columns)
+    if unknown:
+        raise ValueError(f"maximize names columns not loaded: {sorted(unknown)}")
+
+    rows: list[list[float]] = []
+    skipped = 0
+    with open(path, newline="") as handle:
+        reader = csv.DictReader(handle, delimiter=delimiter)
+        if reader.fieldnames is None:
+            raise ValueError(f"{path}: empty file")
+        missing = set(columns) - set(reader.fieldnames)
+        if missing:
+            raise ValueError(f"{path}: missing columns {sorted(missing)}")
+        for record in reader:
+            try:
+                row = [float(record[name]) for name in columns]
+            except (TypeError, ValueError):
+                skipped += 1
+                continue
+            if any(np.isnan(v) or np.isinf(v) for v in row):
+                skipped += 1
+                continue
+            rows.append(row)
+    if not rows:
+        raise ValueError(f"{path}: no usable rows")
+    values = np.asarray(rows, dtype=np.float64)
+
+    specs = []
+    for j, name in enumerate(columns):
+        lo, hi = float(values[:, j].min()), float(values[:, j].max())
+        if name in maximize_set:
+            values[:, j] = hi + lo - values[:, j]
+        span = hi - lo
+        values[:, j] = (values[:, j] - lo) / span if span else 0.0
+        specs.append(ColumnSpec(name=name, minimum=lo, maximum=hi, maximized=name in maximize_set))
+    return LoadedDataset(
+        points=PointSet(values),
+        columns=tuple(specs),
+        skipped_rows=skipped,
+    )

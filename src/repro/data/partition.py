@@ -1,0 +1,45 @@
+"""Horizontal partitioning of a dataset across peers.
+
+"The dataset was horizontally partitioned evenly among the peers"
+(section 6): every peer holds a disjoint slice of the global point set
+and ids stay globally unique so results can be compared against a
+centralized oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..core.dataset import PointSet
+
+__all__ = ["partition_evenly", "partition_by_sizes"]
+
+
+def partition_evenly(points: PointSet, n_parts: int) -> list[PointSet]:
+    """Split ``points`` into ``n_parts`` near-equal contiguous slices.
+
+    The first ``len(points) % n_parts`` slices receive one extra point.
+    """
+    if n_parts <= 0:
+        raise ValueError("n_parts must be positive")
+    n = len(points)
+    base, extra = divmod(n, n_parts)
+    sizes = [base + (1 if i < extra else 0) for i in range(n_parts)]
+    return partition_by_sizes(points, sizes)
+
+
+def partition_by_sizes(points: PointSet, sizes: Sequence[int]) -> list[PointSet]:
+    """Split ``points`` into consecutive slices of the given sizes."""
+    if any(s < 0 for s in sizes):
+        raise ValueError("sizes must be non-negative")
+    if sum(sizes) != len(points):
+        raise ValueError(f"sizes sum to {sum(sizes)}, expected {len(points)}")
+    out: list[PointSet] = []
+    offset = 0
+    for size in sizes:
+        indices = np.arange(offset, offset + size)
+        out.append(points.take(indices))
+        offset += size
+    return out

@@ -1,0 +1,103 @@
+"""Query workload generation (section 6).
+
+"Given a query dimensionality, all dimension subsets have uniform
+probability to be requested.  We generate 100 queries, and for each
+query a super-peer initiator is randomly selected."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..core.subspace import Subspace
+
+__all__ = ["Query", "generate_workload", "generate_skewed_workload"]
+
+
+@dataclass(frozen=True)
+class Query:
+    """One subspace skyline query: the dimensions and the initiator."""
+
+    subspace: Subspace
+    initiator: int
+
+    @property
+    def k(self) -> int:
+        return len(self.subspace)
+
+
+def generate_workload(
+    num_queries: int,
+    dimensionality: int,
+    query_dimensionality: int,
+    superpeer_ids: Sequence[int],
+    rng: np.random.Generator,
+) -> list[Query]:
+    """Draw ``num_queries`` random queries.
+
+    Each query selects a uniformly random ``k``-subset of the ``d``
+    dimensions and a uniformly random initiator super-peer.
+    """
+    if not 1 <= query_dimensionality <= dimensionality:
+        raise ValueError(
+            f"query dimensionality must be in [1, {dimensionality}], "
+            f"got {query_dimensionality}"
+        )
+    if num_queries < 0:
+        raise ValueError("num_queries must be non-negative")
+    if not superpeer_ids:
+        raise ValueError("need at least one super-peer")
+    ids = list(superpeer_ids)
+    queries = []
+    for _ in range(num_queries):
+        dims = rng.choice(dimensionality, size=query_dimensionality, replace=False)
+        subspace: Subspace = tuple(sorted(int(x) for x in dims))
+        initiator = ids[int(rng.integers(0, len(ids)))]
+        queries.append(Query(subspace=subspace, initiator=initiator))
+    return queries
+
+
+def generate_skewed_workload(
+    num_queries: int,
+    dimensionality: int,
+    query_dimensionality: int,
+    superpeer_ids: Sequence[int],
+    rng: np.random.Generator,
+    distinct_subspaces: int = 5,
+    zipf_s: float = 1.5,
+) -> list[Query]:
+    """Draw queries whose subspaces follow a Zipf popularity law.
+
+    Real users cluster on a handful of criteria sets ("price+distance"
+    dominates a hotel workload).  A pool of up to ``distinct_subspaces``
+    random ``k``-subsets is ranked; each query picks pool entry ``r``
+    with probability proportional to ``1 / r^zipf_s``.  Initiators stay
+    uniform.  The query-cache ablation uses this workload.
+    """
+    if distinct_subspaces < 1:
+        raise ValueError("distinct_subspaces must be positive")
+    if zipf_s <= 0:
+        raise ValueError("zipf_s must be positive")
+    pool_source = generate_workload(
+        distinct_subspaces * 4, dimensionality, query_dimensionality, [0], rng
+    )
+    pool: list[Subspace] = []
+    for query in pool_source:
+        if query.subspace not in pool:
+            pool.append(query.subspace)
+        if len(pool) == distinct_subspaces:
+            break
+    weights = np.array([1.0 / (rank + 1) ** zipf_s for rank in range(len(pool))])
+    weights /= weights.sum()
+    ids = list(superpeer_ids)
+    if not ids:
+        raise ValueError("need at least one super-peer")
+    queries = []
+    for _ in range(num_queries):
+        subspace = pool[int(rng.choice(len(pool), p=weights))]
+        initiator = ids[int(rng.integers(0, len(ids)))]
+        queries.append(Query(subspace=subspace, initiator=initiator))
+    return queries

@@ -1,0 +1,5 @@
+"""Spatial index substrate: a main-memory R-tree for dominance tests."""
+
+from .rtree import RTree
+
+__all__ = ["RTree"]

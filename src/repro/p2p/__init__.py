@@ -1,0 +1,36 @@
+"""The super-peer P2P substrate: topology, nodes, cost model, churn."""
+
+from .churn import ChurnEvent, fail_peer, join_peer
+from .cost import DEFAULT_COST_MODEL, CostModel
+from .engine import EventLoop, LinkLayer
+from .network import PreprocessingReport, SuperPeerNetwork
+from .node import Peer, SuperPeer
+from .simulation import TransferRequest, simulate_transfers
+from .topology import Topology, superpeer_count_rule
+from .updates import UpdateOutcome, delete_points, insert_points
+from .wire import QueryMessage, ResultMessage, WireError, decode
+
+__all__ = [
+    "Topology",
+    "superpeer_count_rule",
+    "Peer",
+    "SuperPeer",
+    "SuperPeerNetwork",
+    "PreprocessingReport",
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+    "ChurnEvent",
+    "join_peer",
+    "fail_peer",
+    "EventLoop",
+    "LinkLayer",
+    "TransferRequest",
+    "simulate_transfers",
+    "QueryMessage",
+    "ResultMessage",
+    "WireError",
+    "decode",
+    "UpdateOutcome",
+    "insert_points",
+    "delete_points",
+]

@@ -1,0 +1,95 @@
+"""A small discrete-event engine with FIFO links.
+
+``repro.skypeer.protocol`` runs Algorithm 3 as real message handlers on
+top of this: events are scheduled callbacks, and links serialize the
+messages that cross them at the cost model's bandwidth — one directed
+link transmits one message at a time, in first-ready order, exactly
+like :mod:`repro.p2p.simulation` (which is the closed-form counterpart
+used by the plan-based executor).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable
+
+from .cost import CostModel
+
+__all__ = ["EventLoop", "LinkLayer"]
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    seq: int
+    fn: Callable[[], None] = field(compare=False)
+
+
+class EventLoop:
+    """Run callbacks in simulated-time order."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._heap: list[_Event] = []
+        self._seq = 0
+
+    def schedule(self, delay: float, fn: Callable[[], None]) -> None:
+        """Schedule ``fn`` at ``now + delay`` (ties run in FIFO order)."""
+        if delay < 0:
+            raise ValueError("cannot schedule into the past")
+        heapq.heappush(self._heap, _Event(self.now + delay, self._seq, fn))
+        self._seq += 1
+
+    def schedule_at(self, time: float, fn: Callable[[], None]) -> None:
+        if time < self.now:
+            raise ValueError("cannot schedule into the past")
+        heapq.heappush(self._heap, _Event(time, self._seq, fn))
+        self._seq += 1
+
+    def run(self, max_events: int = 10_000_000) -> int:
+        """Drain the event queue; returns the number of events run."""
+        count = 0
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            self.now = event.time
+            event.fn()
+            count += 1
+            if count > max_events:
+                raise RuntimeError("event budget exceeded; protocol livelock?")
+        return count
+
+
+class LinkLayer:
+    """Directed links with per-link FIFO transmission.
+
+    ``send`` accounts the bytes, seizes the link from the moment the
+    message is ready, and schedules ``deliver`` at the store-and-forward
+    completion time.
+    """
+
+    def __init__(self, loop: EventLoop, cost_model: CostModel):
+        self._loop = loop
+        self._cost = cost_model
+        self._free_at: dict[tuple[int, int], float] = {}
+        self.bytes_sent = 0
+        self.messages_sent = 0
+
+    def send(
+        self,
+        src: int,
+        dst: int,
+        nbytes: int,
+        deliver: Callable[[], None],
+    ) -> None:
+        """Transmit ``nbytes`` from ``src`` to ``dst``; run ``deliver``
+        on arrival."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        self.bytes_sent += nbytes
+        self.messages_sent += 1
+        edge = (src, dst)
+        start = max(self._loop.now, self._free_at.get(edge, 0.0))
+        end = start + self._cost.transfer_seconds(nbytes)
+        self._free_at[edge] = end
+        self._loop.schedule_at(end, deliver)

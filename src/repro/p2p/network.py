@@ -1,0 +1,253 @@
+"""The simulated super-peer network.
+
+``SuperPeerNetwork`` owns the topology, the peers with their data
+partitions and the super-peers with their ext-skyline stores.  Building
+one runs the pre-processing phase of section 5.3 end-to-end:
+
+1. every peer computes ``ext-SKY_D`` of its partition (Algorithm 1 in
+   ext-domination mode),
+2. every super-peer merges its peers' lists (Algorithm 2, ext mode)
+   into its f-sorted query store,
+
+and records the selectivity statistics Figure 3(a) reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from ..core.dataset import PointSet
+from ..core.store import SortedByF
+from ..data.generators import make_generator
+from ..data.partition import partition_evenly
+from .cost import DEFAULT_COST_MODEL, CostModel
+from .node import Peer, SuperPeer
+from .topology import Topology
+
+__all__ = ["PreprocessingReport", "SuperPeerNetwork"]
+
+
+@dataclass(frozen=True)
+class PreprocessingReport:
+    """Statistics of the pre-processing phase (Fig. 3(a)).
+
+    ``sel_p`` — fraction of all data points shipped peer → super-peer
+    (the average relative size of a local ext-skyline).
+    ``sel_sp`` — fraction of all data points surviving in the union of
+    the super-peer stores.
+    ``sel_ratio`` — ``sel_sp / sel_p``: how much the super-peer merge
+    shaves off what the peers uploaded.
+    ``upload_bytes`` — bytes of the peer uploads (full-space points:
+    id + f + d coordinates each, per the cost model).
+    ``compute_seconds`` — total wall-clock across all peer ext-skyline
+    computations and super-peer merges (work done once, amortized over
+    every later query).
+    """
+
+    total_points: int
+    peer_skyline_points: int
+    superpeer_store_points: int
+    upload_bytes: int = 0
+    compute_seconds: float = 0.0
+
+    @property
+    def sel_p(self) -> float:
+        return self.peer_skyline_points / self.total_points if self.total_points else 0.0
+
+    @property
+    def sel_sp(self) -> float:
+        return self.superpeer_store_points / self.total_points if self.total_points else 0.0
+
+    @property
+    def sel_ratio(self) -> float:
+        return self.sel_sp / self.sel_p if self.peer_skyline_points else 0.0
+
+    @property
+    def upload_kb(self) -> float:
+        return self.upload_bytes / 1024.0
+
+
+class SuperPeerNetwork:
+    """Topology + peers + super-peer stores, ready to answer queries."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        peers: Mapping[int, Peer],
+        dimensionality: int,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+        index_kind: str = "block",
+    ):
+        self.topology = topology
+        self.peers: dict[int, Peer] = dict(peers)
+        self.dimensionality = dimensionality
+        self.cost_model = cost_model
+        self.index_kind = index_kind
+        self.superpeers: dict[int, SuperPeer] = {
+            sp: SuperPeer(superpeer_id=sp, dimensionality=dimensionality)
+            for sp in topology.superpeer_ids
+        }
+        self.preprocessing: PreprocessingReport | None = None
+        #: bumped whenever stores change (pre-processing, churn, data
+        #: updates); caches key their entries on it
+        self.epoch = 0
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        n_peers: int,
+        points_per_peer: int,
+        dimensionality: int,
+        n_superpeers: int | None = None,
+        degree: float = 4.0,
+        dataset: str = "uniform",
+        seed: int = 0,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+        index_kind: str = "block",
+        preprocess: bool = True,
+    ) -> "SuperPeerNetwork":
+        """Generate topology and data, then (optionally) pre-process.
+
+        ``dataset`` is one of the generator kinds; the clustered kind
+        follows the paper: each super-peer draws its own centroid and
+        all of its peers' points scatter around it.
+        """
+        rng = np.random.default_rng(seed)
+        topology = Topology.generate(
+            n_peers=n_peers, n_superpeers=n_superpeers, degree=degree, seed=rng
+        )
+        peers = cls._generate_peer_data(
+            topology, points_per_peer, dimensionality, dataset, rng
+        )
+        network = cls(
+            topology=topology,
+            peers=peers,
+            dimensionality=dimensionality,
+            cost_model=cost_model,
+            index_kind=index_kind,
+        )
+        if preprocess:
+            network.preprocess()
+        return network
+
+    @staticmethod
+    def _generate_peer_data(
+        topology: Topology,
+        points_per_peer: int,
+        dimensionality: int,
+        dataset: str,
+        rng: np.random.Generator,
+    ) -> dict[int, Peer]:
+        generator = make_generator(dataset)
+        peers: dict[int, Peer] = {}
+        next_id = 0
+        for sp in topology.superpeer_ids:
+            peer_ids = topology.peers_of[sp]
+            if dataset == "clustered":
+                centroid = rng.random((1, dimensionality))
+                values = generator(
+                    points_per_peer * len(peer_ids), dimensionality, rng, centroids=centroid
+                )
+            else:
+                values = generator(points_per_peer * len(peer_ids), dimensionality, rng)
+            ids = np.arange(next_id, next_id + values.shape[0], dtype=np.int64)
+            next_id += values.shape[0]
+            block = PointSet(values, ids)
+            for peer_id, chunk in zip(peer_ids, partition_evenly(block, len(peer_ids))):
+                peers[peer_id] = Peer(peer_id=peer_id, data=chunk)
+        return peers
+
+    @classmethod
+    def from_partitions(
+        cls,
+        topology: Topology,
+        partitions: Mapping[int, PointSet],
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+        index_kind: str = "block",
+        preprocess: bool = True,
+    ) -> "SuperPeerNetwork":
+        """Build a network over explicitly provided per-peer data."""
+        expected = {p for peers in topology.peers_of.values() for p in peers}
+        if set(partitions) != expected:
+            raise ValueError("partitions must cover exactly the topology's peers")
+        dims = {ps.dimensionality for ps in partitions.values()}
+        if len(dims) != 1:
+            raise ValueError(f"mismatched dimensionalities: {sorted(dims)}")
+        peers = {pid: Peer(peer_id=pid, data=ps) for pid, ps in partitions.items()}
+        network = cls(
+            topology=topology,
+            peers=peers,
+            dimensionality=dims.pop(),
+            cost_model=cost_model,
+            index_kind=index_kind,
+        )
+        if preprocess:
+            network.preprocess()
+        return network
+
+    # ------------------------------------------------------------------
+    # pre-processing (section 5.3)
+    # ------------------------------------------------------------------
+    def preprocess(self) -> PreprocessingReport:
+        """Run the full pre-processing phase and record its statistics."""
+        total_points = 0
+        uploaded = 0
+        stored = 0
+        upload_bytes = 0
+        compute_seconds = 0.0
+        for sp_id, superpeer in self.superpeers.items():
+            for peer_id in self.topology.peers_of[sp_id]:
+                peer = self.peers[peer_id]
+                total_points += len(peer)
+                computation = peer.compute_extended_skyline(index_kind=self.index_kind)
+                uploaded += len(computation.result)
+                upload_bytes += self.cost_model.result_bytes(
+                    len(computation.result), self.dimensionality
+                )
+                compute_seconds += computation.duration
+                superpeer.receive_peer_skyline(peer_id, computation.result)
+            merge = superpeer.rebuild_store(index_kind=self.index_kind)
+            compute_seconds += merge.duration
+            stored += superpeer.store_size
+        self.preprocessing = PreprocessingReport(
+            total_points=total_points,
+            peer_skyline_points=uploaded,
+            superpeer_store_points=stored,
+            upload_bytes=upload_bytes,
+            compute_seconds=compute_seconds,
+        )
+        self.epoch += 1
+        return self.preprocessing
+
+    # ------------------------------------------------------------------
+    # conveniences
+    # ------------------------------------------------------------------
+    def all_points(self) -> PointSet:
+        """The global dataset ``S`` (for oracles and examples)."""
+        parts = [peer.data for peer in self.peers.values() if len(peer.data)]
+        if not parts:
+            return PointSet.empty(self.dimensionality)
+        return PointSet.concat(parts)
+
+    def store_of(self, superpeer_id: int) -> SortedByF:
+        return self.superpeers[superpeer_id].require_store()
+
+    @property
+    def n_superpeers(self) -> int:
+        return self.topology.n_superpeers
+
+    @property
+    def n_peers(self) -> int:
+        return len(self.peers)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SuperPeerNetwork(N_p={self.n_peers}, N_sp={self.n_superpeers}, "
+            f"d={self.dimensionality})"
+        )

@@ -1,0 +1,118 @@
+"""Peers and super-peers.
+
+A simple peer holds a horizontal partition of the dataset and, during
+pre-processing, computes its local extended skyline in the full space
+``D`` (section 5.3).  A super-peer keeps the per-peer ext-skyline lists
+it received plus their merged union — the store Algorithm 1 scans at
+query time.  Keeping the per-peer lists around is what makes peer joins
+incremental and peer failures recoverable (the churn module relies on
+both).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..core.dataset import PointSet
+from ..core.local_skyline import SkylineComputation, local_subspace_skyline
+from ..core.merging import merge_sorted_skylines
+from ..core.store import SortedByF
+from ..core.subspace import full_space
+
+__all__ = ["Peer", "SuperPeer"]
+
+
+@dataclass
+class Peer:
+    """A simple peer: an id and its local horizontal partition."""
+
+    peer_id: int
+    data: PointSet
+
+    def compute_extended_skyline(self, index_kind: str = "block") -> SkylineComputation:
+        """Peer-side pre-processing: ``ext-SKY_D`` of the local data."""
+        store = SortedByF.from_points(self.data)
+        return local_subspace_skyline(
+            store,
+            full_space(self.data.dimensionality),
+            initial_threshold=math.inf,
+            strict=True,
+            index_kind=index_kind,
+        )
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+
+@dataclass
+class SuperPeer:
+    """A super-peer: attached peers' ext-skylines and their merged store."""
+
+    superpeer_id: int
+    dimensionality: int
+    peer_skylines: dict[int, SortedByF] = field(default_factory=dict)
+    store: SortedByF | None = None
+
+    def receive_peer_skyline(self, peer_id: int, skyline: SortedByF) -> None:
+        """Record a peer's ext-skyline (pre-processing upload)."""
+        if skyline.dimensionality != self.dimensionality:
+            raise ValueError(
+                f"peer {peer_id} uploaded {skyline.dimensionality}-dim points "
+                f"to a {self.dimensionality}-dim super-peer"
+            )
+        self.peer_skylines[peer_id] = skyline
+
+    def rebuild_store(self, index_kind: str = "block") -> SkylineComputation:
+        """Merge every attached peer's ext-skyline into the query store.
+
+        Algorithm 2 in strict (ext-domination) mode over the full space.
+        """
+        merged = merge_sorted_skylines(
+            list(self.peer_skylines.values()),
+            full_space(self.dimensionality),
+            initial_threshold=math.inf,
+            strict=True,
+            index_kind=index_kind,
+        )
+        self.store = merged.result
+        return merged
+
+    def merge_in_peer(self, peer_id: int, skyline: SortedByF, index_kind: str = "block") -> SkylineComputation:
+        """Incrementally merge a newly joined peer (section 5.3).
+
+        Only the existing store and the new list are merged — "there is
+        no need to process again all the lists of ext-skyline points
+        from all associated peers".
+        """
+        self.receive_peer_skyline(peer_id, skyline)
+        current = self.store if self.store is not None else SortedByF.empty(self.dimensionality)
+        merged = merge_sorted_skylines(
+            [current, skyline],
+            full_space(self.dimensionality),
+            initial_threshold=math.inf,
+            strict=True,
+            index_kind=index_kind,
+        )
+        self.store = merged.result
+        return merged
+
+    def drop_peer(self, peer_id: int, index_kind: str = "block") -> SkylineComputation:
+        """Handle a failed peer by re-merging the surviving lists.
+
+        (Peer failure is the paper's stated future work; the recovery
+        here is the straightforward rebuild its data structures allow.)
+        """
+        self.peer_skylines.pop(peer_id, None)
+        return self.rebuild_store(index_kind=index_kind)
+
+    @property
+    def store_size(self) -> int:
+        return 0 if self.store is None else len(self.store)
+
+    def require_store(self) -> SortedByF:
+        if self.store is None:
+            raise RuntimeError(
+                f"super-peer {self.superpeer_id} has no store; run preprocessing first"
+            )
+        return self.store

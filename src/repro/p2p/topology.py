@@ -1,0 +1,250 @@
+"""Super-peer network topology (section 3.1 / section 6).
+
+The experiments use "well-connected random graphs of N_sp peers with a
+user-specified average connectivity (DEG_sp)" built with the GT-ITM
+topology generator.  GT-ITM's flat random model is, for the properties
+the paper uses (node count, mean degree, connectedness), a random graph
+— reproduced here with a seedable generator that first lays down a
+random spanning tree (guaranteeing connectivity) and then adds random
+distinct edges until the target average degree is met.
+
+Simple peers attach to super-peers round-robin, mirroring the even
+data distribution of the evaluation; a super-peer's peer-degree bound
+``DEG_p`` is honoured when given.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Topology", "superpeer_count_rule"]
+
+
+def superpeer_count_rule(n_peers: int) -> int:
+    """The paper's sizing rule: ``N_sp = 5% N_p`` (1% for ``N_p >= 20000``)."""
+    if n_peers <= 0:
+        raise ValueError("n_peers must be positive")
+    fraction = 0.01 if n_peers >= 20000 else 0.05
+    return max(1, round(n_peers * fraction))
+
+
+@dataclass(frozen=True)
+class Topology:
+    """An undirected super-peer backbone plus peer assignments.
+
+    Attributes
+    ----------
+    adjacency:
+        ``{superpeer_id: sorted tuple of neighbour ids}``.
+    peers_of:
+        ``{superpeer_id: tuple of attached peer ids}``.
+    """
+
+    adjacency: dict[int, tuple[int, ...]]
+    peers_of: dict[int, tuple[int, ...]]
+
+    # ------------------------------------------------------------------
+    # generation
+    # ------------------------------------------------------------------
+    @classmethod
+    def generate(
+        cls,
+        n_peers: int,
+        n_superpeers: int | None = None,
+        degree: float = 4.0,
+        seed: int | np.random.Generator = 0,
+        max_peer_degree: int | None = None,
+    ) -> "Topology":
+        """Build a connected random backbone with the given mean degree.
+
+        Parameters
+        ----------
+        n_peers:
+            Number of simple peers ``N_p``.
+        n_superpeers:
+            ``N_sp``; defaults to the paper's percentage rule.
+        degree:
+            Target average super-peer connectivity ``DEG_sp``.
+        seed:
+            Seed or generator for reproducibility.
+        max_peer_degree:
+            Optional ``DEG_p`` cap on peers per super-peer; raising
+            when the requested network cannot satisfy it.
+        """
+        rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+        if n_superpeers is None:
+            n_superpeers = superpeer_count_rule(n_peers)
+        if n_superpeers <= 0:
+            raise ValueError("n_superpeers must be positive")
+        if n_peers < n_superpeers:
+            raise ValueError("need at least one peer per super-peer")
+        adjacency = cls._random_connected_graph(n_superpeers, degree, rng)
+        peers_of = cls._attach_peers(n_peers, n_superpeers, max_peer_degree)
+        return cls(adjacency=adjacency, peers_of=peers_of)
+
+    @classmethod
+    def generate_hypercube(
+        cls,
+        n_peers: int,
+        n_superpeers: int | None = None,
+        max_peer_degree: int | None = None,
+    ) -> "Topology":
+        """Build a (possibly incomplete) hypercube backbone.
+
+        Edutella's HyperCuP [13] organizes super-peers in a hypercube:
+        node ``i`` links to ``i XOR 2^j`` whenever that partner exists.
+        The graph is connected for any node count (clearing the highest
+        set bit always reaches a smaller id), has degree ~log2(N_sp)
+        and diameter <= ceil(log2(N_sp)) — the structured alternative
+        to the paper's random backbone, used by the topology ablation.
+        """
+        if n_superpeers is None:
+            n_superpeers = superpeer_count_rule(n_peers)
+        if n_superpeers <= 0:
+            raise ValueError("n_superpeers must be positive")
+        if n_peers < n_superpeers:
+            raise ValueError("need at least one peer per super-peer")
+        adjacency: dict[int, tuple[int, ...]] = {}
+        for node in range(n_superpeers):
+            neighbours = []
+            bit = 1
+            while bit < n_superpeers:
+                partner = node ^ bit
+                if partner < n_superpeers:
+                    neighbours.append(partner)
+                bit <<= 1
+            adjacency[node] = tuple(sorted(neighbours))
+        peers_of = cls._attach_peers(n_peers, n_superpeers, max_peer_degree)
+        return cls(adjacency=adjacency, peers_of=peers_of)
+
+    @staticmethod
+    def _random_connected_graph(
+        n: int, degree: float, rng: np.random.Generator
+    ) -> dict[int, tuple[int, ...]]:
+        edges: set[tuple[int, int]] = set()
+        # Random spanning tree: attach each node to a random earlier one.
+        order = rng.permutation(n)
+        for i in range(1, n):
+            a = int(order[i])
+            b = int(order[int(rng.integers(0, i))])
+            edges.add((min(a, b), max(a, b)))
+        target_edges = int(round(degree * n / 2.0))
+        max_edges = n * (n - 1) // 2
+        target_edges = min(max(target_edges, n - 1), max_edges)
+        attempts = 0
+        limit = 50 * max(target_edges, 1) + 100
+        while len(edges) < target_edges and attempts < limit:
+            a = int(rng.integers(0, n))
+            b = int(rng.integers(0, n))
+            attempts += 1
+            if a == b:
+                continue
+            edges.add((min(a, b), max(a, b)))
+        neighbours: dict[int, list[int]] = {i: [] for i in range(n)}
+        for a, b in edges:
+            neighbours[a].append(b)
+            neighbours[b].append(a)
+        return {i: tuple(sorted(ns)) for i, ns in neighbours.items()}
+
+    @staticmethod
+    def _attach_peers(
+        n_peers: int, n_superpeers: int, max_peer_degree: int | None
+    ) -> dict[int, tuple[int, ...]]:
+        base, extra = divmod(n_peers, n_superpeers)
+        if max_peer_degree is not None and base + (1 if extra else 0) > max_peer_degree:
+            raise ValueError(
+                f"{n_peers} peers over {n_superpeers} super-peers exceeds "
+                f"DEG_p={max_peer_degree}"
+            )
+        peers_of: dict[int, tuple[int, ...]] = {}
+        next_peer = 0
+        for sp in range(n_superpeers):
+            count = base + (1 if sp < extra else 0)
+            peers_of[sp] = tuple(range(next_peer, next_peer + count))
+            next_peer += count
+        return peers_of
+
+    # ------------------------------------------------------------------
+    # properties
+    # ------------------------------------------------------------------
+    @property
+    def superpeer_ids(self) -> tuple[int, ...]:
+        return tuple(sorted(self.adjacency))
+
+    @property
+    def n_superpeers(self) -> int:
+        return len(self.adjacency)
+
+    @property
+    def n_peers(self) -> int:
+        return sum(len(p) for p in self.peers_of.values())
+
+    def average_degree(self) -> float:
+        """Mean super-peer connectivity (``DEG_sp`` achieved)."""
+        if not self.adjacency:
+            return 0.0
+        return sum(len(ns) for ns in self.adjacency.values()) / len(self.adjacency)
+
+    def is_connected(self) -> bool:
+        """True when the backbone is a single connected component."""
+        ids = self.superpeer_ids
+        if not ids:
+            return False
+        seen = {ids[0]}
+        frontier = deque([ids[0]])
+        while frontier:
+            node = frontier.popleft()
+            for nb in self.adjacency[node]:
+                if nb not in seen:
+                    seen.add(nb)
+                    frontier.append(nb)
+        return len(seen) == len(ids)
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def bfs_tree(self, root: int) -> tuple[dict[int, int | None], dict[int, tuple[int, ...]]]:
+        """Breadth-first query-propagation tree from ``root``.
+
+        Returns ``(parent, children)`` maps covering every reachable
+        super-peer.  Query forwarding in a flooded super-peer backbone
+        effectively reaches each super-peer along a shortest path; the
+        BFS tree captures exactly those first-arrival edges and is the
+        routing structure the executor charges messages to.
+        """
+        if root not in self.adjacency:
+            raise KeyError(f"unknown super-peer {root}")
+        parent: dict[int, int | None] = {root: None}
+        children: dict[int, list[int]] = {sp: [] for sp in self.adjacency}
+        frontier = deque([root])
+        while frontier:
+            node = frontier.popleft()
+            for nb in self.adjacency[node]:
+                if nb not in parent:
+                    parent[nb] = node
+                    children[node].append(nb)
+                    frontier.append(nb)
+        return parent, {sp: tuple(kids) for sp, kids in children.items()}
+
+    def hops_from(self, root: int) -> dict[int, int]:
+        """Shortest-path hop counts from ``root`` to every super-peer."""
+        parent, _children = self.bfs_tree(root)
+        hops: dict[int, int] = {}
+        for sp, par in parent.items():
+            count = 0
+            node = sp
+            while parent[node] is not None:
+                node = parent[node]  # type: ignore[assignment]
+                count += 1
+            hops[sp] = count
+        return hops
+
+    def superpeer_of_peer(self, peer_id: int) -> int:
+        """Reverse lookup: which super-peer a peer is attached to."""
+        for sp, peers in self.peers_of.items():
+            if peer_id in peers:
+                return sp
+        raise KeyError(f"unknown peer {peer_id}")

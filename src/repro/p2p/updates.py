@@ -1,0 +1,159 @@
+"""Point-level data updates at peers.
+
+Churn (``repro.p2p.churn``) handles whole peers; this module handles a
+peer's *data* changing — new advertisements arriving, old ones expiring
+in the hotel-network story.  The update rules follow from ext-skyline
+algebra:
+
+* **insert** — a new point joins the peer's ext-skyline iff nothing
+  there ext-dominates it; if it joins, it evicts what it ext-dominates.
+  The super-peer then merges just ``[store, surviving new points]``:
+  sound because the store's other entries can only be evicted (never
+  resurrected) by additions.
+* **delete** — if no deleted point was in the peer's uploaded
+  ext-skyline the stores are untouched; otherwise points the victim had
+  been ext-dominating may resurface, so the peer recomputes its
+  ext-skyline and the super-peer re-merges its peer lists.
+
+Both paths leave every future query exact; the property tests compare
+against a from-scratch rebuild.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.dataset import PointSet
+from ..core.extended_skyline import extended_skyline_points
+from ..core.merging import merge_sorted_skylines
+from ..core.store import SortedByF
+from ..core.subspace import full_space
+from .network import SuperPeerNetwork
+from .node import Peer
+
+__all__ = ["UpdateOutcome", "insert_points", "delete_points"]
+
+
+@dataclass(frozen=True)
+class UpdateOutcome:
+    """What one update did to the peer and its super-peer."""
+
+    peer_id: int
+    superpeer_id: int
+    kind: str  # "insert" or "delete"
+    points_changed: int
+    peer_skyline_delta: int     # change in the peer's uploaded list size
+    store_rebuilt: bool         # True when the cheap incremental path
+                                # was unavailable
+
+
+def insert_points(
+    network: SuperPeerNetwork, peer_id: int, points: PointSet
+) -> UpdateOutcome:
+    """Add ``points`` to a peer; update stores incrementally."""
+    peer = _get_peer(network, peer_id)
+    if points.dimensionality != network.dimensionality:
+        raise ValueError(
+            f"inserting {points.dimensionality}-dim points into a "
+            f"{network.dimensionality}-dim network"
+        )
+    clash = peer.data.id_set() & points.id_set()
+    if clash:
+        raise ValueError(f"point ids already present: {sorted(clash)[:5]}")
+    superpeer_id = network.topology.superpeer_of_peer(peer_id)
+    superpeer = network.superpeers[superpeer_id]
+    old_upload = superpeer.peer_skylines[peer_id]
+    before = len(old_upload)
+
+    network.peers[peer_id] = Peer(
+        peer_id=peer_id, data=PointSet.concat([peer.data, points])
+    )
+    # The peer's new ext-skyline: merge the old one with the newcomers'
+    # own ext-skyline (strict mode handles the evictions).
+    newcomers = extended_skyline_points(points)
+    merged_upload = merge_sorted_skylines(
+        [old_upload, SortedByF.from_points(newcomers)],
+        full_space(network.dimensionality),
+        strict=True,
+        index_kind=network.index_kind,
+    ).result
+    superpeer.receive_peer_skyline(peer_id, merged_upload)
+
+    # Store side: merging [store, surviving newcomers] is sufficient —
+    # existing store entries can only be evicted by additions.
+    survivors_ids = merged_upload.points.id_set() & newcomers.id_set()
+    if survivors_ids:
+        keep = np.array([int(i) in survivors_ids for i in merged_upload.points.ids])
+        delta = SortedByF.from_points(merged_upload.points.mask(keep))
+        store = superpeer.store if superpeer.store is not None else SortedByF.empty(
+            network.dimensionality
+        )
+        superpeer.store = merge_sorted_skylines(
+            [store, delta],
+            full_space(network.dimensionality),
+            strict=True,
+            index_kind=network.index_kind,
+        ).result
+    _refresh(network)
+    return UpdateOutcome(
+        peer_id=peer_id,
+        superpeer_id=superpeer_id,
+        kind="insert",
+        points_changed=len(points),
+        peer_skyline_delta=len(merged_upload) - before,
+        store_rebuilt=False,
+    )
+
+
+def delete_points(
+    network: SuperPeerNetwork, peer_id: int, point_ids
+) -> UpdateOutcome:
+    """Remove points (by id) from a peer; rebuild stores if needed."""
+    peer = _get_peer(network, peer_id)
+    doomed = frozenset(int(i) for i in point_ids)
+    missing = doomed - peer.data.id_set()
+    if missing:
+        raise KeyError(f"peer {peer_id} does not hold points {sorted(missing)[:5]}")
+    superpeer_id = network.topology.superpeer_of_peer(peer_id)
+    superpeer = network.superpeers[superpeer_id]
+    old_upload = superpeer.peer_skylines[peer_id]
+    before = len(old_upload)
+
+    keep = np.array([int(i) not in doomed for i in peer.data.ids])
+    remaining = peer.data.mask(keep)
+    network.peers[peer_id] = Peer(peer_id=peer_id, data=remaining)
+
+    touched_upload = bool(doomed & old_upload.points.id_set())
+    if touched_upload:
+        # Victims may have been shadowing other points: recompute the
+        # peer's ext-skyline and re-merge the super-peer store.
+        new_upload = SortedByF.from_points(extended_skyline_points(remaining))
+        superpeer.receive_peer_skyline(peer_id, new_upload)
+        superpeer.rebuild_store(index_kind=network.index_kind)
+        delta = len(new_upload) - before
+    else:
+        delta = 0
+    _refresh(network)
+    return UpdateOutcome(
+        peer_id=peer_id,
+        superpeer_id=superpeer_id,
+        kind="delete",
+        points_changed=len(doomed),
+        peer_skyline_delta=delta,
+        store_rebuilt=touched_upload,
+    )
+
+
+def _get_peer(network: SuperPeerNetwork, peer_id: int) -> Peer:
+    try:
+        return network.peers[peer_id]
+    except KeyError:
+        raise KeyError(f"unknown peer {peer_id}") from None
+
+
+def _refresh(network: SuperPeerNetwork) -> None:
+    from .churn import _refresh_preprocessing
+
+    _refresh_preprocessing(network)

@@ -1,0 +1,188 @@
+"""Wire format for SKYPEER messages.
+
+The cost model (``repro.p2p.cost``) *estimates* message sizes; this
+module actually serializes them, so the estimates are anchored to a
+concrete byte layout and a real deployment could speak the protocol.
+Encoding is explicit little-endian ``struct`` packing — no pickling —
+with a fixed header:
+
+    magic (2B) | version (1B) | kind (1B) | query id (8B) | payload length (4B)
+
+Payloads:
+
+* ``QueryMessage`` — subspace size (2B), dimensions (2B each),
+  threshold (8B double), initiator (8B).
+* ``ResultMessage`` — point count (4B), query dimensionality (2B), then
+  per point: id (8B), f value (8B double), k coordinates (8B doubles).
+
+``ResultMessage`` carries only the queried coordinates plus ``f`` — the
+receiver needs nothing else to run Algorithm 2 — which is exactly the
+per-point size the cost model charges.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..core.dataset import PointSet
+from ..core.store import SortedByF
+
+__all__ = ["QueryMessage", "ResultMessage", "decode", "WireError"]
+
+_MAGIC = b"SP"
+_VERSION = 1
+_HEADER = struct.Struct("<2sBBqI")
+_KIND_QUERY = 1
+_KIND_RESULT = 2
+
+
+class WireError(ValueError):
+    """Raised for malformed or truncated messages."""
+
+
+@dataclass(frozen=True)
+class QueryMessage:
+    """``q(U, t)`` plus enough routing context to answer it."""
+
+    query_id: int
+    subspace: tuple[int, ...]
+    threshold: float
+    initiator: int
+
+    _BODY_HEAD = struct.Struct("<Hdq")
+
+    def encode(self) -> bytes:
+        if not self.subspace:
+            raise WireError("a query must name at least one dimension")
+        if len(self.subspace) > 0xFFFF:
+            raise WireError("subspace too large")
+        body = self._BODY_HEAD.pack(len(self.subspace), self.threshold, self.initiator)
+        body += struct.pack(f"<{len(self.subspace)}H", *self.subspace)
+        return _HEADER.pack(_MAGIC, _VERSION, _KIND_QUERY, self.query_id, len(body)) + body
+
+    @classmethod
+    def _decode_body(cls, query_id: int, body: bytes) -> "QueryMessage":
+        if len(body) < cls._BODY_HEAD.size:
+            raise WireError("query body truncated")
+        k, threshold, initiator = cls._BODY_HEAD.unpack_from(body, 0)
+        dims_bytes = body[cls._BODY_HEAD.size :]
+        if len(dims_bytes) != 2 * k:
+            raise WireError(f"expected {k} dimensions, got {len(dims_bytes) // 2}")
+        subspace = struct.unpack(f"<{k}H", dims_bytes)
+        return cls(
+            query_id=query_id,
+            subspace=tuple(int(d) for d in subspace),
+            threshold=threshold,
+            initiator=initiator,
+        )
+
+
+@dataclass(frozen=True)
+class ResultMessage:
+    """A local (or progressively merged) result list, f-sorted.
+
+    Only the queried coordinates travel; the full-space points stay at
+    their super-peers.  ``ids``, ``f`` and ``coords`` are parallel.
+    """
+
+    query_id: int
+    sender: int
+    ids: tuple[int, ...]
+    f: tuple[float, ...]
+    coords: tuple[tuple[float, ...], ...]
+
+    _BODY_HEAD = struct.Struct("<qIH")
+
+    @classmethod
+    def from_store(
+        cls, query_id: int, sender: int, result: SortedByF, subspace: Sequence[int]
+    ) -> "ResultMessage":
+        cols = list(subspace)
+        proj = result.points.values[:, cols] if len(result) else np.empty((0, len(cols)))
+        return cls(
+            query_id=query_id,
+            sender=sender,
+            ids=tuple(int(i) for i in result.points.ids),
+            f=tuple(float(v) for v in result.f),
+            coords=tuple(tuple(float(x) for x in row) for row in proj),
+        )
+
+    @property
+    def k(self) -> int:
+        return len(self.coords[0]) if self.coords else 0
+
+    def __len__(self) -> int:
+        return len(self.ids)
+
+    def encode(self) -> bytes:
+        n = len(self.ids)
+        if not (len(self.f) == n and len(self.coords) == n):
+            raise WireError("ids, f and coords must be parallel")
+        k = self.k
+        body = self._BODY_HEAD.pack(self.sender, n, k)
+        for point_id, f_value, row in zip(self.ids, self.f, self.coords):
+            if len(row) != k:
+                raise WireError("ragged coordinate rows")
+            body += struct.pack(f"<qd{k}d", point_id, f_value, *row)
+        return _HEADER.pack(_MAGIC, _VERSION, _KIND_RESULT, self.query_id, len(body)) + body
+
+    @classmethod
+    def _decode_body(cls, query_id: int, body: bytes) -> "ResultMessage":
+        if len(body) < cls._BODY_HEAD.size:
+            raise WireError("result body truncated")
+        sender, n, k = cls._BODY_HEAD.unpack_from(body, 0)
+        record = struct.Struct(f"<qd{k}d")
+        expected = cls._BODY_HEAD.size + n * record.size
+        if len(body) != expected:
+            raise WireError(f"result body has {len(body)} bytes, expected {expected}")
+        ids, fs, coords = [], [], []
+        offset = cls._BODY_HEAD.size
+        for _ in range(n):
+            fields = record.unpack_from(body, offset)
+            ids.append(int(fields[0]))
+            fs.append(float(fields[1]))
+            coords.append(tuple(float(x) for x in fields[2:]))
+            offset += record.size
+        return cls(
+            query_id=query_id,
+            sender=sender,
+            ids=tuple(ids),
+            f=tuple(fs),
+            coords=tuple(coords),
+        )
+
+    def to_store(self) -> SortedByF:
+        """Rebuild an f-sorted store of the *projected* points.
+
+        The reconstructed points live in the query subspace (the wire
+        carries nothing else); ``f`` values are the original full-space
+        ones, so Algorithm 2 keeps its pruning power.
+        """
+        if not self.ids:
+            return SortedByF(PointSet.empty(self.k or 1), np.zeros(0))
+        values = np.asarray(self.coords, dtype=np.float64)
+        points = PointSet(values, np.asarray(self.ids, dtype=np.int64))
+        return SortedByF(points, np.asarray(self.f, dtype=np.float64))
+
+
+def decode(blob: bytes) -> QueryMessage | ResultMessage:
+    """Decode one framed message (the inverse of ``encode``)."""
+    if len(blob) < _HEADER.size:
+        raise WireError("message shorter than header")
+    magic, version, kind, query_id, length = _HEADER.unpack_from(blob, 0)
+    if magic != _MAGIC:
+        raise WireError(f"bad magic {magic!r}")
+    if version != _VERSION:
+        raise WireError(f"unsupported version {version}")
+    body = blob[_HEADER.size :]
+    if len(body) != length:
+        raise WireError(f"body has {len(body)} bytes, header promises {length}")
+    if kind == _KIND_QUERY:
+        return QueryMessage._decode_body(query_id, body)
+    if kind == _KIND_RESULT:
+        return ResultMessage._decode_body(query_id, body)
+    raise WireError(f"unknown message kind {kind}")

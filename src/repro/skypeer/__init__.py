@@ -1,0 +1,22 @@
+"""The SKYPEER distributed subspace-skyline engine (Algorithm 3)."""
+
+from .constrained import (
+    ConstrainedExecution,
+    ConstrainedQuery,
+    execute_constrained_query,
+)
+from .executor import Clock, QueryExecution, execute_query
+from .protocol import ProtocolOutcome, run_protocol
+from .variants import Variant
+
+__all__ = [
+    "Variant",
+    "Clock",
+    "QueryExecution",
+    "execute_query",
+    "ProtocolOutcome",
+    "run_protocol",
+    "ConstrainedQuery",
+    "ConstrainedExecution",
+    "execute_constrained_query",
+]

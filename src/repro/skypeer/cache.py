@@ -1,0 +1,124 @@
+"""Query-result caching at super-peers.
+
+Repeat queries over the same subspace are the norm in the motivating
+web-information-system workload (every "price + distance" user asks the
+same ``U``).  A super-peer's *threshold-free* local skyline for a
+subspace is a pure function of its store, so it can be cached; a
+later query with threshold ``t`` is answered by slicing the cached
+f-sorted list at ``f <= t`` — exact, because
+
+* every true local skyline point with ``f <= t`` is in the slice
+  (nothing a valid ``t`` admits is missing), and
+* the slice's threshold refinement ``min(t, min dist_U)`` is achieved
+  by an actual shipped point, so Observation 5 stays sound downstream.
+
+The slice can be *smaller* than Algorithm 1's threshold-capped scan
+output (the scan may keep points dominated only by pruned points);
+both are exact, the cache just ships a little less.
+
+Invalidation keys on ``network.epoch``, which every store-changing
+operation (pre-processing, churn, data updates) bumps.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+import numpy as np
+
+from ..core.local_skyline import SkylineComputation, local_subspace_skyline
+from ..core.mapping import dist_values
+from ..core.store import SortedByF
+from ..core.subspace import Subspace
+from ..data.workload import Query
+from ..p2p.network import SuperPeerNetwork
+from .executor import QueryExecution, execute_query
+from .variants import Variant
+
+__all__ = ["CachedQueryEngine"]
+
+
+class CachedQueryEngine:
+    """Executes queries with per-(super-peer, subspace) result caching."""
+
+    def __init__(self, network: SuperPeerNetwork, index_kind: str | None = None):
+        self.network = network
+        self.index_kind = index_kind or network.index_kind
+        self._cache: dict[tuple[int, Subspace], tuple[int, SkylineComputation]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def execute(
+        self, query: Query, variant: Variant | str = Variant.FTPM
+    ) -> QueryExecution:
+        """Like :func:`repro.skypeer.executor.execute_query`, cached."""
+        return execute_query(
+            self.network,
+            query,
+            variant,
+            index_kind=self.index_kind,
+            local_compute=self.local_compute,
+        )
+
+    def invalidate(self) -> None:
+        """Drop every cached entry (epoch checks make this optional)."""
+        self._cache.clear()
+
+    @property
+    def entries(self) -> int:
+        return len(self._cache)
+
+    # ------------------------------------------------------------------
+    # the executor strategy
+    # ------------------------------------------------------------------
+    def local_compute(
+        self, superpeer_id: int, subspace: Subspace, threshold: float
+    ) -> SkylineComputation:
+        started = time.perf_counter()
+        full = self._full_local(superpeer_id, subspace)
+        if math.isinf(threshold):
+            return full
+        # Slice the cached f-sorted skyline at f <= threshold.
+        f = full.result.f
+        cut = int(np.searchsorted(f, threshold, side="right"))
+        sliced = SortedByF(full.result.points.take(np.arange(cut)), f[:cut])
+        dists = dist_values(sliced.points.values, list(subspace)) if cut else np.zeros(0)
+        refined = min(threshold, float(dists.min())) if cut else threshold
+        return SkylineComputation(
+            result=sliced,
+            threshold=refined,
+            examined=cut,
+            comparisons=0,
+            duration=time.perf_counter() - started,
+            input_size=len(full.result),
+        )
+
+    def _full_local(self, superpeer_id: int, subspace: Subspace) -> SkylineComputation:
+        key = (superpeer_id, subspace)
+        cached = self._cache.get(key)
+        if cached is not None and cached[0] == self.network.epoch:
+            self.hits += 1
+            computation = cached[1]
+            # Report a cache hit as (almost) free compute.
+            started = time.perf_counter()
+            return SkylineComputation(
+                result=computation.result,
+                threshold=computation.threshold,
+                examined=0,
+                comparisons=0,
+                duration=time.perf_counter() - started,
+                input_size=computation.input_size,
+            )
+        self.misses += 1
+        computation = local_subspace_skyline(
+            self.network.store_of(superpeer_id),
+            subspace,
+            initial_threshold=math.inf,
+            index_kind=self.index_kind,
+        )
+        self._cache[key] = (self.network.epoch, computation)
+        return computation

@@ -1,0 +1,103 @@
+"""Execution inspection: structured and human-readable query reports.
+
+``execution_report`` turns a :class:`~repro.skypeer.executor.QueryExecution`
+into a plain dict (JSON-serializable — ship it to your metrics
+pipeline); ``format_execution`` renders the same information for a
+terminal.  Both expose what the paper's figures aggregate: per-node
+scan effort, threshold development, and the cost split between
+computation and transfer.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any
+
+from .executor import QueryExecution
+
+__all__ = ["execution_report", "format_execution", "execution_report_json"]
+
+
+def execution_report(execution: QueryExecution) -> dict[str, Any]:
+    """Summarize one execution as a nested dict."""
+    traces = execution.traces
+    per_superpeer = {
+        str(sp): {
+            "store_points": trace.input_size,
+            "examined": trace.examined,
+            "scan_fraction": (
+                trace.examined / trace.input_size if trace.input_size else 0.0
+            ),
+            "local_result_points": len(trace.result),
+            "refined_threshold": _finite(trace.threshold),
+            "comparisons": trace.comparisons,
+            "duration_seconds": trace.duration,
+        }
+        for sp, trace in traces.items()
+    }
+    return {
+        "query": {
+            "subspace": list(execution.query.subspace),
+            "initiator": execution.query.initiator,
+            "k": execution.query.k,
+        },
+        "variant": execution.variant.value,
+        "result_points": len(execution.result),
+        "initial_threshold": _finite(execution.initial_threshold),
+        "computational_time_seconds": execution.computational_time,
+        "total_time_seconds": execution.total_time,
+        "transfer_time_seconds": execution.total_time - execution.computational_time,
+        "volume_bytes": execution.volume_bytes,
+        "volume_kb": execution.volume_kb,
+        "messages": execution.message_count,
+        "comparisons": execution.comparisons,
+        "local_result_points": execution.local_result_points,
+        "per_superpeer": per_superpeer,
+    }
+
+
+def execution_report_json(execution: QueryExecution, indent: int = 2) -> str:
+    """The report as a JSON string."""
+    return json.dumps(execution_report(execution), indent=indent, sort_keys=True)
+
+
+def format_execution(execution: QueryExecution, top: int = 5) -> str:
+    """Human-readable multi-line summary (CLI ``query --explain``)."""
+    report = execution_report(execution)
+    lines = [
+        f"query: subspace {tuple(report['query']['subspace'])} "
+        f"initiated at super-peer {report['query']['initiator']} "
+        f"[{report['variant']}]",
+        f"result: {report['result_points']} skyline points "
+        f"(from {report['local_result_points']} local candidates)",
+        f"time: {report['computational_time_seconds'] * 1e3:.2f} ms compute "
+        f"+ {report['transfer_time_seconds']:.3f} s transfer "
+        f"= {report['total_time_seconds']:.3f} s total",
+        f"traffic: {report['volume_kb']:.1f} KB in {report['messages']} messages",
+    ]
+    if report["initial_threshold"] is not None:
+        lines.append(f"initial threshold t = {report['initial_threshold']:.4f}")
+    traces = report["per_superpeer"]
+    if traces:
+        scanned = sum(t["examined"] for t in traces.values())
+        stored = sum(t["store_points"] for t in traces.values())
+        lines.append(
+            f"scan effort: {scanned}/{stored} stored points examined "
+            f"({100.0 * scanned / stored if stored else 0.0:.1f}%)"
+        )
+        busiest = sorted(
+            traces.items(), key=lambda kv: kv[1]["duration_seconds"], reverse=True
+        )[:top]
+        lines.append(f"busiest super-peers (top {len(busiest)}):")
+        for sp, t in busiest:
+            lines.append(
+                f"  SP {sp}: examined {t['examined']}/{t['store_points']}, "
+                f"kept {t['local_result_points']}, "
+                f"{t['duration_seconds'] * 1e3:.2f} ms"
+            )
+    return "\n".join(lines)
+
+
+def _finite(value: float) -> float | None:
+    return None if math.isinf(value) else value

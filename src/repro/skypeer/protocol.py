@@ -1,0 +1,288 @@
+"""Algorithm 3 as an actual message-passing protocol.
+
+Where :mod:`repro.skypeer.executor` *plans* a query's execution over
+the BFS tree (fast, two clocks), this module runs SKYPEER the way the
+paper's pseudo-code reads: every super-peer is a state machine that
+reacts to QUERY and RESULT messages delivered by a discrete-event
+engine over FIFO links.  The query genuinely *floods* the super-peer
+backbone — every super-peer forwards to all neighbours except the one
+it heard from, duplicate receipts are answered with an empty result —
+so message counts reflect a real unstructured overlay rather than an
+idealized spanning tree.
+
+The protocol engine exists for three reasons:
+
+1. it validates the plan-based executor (identical result sets on every
+   network/variant — asserted in the test-suite);
+2. it quantifies the flooding overhead the executor's tree abstraction
+   hides (duplicate-suppression replies cross every non-tree edge);
+3. it is the natural starting point for porting SKYPEER onto a real
+   transport: ``on_message`` consumes the wire format of
+   :mod:`repro.p2p.wire` byte-for-byte.
+
+Termination relies on one FIFO property: under fixed merging a
+super-peer relays descendants' results upward *before* it completes and
+ships its own, so on any link the carrier's own result is always the
+last result message — the parent clears its bookkeeping exactly when
+the link peer's own (possibly empty) result arrives.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+
+from ..core.dataset import PointSet
+from ..core.local_skyline import local_subspace_skyline
+from ..core.merging import merge_sorted_skylines
+from ..core.store import SortedByF
+from ..core.subspace import normalize_subspace
+from ..data.workload import Query
+from ..p2p.engine import EventLoop, LinkLayer
+from ..p2p.network import SuperPeerNetwork
+from ..p2p.wire import QueryMessage, ResultMessage, decode
+from .variants import Variant
+
+__all__ = ["ProtocolOutcome", "run_protocol"]
+
+
+@dataclass
+class ProtocolOutcome:
+    """What the message-passing run produced and what it cost."""
+
+    query: Query
+    variant: Variant
+    result: SortedByF
+    total_time: float
+    volume_bytes: int
+    message_count: int
+    query_messages: int
+    duplicate_replies: int
+    events: int
+
+    @property
+    def result_ids(self) -> frozenset[int]:
+        return self.result.points.id_set()
+
+
+@dataclass
+class _NodeState:
+    """Per-super-peer protocol state for one query."""
+
+    seen: bool = False
+    done: bool = False
+    parent: int | None = None           # whom we first heard the query from
+    pending_children: set[int] = field(default_factory=set)
+    forwarded: bool = False
+    collected: list[SortedByF] = field(default_factory=list)
+    local_result: SortedByF | None = None
+    local_done: bool = False
+    refined_threshold: float = math.inf
+
+
+class _ProtocolRun:
+    """One query's flood over the backbone."""
+
+    def __init__(
+        self,
+        network: SuperPeerNetwork,
+        query: Query,
+        variant: Variant,
+        index_kind: str,
+    ):
+        self.network = network
+        self.query = query
+        self.variant = variant
+        self.index_kind = index_kind
+        self.subspace = normalize_subspace(query.subspace, network.dimensionality)
+        self.loop = EventLoop()
+        self.links = LinkLayer(self.loop, network.cost_model)
+        self.states: dict[int, _NodeState] = {
+            sp: _NodeState() for sp in network.topology.superpeer_ids
+        }
+        self.final: SortedByF | None = None
+        self.duplicate_replies = 0
+        self.query_messages = 0
+        self.query_id = (hash(query.subspace) ^ query.initiator) & 0x7FFFFFFF
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    def _transmit(self, src: int, dst: int, blob: bytes) -> None:
+        self.links.send(src, dst, len(blob), lambda: self.on_message(dst, src, blob))
+
+    def _neighbours(self, sp: int) -> tuple[int, ...]:
+        return self.network.topology.adjacency[sp]
+
+    def _compute_local(self, sp: int, threshold: float) -> float:
+        """Run Algorithm 1 at ``sp``; returns the wall-clock duration."""
+        state = self.states[sp]
+        started = time.perf_counter()
+        computation = local_subspace_skyline(
+            self.network.store_of(sp),
+            self.subspace,
+            initial_threshold=threshold,
+            index_kind=self.index_kind,
+        )
+        state.local_result = self._project(computation.result)
+        state.local_done = True
+        state.refined_threshold = computation.threshold
+        return time.perf_counter() - started
+
+    def _project(self, store: SortedByF) -> SortedByF:
+        """Restrict a full-space store to the query subspace.
+
+        Wire messages carry only queried coordinates, so all merging
+        happens in subspace coordinates; the ``f`` values stay the
+        original full-space ones, preserving Algorithm 2's pruning.
+        """
+        if not len(store):
+            return SortedByF.empty(len(self.subspace))
+        projected = PointSet(store.points.values[:, list(self.subspace)], store.points.ids)
+        return SortedByF(projected, store.f)
+
+    # ------------------------------------------------------------------
+    # protocol proper (Algorithm 3)
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """P_init: local computation first (it yields t), then flood."""
+        initiator = self.query.initiator
+        state = self.states[initiator]
+        state.seen = True
+        duration = self._compute_local(initiator, math.inf)
+        self.loop.schedule(duration, lambda: self._forward(initiator))
+
+    def _forward(self, sp: int) -> None:
+        state = self.states[sp]
+        threshold = state.refined_threshold if self.variant.uses_threshold else math.inf
+        message = QueryMessage(
+            query_id=self.query_id,
+            subspace=self.subspace,
+            threshold=threshold,
+            initiator=self.query.initiator,
+        ).encode()
+        targets = [nb for nb in self._neighbours(sp) if nb != state.parent]
+        state.pending_children = set(targets)
+        state.forwarded = True
+        self.query_messages += len(targets)
+        for nb in targets:
+            self._transmit(sp, nb, message)
+        self._maybe_complete(sp)
+
+    def on_message(self, sp: int, sender: int, blob: bytes) -> None:
+        message = decode(blob)
+        if isinstance(message, QueryMessage):
+            self._on_query(sp, sender, message)
+        else:
+            self._on_result(sp, sender, message)
+
+    def _on_query(self, sp: int, sender: int, message: QueryMessage) -> None:
+        state = self.states[sp]
+        if state.seen:
+            # Duplicate receipt: reply with an empty result immediately
+            # so the sender's collection loop terminates (the paper
+            # assumes routing handles this; flooding makes it explicit).
+            self.duplicate_replies += 1
+            empty = ResultMessage(
+                query_id=self.query_id, sender=sp, ids=(), f=(), coords=()
+            )
+            self._transmit(sp, sender, empty.encode())
+            return
+        state.seen = True
+        state.parent = sender
+        incoming = message.threshold if self.variant.uses_threshold else math.inf
+        if self.variant.refined_threshold:
+            # RT*: compute first, refine t, then forward (the refined
+            # threshold rides along with the forwarded query).
+            duration = self._compute_local(sp, incoming)
+            self.loop.schedule(duration, lambda: self._forward(sp))
+        else:
+            # FT* / naive: forward at once, compute in parallel.
+            state.refined_threshold = incoming
+            self._forward(sp)
+            duration = self._compute_local(sp, incoming)
+            # the computation's completion is an event `duration` later
+            state.local_done = False
+            self.loop.schedule(duration, lambda: self._local_finished(sp))
+
+    def _local_finished(self, sp: int) -> None:
+        self.states[sp].local_done = True
+        self._maybe_complete(sp)
+
+    def _on_result(self, sp: int, sender: int, message: ResultMessage) -> None:
+        state = self.states[sp]
+        own_result_of_link_peer = message.sender == sender
+        if len(message):
+            if self.variant.progressive_merging or state.parent is None:
+                state.collected.append(message.to_store())
+            else:
+                # Fixed merging at an intermediate node: relay unmerged.
+                self._transmit(sp, state.parent, message.encode())
+        if own_result_of_link_peer:
+            # FIFO links make the peer's own result its last message, so
+            # this clears the child exactly once, after all its relays.
+            state.pending_children.discard(sender)
+            self._maybe_complete(sp)
+
+    def _maybe_complete(self, sp: int) -> None:
+        state = self.states[sp]
+        if state.done or not state.forwarded or state.pending_children or not state.local_done:
+            return
+        state.done = True
+        needs_merge = bool(state.collected) and (
+            self.variant.progressive_merging or state.parent is None
+        )
+        if needs_merge:
+            started = time.perf_counter()
+            merged = merge_sorted_skylines(
+                [state.local_result] + state.collected,
+                range(len(self.subspace)),
+                index_kind=self.index_kind,
+            )
+            duration = time.perf_counter() - started
+            state.collected = []
+            self.loop.schedule(duration, lambda: self._ship(sp, merged.result))
+        else:
+            self._ship(sp, state.local_result)
+
+    def _ship(self, sp: int, outcome: SortedByF) -> None:
+        state = self.states[sp]
+        if state.parent is None:
+            self.final = outcome
+            return
+        message = ResultMessage.from_store(
+            self.query_id, sp, outcome, range(len(self.subspace))
+        )
+        self._transmit(sp, state.parent, message.encode())
+
+
+def run_protocol(
+    network: SuperPeerNetwork,
+    query: Query,
+    variant: Variant | str = Variant.FTPM,
+    index_kind: str | None = None,
+) -> ProtocolOutcome:
+    """Flood one query through the network and collect the outcome.
+
+    The returned result holds the *projected* skyline points (query
+    subspace coordinates) with the same point ids as the executor's —
+    compare via ``result_ids``.
+    """
+    variant = Variant.parse(variant) if isinstance(variant, str) else variant
+    run = _ProtocolRun(network, query, variant, index_kind or network.index_kind)
+    run.start()
+    events = run.loop.run()
+    if run.final is None:
+        raise RuntimeError("protocol terminated without producing a result")
+    return ProtocolOutcome(
+        query=query,
+        variant=variant,
+        result=run.final,
+        total_time=run.loop.now,
+        volume_bytes=run.links.bytes_sent,
+        message_count=run.links.messages_sent,
+        query_messages=run.query_messages,
+        duplicate_replies=run.duplicate_replies,
+        events=events,
+    )

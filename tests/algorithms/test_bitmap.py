@@ -1,0 +1,63 @@
+"""Unit tests for the Bitmap skyline."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.bitmap import BitmapIndex, bitmap_skyline
+from repro.core.dataset import PointSet
+from tests.conftest import brute_force_skyline_ids
+
+
+class TestBitmapIndex:
+    def test_slices(self):
+        index = BitmapIndex(np.array([[1.0], [2.0], [3.0]]))
+        assert index.leq_slice(0, 2.0).tolist() == [True, True, False]
+        assert index.lt_slice(0, 2.0).tolist() == [True, False, False]
+
+    def test_is_skyline(self):
+        values = np.array([[1.0, 3.0], [2.0, 2.0], [3.0, 3.0]])
+        index = BitmapIndex(values)
+        assert index.is_skyline(values[0])
+        assert index.is_skyline(values[1])
+        assert not index.is_skyline(values[2])  # dominated by (2,2)
+
+    def test_point_never_dominates_itself(self):
+        values = np.array([[1.0, 1.0]])
+        index = BitmapIndex(values)
+        assert index.is_skyline(values[0])
+
+    def test_strict_mode_is_ext_domination(self):
+        values = np.array([[1.0, 2.0], [1.0, 3.0], [0.5, 1.0]])
+        index = BitmapIndex(values)
+        # (1,3) shares x with (1,2): dominated but not ext-dominated by it;
+        # (0.5,1) ext-dominates both (1,2)... no: 0.5<1, 1<2 -> yes for (1,2)
+        assert not index.is_skyline(values[0], strict=True)
+        assert not index.is_skyline(values[1], strict=True)
+        assert index.is_skyline(values[2], strict=True)
+
+
+class TestBitmapSkyline:
+    def test_matches_brute_force(self, rng):
+        points = PointSet(rng.random((150, 4)))
+        for sub in [None, (2,), (1, 3), (0, 1, 2, 3)]:
+            expected = brute_force_skyline_ids(points, sub or (0, 1, 2, 3))
+            assert bitmap_skyline(points, sub).id_set() == expected
+
+    def test_strict_matches_brute_force(self, rng):
+        values = rng.integers(0, 4, size=(100, 3)).astype(float)
+        points = PointSet(values)
+        expected = brute_force_skyline_ids(points, (0, 1, 2), strict=True)
+        assert bitmap_skyline(points, strict=True).id_set() == expected
+
+    def test_preserves_input_order(self, rng):
+        points = PointSet(rng.random((60, 3)))
+        result = bitmap_skyline(points)
+        positions = [int(np.where(points.ids == i)[0][0]) for i in result.ids]
+        assert positions == sorted(positions)
+
+    def test_empty_input(self):
+        assert len(bitmap_skyline(PointSet.empty(2))) == 0
+
+    def test_duplicates_kept(self):
+        points = PointSet(np.array([[0.5, 0.5], [0.5, 0.5]]))
+        assert len(bitmap_skyline(points)) == 2

@@ -1,0 +1,48 @@
+"""Unit tests for Divide & Conquer."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.dnc import divide_and_conquer
+from repro.core.dataset import PointSet
+from tests.conftest import brute_force_skyline_ids
+
+
+class TestDnC:
+    def test_matches_brute_force_small(self, rng):
+        points = PointSet(rng.random((60, 3)))  # below the base case
+        expected = brute_force_skyline_ids(points, (0, 1, 2))
+        assert divide_and_conquer(points).id_set() == expected
+
+    def test_matches_brute_force_recursive(self, rng):
+        points = PointSet(rng.random((300, 3)))  # forces recursion
+        expected = brute_force_skyline_ids(points, (0, 1, 2))
+        assert divide_and_conquer(points).id_set() == expected
+
+    def test_subspaces(self, rng):
+        points = PointSet(rng.random((200, 5)))
+        for sub in [(0,), (1, 4), (0, 2, 3)]:
+            expected = brute_force_skyline_ids(points, sub)
+            assert divide_and_conquer(points, sub).id_set() == expected
+
+    def test_strict_mode(self, rng):
+        points = PointSet(rng.random((200, 3)))
+        expected = brute_force_skyline_ids(points, (0, 1, 2), strict=True)
+        assert divide_and_conquer(points, strict=True).id_set() == expected
+
+    def test_split_dimension_ties(self, rng):
+        """The regression the two-pass merge exists for: many points tie
+        on the split dimension, letting 'high' points dominate 'low' ones."""
+        values = np.column_stack(
+            [np.full(200, 0.5), rng.random(200), rng.random(200)]
+        )
+        points = PointSet(values)
+        expected = brute_force_skyline_ids(points, (0, 1, 2))
+        assert divide_and_conquer(points).id_set() == expected
+
+    def test_all_identical_points(self):
+        points = PointSet(np.tile([0.3, 0.3], (150, 1)))
+        assert len(divide_and_conquer(points)) == 150
+
+    def test_empty_input(self):
+        assert len(divide_and_conquer(PointSet.empty(2))) == 0

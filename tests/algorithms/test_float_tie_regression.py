@@ -1,0 +1,87 @@
+"""Regression: dominance margins that underflow the sort key's sum.
+
+Found by hypothesis: with ``p = (tiny, 0, 0, 1)`` and ``q = (0, 0, 0, 1)``
+(``tiny`` denormal-ish), ``q`` dominates ``p`` but both coordinate sums
+round to exactly ``1.0``, so sum-sorted scans (skyline_mask, SFS, D&C's
+base case, BBS's mindist order) could visit the dominated point first
+and keep it.  All sum-sorted paths now resolve equal-sum groups with a
+pairwise pass; this file pins the fix across every algorithm.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import ALGORITHMS, compute_skyline
+from repro.core.dataset import PointSet
+from repro.core.dominance import extended_skyline_mask, skyline_mask
+from repro.core.extended_skyline import subspace_skyline_points
+
+TINY = 1.17549435e-38  # smallest normal float32; vanishes in 1.0 + x
+
+
+@pytest.fixture
+def tie_points() -> PointSet:
+    return PointSet(
+        np.array(
+            [
+                [TINY, 0.0, 0.0, 1.0],  # dominated by the next row
+                [0.0, 0.0, 0.0, 1.0],
+            ]
+        ),
+        np.array([0, 1]),
+    )
+
+
+class TestFloatTieRegression:
+    def test_skyline_mask(self, tie_points):
+        assert skyline_mask(tie_points.values, (0, 3)).tolist() == [False, True]
+
+    def test_extended_mask(self, tie_points):
+        # strict domination also holds on dimension 0 only partially:
+        # (0,1) vs (tiny,1): second dim ties -> NOT ext-dominated.
+        assert extended_skyline_mask(tie_points.values, (0, 3)).tolist() == [True, True]
+
+    def test_sums_really_tie(self, tie_points):
+        """The precondition of the bug: both float sums are identical."""
+        sums = tie_points.values[:, [0, 3]].sum(axis=1)
+        assert sums[0] == sums[1] == 1.0
+
+    @pytest.mark.parametrize("name", sorted(ALGORITHMS))
+    def test_all_algorithms(self, tie_points, name):
+        got = compute_skyline(tie_points, (0, 3), algorithm=name)
+        assert got.id_set() == {1}, name
+
+    def test_oracle_helper(self, tie_points):
+        assert subspace_skyline_points(tie_points, (0, 3)).id_set() == {1}
+
+    def test_reversed_order(self):
+        """Same case with the dominator first (must also work)."""
+        points = PointSet(
+            np.array([[0.0, 0.0, 0.0, 1.0], [TINY, 0.0, 0.0, 1.0]]),
+            np.array([0, 1]),
+        )
+        for name in ALGORITHMS:
+            assert compute_skyline(points, (0, 3), algorithm=name).id_set() == {0}, name
+
+    def test_longer_tie_chains(self):
+        """A chain of vanishing margins within one sum group."""
+        rows = [[k * TINY, 0.0, 1.0] for k in (3, 2, 1, 0)]
+        points = PointSet(np.array(rows), np.arange(4))
+        for name in ALGORITHMS:
+            assert compute_skyline(points, (0, 2), algorithm=name).id_set() == {3}, name
+
+    def test_merge_path_still_exact(self, tie_points):
+        """The case that originally failed: partition + merge."""
+        from repro.core.local_skyline import local_subspace_skyline
+        from repro.core.merging import merge_sorted_skylines
+        from repro.core.store import SortedByF
+
+        parts = [
+            PointSet(tie_points.values[i::2], tie_points.ids[i::2]) for i in range(2)
+        ]
+        lists = [
+            local_subspace_skyline(SortedByF.from_points(p), (0, 3)).result
+            for p in parts
+        ]
+        merged = merge_sorted_skylines(lists, (0, 3))
+        assert merged.points.id_set() == {1}

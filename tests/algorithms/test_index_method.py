@@ -1,0 +1,54 @@
+"""Unit tests for the Index method."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.index_method import index_method_skyline
+from repro.core.dataset import PointSet
+from tests.conftest import brute_force_skyline_ids
+
+
+class TestIndexMethod:
+    def test_matches_brute_force(self, rng):
+        points = PointSet(rng.random((200, 4)))
+        for sub in [None, (0,), (1, 2), (0, 1, 2, 3)]:
+            expected = brute_force_skyline_ids(points, sub or (0, 1, 2, 3))
+            assert index_method_skyline(points, sub).id_set() == expected
+
+    def test_strict_mode(self, rng):
+        values = rng.integers(0, 4, size=(120, 3)).astype(float)
+        points = PointSet(values)
+        expected = brute_force_skyline_ids(points, (0, 1, 2), strict=True)
+        assert index_method_skyline(points, strict=True).id_set() == expected
+
+    def test_early_termination_on_clustered_corner(self, rng):
+        """A point near the origin should terminate the scan quickly —
+        the result must still be exact."""
+        values = np.vstack([
+            np.full((1, 3), 0.01),        # super point
+            0.5 + 0.5 * rng.random((200, 3)),  # everything else is far
+        ])
+        points = PointSet(values)
+        got = index_method_skyline(points)
+        assert got.id_set() == brute_force_skyline_ids(points, (0, 1, 2))
+        assert got.id_set() == {0}
+
+    def test_tie_eviction_across_lists(self):
+        """Equal min values across lists can process a dominated point
+        before its dominator; eviction must clean it up."""
+        points = PointSet(
+            np.array([[0.1, 0.9], [0.1, 0.5]]), np.array([0, 1])
+        )
+        assert index_method_skyline(points).id_set() == {1}
+
+    def test_empty_input(self):
+        assert len(index_method_skyline(PointSet.empty(3))) == 0
+
+    def test_single_dimension(self, rng):
+        points = PointSet(rng.random((50, 3)))
+        expected = brute_force_skyline_ids(points, (1,))
+        assert index_method_skyline(points, (1,)).id_set() == expected
+
+    def test_duplicates_kept(self):
+        points = PointSet(np.array([[0.3, 0.3]] * 3))
+        assert len(index_method_skyline(points)) == 3

@@ -1,0 +1,56 @@
+"""Unit tests for the algorithm registry and cross-validation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import ALGORITHMS, compute_skyline
+from repro.core.dataset import PointSet
+from repro.core.extended_skyline import subspace_skyline_points
+
+
+class TestRegistry:
+    def test_all_algorithms_registered(self):
+        assert set(ALGORITHMS) == {"bnl", "sfs", "dnc", "bbs", "bitmap", "index"}
+
+    def test_unknown_algorithm(self, rng):
+        points = PointSet(rng.random((5, 2)))
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            compute_skyline(points, algorithm="quicksky")
+
+    def test_dispatch(self, rng):
+        points = PointSet(rng.random((50, 3)))
+        for name in ALGORITHMS:
+            got = compute_skyline(points, (0, 2), algorithm=name)
+            assert got.id_set() == subspace_skyline_points(points, (0, 2)).id_set()
+
+
+class TestCrossValidation:
+    """All centralized algorithms and the threshold machinery agree."""
+
+    @given(
+        st.integers(0, 2**31 - 1),
+        st.integers(2, 5),
+        st.sampled_from([20, 150, 400]),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_agreement_on_random_data(self, seed, d, n):
+        rng = np.random.default_rng(seed)
+        points = PointSet(rng.random((n, d)))
+        sub = tuple(range(d - 1))
+        reference = subspace_skyline_points(points, sub).id_set()
+        for name in ALGORITHMS:
+            assert compute_skyline(points, sub, algorithm=name).id_set() == reference
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_agreement_in_strict_mode(self, seed):
+        rng = np.random.default_rng(seed)
+        values = rng.integers(0, 4, size=(120, 3)).astype(float)
+        points = PointSet(values)
+        results = {
+            name: compute_skyline(points, strict=True, algorithm=name).id_set()
+            for name in ALGORITHMS
+        }
+        assert len(set(results.values())) == 1

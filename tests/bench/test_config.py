@@ -1,0 +1,60 @@
+"""Unit tests for benchmark scaling/config."""
+
+import pytest
+
+from repro.bench.config import SCALES, ExperimentConfig, Scale, resolve_scale
+
+
+class TestScale:
+    def test_known_scales(self):
+        assert set(SCALES) == {"tiny", "default", "paper"}
+
+    def test_paper_scale_is_identity(self):
+        config = ExperimentConfig()
+        scaled = config.scaled(SCALES["paper"])
+        assert scaled.n_peers == config.n_peers
+        assert scaled.points_per_peer == config.points_per_peer
+
+    def test_tiny_scale_shrinks(self):
+        scaled = ExperimentConfig().scaled(SCALES["tiny"])
+        assert scaled.n_peers < ExperimentConfig().n_peers
+        assert scaled.points_per_peer < ExperimentConfig().points_per_peer
+
+    def test_scale_floors(self):
+        tiny = Scale(name="x", peer_factor=1e-9, points_factor=1e-9, queries=1)
+        scaled = ExperimentConfig().scaled(tiny)
+        assert scaled.n_peers >= 4
+        assert scaled.points_per_peer >= 5
+
+    def test_resolve_by_name(self):
+        assert resolve_scale("tiny") is SCALES["tiny"]
+
+    def test_resolve_instance_passthrough(self):
+        s = SCALES["paper"]
+        assert resolve_scale(s) is s
+
+    def test_resolve_env_var(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "tiny")
+        assert resolve_scale(None) is SCALES["tiny"]
+
+    def test_resolve_unknown(self):
+        with pytest.raises(ValueError, match="unknown scale"):
+            resolve_scale("galactic")
+
+    def test_default_without_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert resolve_scale(None) is SCALES["default"]
+
+
+class TestExperimentConfig:
+    def test_paper_defaults(self):
+        config = ExperimentConfig()
+        assert config.n_peers == 4000
+        assert config.points_per_peer == 250
+        assert config.dimensionality == 8
+        assert config.query_dimensionality == 3
+        assert config.degree == 4.0
+        assert config.dataset == "uniform"
+
+    def test_total_points(self):
+        assert ExperimentConfig().total_points == 1_000_000

@@ -1,0 +1,56 @@
+"""Every figure experiment runs at tiny scale and has the right shape.
+
+These are integration tests for the bench layer; the quantitative
+paper-shape assertions live in benchmarks/ where the scale is larger.
+"""
+
+import pytest
+
+from repro.bench import EXPERIMENTS, run_experiment
+from repro.bench.report import ResultTable
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.mark.parametrize("experiment_id", sorted(EXPERIMENTS))
+def test_experiment_runs_at_tiny_scale(experiment_id):
+    table = run_experiment(experiment_id, "tiny")
+    assert isinstance(table, ResultTable)
+    assert table.rows, experiment_id
+    assert table.experiment == experiment_id
+    # every row provides every column or an explicit None
+    for row in table.rows:
+        assert set(row) <= set(table.columns)
+    # renders without blowing up
+    assert table.to_text()
+    assert table.to_markdown()
+
+
+def test_unknown_experiment():
+    with pytest.raises(ValueError, match="unknown experiment"):
+        run_experiment("fig9z")
+
+
+def test_fig3a_selectivity_monotone():
+    table = run_experiment("fig3a", "tiny")
+    sel_p = table.column("SEL_p %")
+    assert sel_p == sorted(sel_p)
+    sel_sp = table.column("SEL_sp %")
+    for p, sp in zip(sel_p, sel_sp):
+        assert sp <= p
+
+
+def test_fig3d_progressive_merging_ships_less():
+    table = run_experiment("fig3d", "tiny")
+    for k in (2, 3):
+        for fm, pm in zip(table.column(f"FTFM k={k}"), table.column(f"FTPM k={k}")):
+            assert pm <= fm
+
+
+def test_fig3c_progressive_merging_fastest_total():
+    """PM never loses by more than wall-clock jitter at tiny scale;
+    the strict (large-scale) shape assertions live in benchmarks/."""
+    table = run_experiment("fig3c", "tiny")
+    for row in table.rows:
+        assert row["FTPM"] <= row["FTFM"] * 1.10
+        assert row["RTPM"] <= row["RTFM"] * 1.10

@@ -1,0 +1,34 @@
+"""Tests for the EXPERIMENTS.md exporter."""
+
+import pytest
+
+from repro.bench import EXPERIMENTS
+from repro.bench.export import _reflow, build_document, main
+
+pytestmark = pytest.mark.slow
+
+
+def test_build_document_contains_every_experiment():
+    document = build_document("tiny")
+    for name in EXPERIMENTS:
+        assert f"### {name}" in document
+    assert document.startswith("# EXPERIMENTS")
+    assert "Paper's claim." in document
+
+
+def test_main_writes_file(tmp_path):
+    target = tmp_path / "EXPERIMENTS.md"
+    assert main(["--scale", "tiny", "--output", str(target)]) == 0
+    text = target.read_text()
+    assert "fig4h" in text
+
+
+def test_reflow_drops_headline():
+    doc = """Headline.
+
+    Body line one
+    body line two.
+    """
+    out = _reflow(doc)
+    assert "Headline" not in out
+    assert "Body line one body line two." == out

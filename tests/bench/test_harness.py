@@ -1,0 +1,78 @@
+"""Unit tests for the benchmark harness."""
+
+import pytest
+
+from repro.bench.config import SCALES, ExperimentConfig
+from repro.bench.harness import (
+    VariantStats,
+    build_network,
+    clear_network_cache,
+    make_queries,
+    run_queries,
+)
+from repro.skypeer.executor import execute_query
+from repro.skypeer.variants import Variant
+
+TINY = ExperimentConfig(n_peers=12, points_per_peer=10, dimensionality=4)
+
+
+class TestBuildNetwork:
+    def test_builds_and_preprocesses(self):
+        clear_network_cache()
+        net = build_network(TINY)
+        assert net.preprocessing is not None
+        assert net.n_peers == 12
+
+    def test_cache_returns_same_object(self):
+        clear_network_cache()
+        a = build_network(TINY)
+        b = build_network(TINY)
+        assert a is b
+
+    def test_cache_bypass(self):
+        clear_network_cache()
+        a = build_network(TINY)
+        b = build_network(TINY, use_cache=False)
+        assert a is not b
+
+    def test_different_configs_different_networks(self):
+        clear_network_cache()
+        a = build_network(TINY)
+        b = build_network(ExperimentConfig(n_peers=12, points_per_peer=10, dimensionality=5))
+        assert a is not b
+
+
+class TestQueries:
+    def test_make_queries_respects_k(self):
+        net = build_network(TINY)
+        queries = make_queries(net, TINY, 7)
+        assert len(queries) == 7
+        assert all(q.k == TINY.query_dimensionality for q in queries)
+
+    def test_queries_deterministic(self):
+        net = build_network(TINY)
+        assert make_queries(net, TINY, 5) == make_queries(net, TINY, 5)
+
+    def test_run_queries_aggregates(self):
+        net = build_network(TINY)
+        queries = make_queries(net, TINY, 3)
+        stats = run_queries(net, queries, [Variant.FTPM, "naive"])
+        assert set(stats) == {Variant.FTPM, Variant.NAIVE}
+        for vs in stats.values():
+            assert vs.queries == 3
+            assert vs.mean_total_time >= vs.mean_computational_time
+            assert vs.mean_volume_kb >= 0
+
+
+class TestVariantStats:
+    def test_from_executions(self):
+        net = build_network(TINY)
+        queries = make_queries(net, TINY, 2)
+        runs = [execute_query(net, q, Variant.FTFM) for q in queries]
+        vs = VariantStats.from_executions(Variant.FTFM, runs)
+        assert vs.queries == 2
+        assert vs.mean_result_size > 0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            VariantStats.from_executions(Variant.FTFM, [])

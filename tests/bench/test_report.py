@@ -1,0 +1,53 @@
+"""Unit tests for the result-table renderer."""
+
+import pytest
+
+from repro.bench.report import ResultTable
+
+
+@pytest.fixture
+def table() -> ResultTable:
+    t = ResultTable(
+        experiment="figX", title="demo", columns=["d", "value"]
+    )
+    t.add_row(d=5, value=1.2345)
+    t.add_row(d=6, value=250.0)
+    t.add_note("a note")
+    return t
+
+
+class TestResultTable:
+    def test_add_row_validates_columns(self, table):
+        with pytest.raises(ValueError, match="unknown columns"):
+            table.add_row(bogus=1)
+
+    def test_column_access(self, table):
+        assert table.column("d") == [5, 6]
+        with pytest.raises(KeyError):
+            table.column("missing")
+
+    def test_text_rendering(self, table):
+        text = table.to_text()
+        assert "figX" in text and "demo" in text
+        assert "1.23" in text and "250" in text
+        assert "note: a note" in text
+
+    def test_markdown_rendering(self, table):
+        md = table.to_markdown()
+        assert md.startswith("### figX")
+        assert "| d | value |" in md
+        assert "*a note*" in md
+
+    def test_missing_cell_rendered_as_dash(self):
+        t = ResultTable(experiment="e", title="t", columns=["a", "b"])
+        t.add_row(a=1)
+        assert "-" in t.to_text()
+
+    def test_float_formats(self):
+        t = ResultTable(experiment="e", title="t", columns=["x"])
+        t.add_row(x=0.00123)
+        t.add_row(x=12.5)
+        t.add_row(x=1234.5)
+        t.add_row(x=0.0)
+        text = t.to_text()
+        assert "0.0012" in text and "12.50" in text and "1234" in text

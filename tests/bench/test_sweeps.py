@@ -1,0 +1,38 @@
+"""Tests for the shared sweep machinery (memoization & structure)."""
+
+import pytest
+
+from repro.bench.sweeps import (
+    ALL_VARIANTS,
+    run_clustered_baseline,
+    sweep_dimensionality,
+)
+from repro.skypeer.variants import Variant
+
+pytestmark = pytest.mark.slow
+
+
+def test_sweep_memoized_per_scale():
+    first = sweep_dimensionality("tiny")
+    second = sweep_dimensionality("tiny")
+    assert first is second
+
+
+def test_sweep_covers_paper_range():
+    result = sweep_dimensionality("tiny")
+    assert sorted(result) == [5, 6, 7, 8, 9, 10]
+    for stats in result.values():
+        assert set(stats) == set(ALL_VARIANTS)
+
+
+def test_stats_are_aggregates():
+    result = sweep_dimensionality("tiny")
+    for stats in result.values():
+        for vs in stats.values():
+            assert vs.queries >= 1
+            assert vs.mean_total_time >= vs.mean_computational_time
+
+
+def test_clustered_baseline_contains_all_variants():
+    stats = run_clustered_baseline("tiny")
+    assert set(stats) == set(Variant)

@@ -1,0 +1,123 @@
+"""Unit tests for repro.core.dataset.PointSet."""
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import PointSet
+
+
+class TestConstruction:
+    def test_basic(self):
+        ps = PointSet(np.array([[1.0, 2.0], [3.0, 4.0]]))
+        assert len(ps) == 2
+        assert ps.dimensionality == 2
+        assert list(ps.ids) == [0, 1]
+
+    def test_explicit_ids(self):
+        ps = PointSet(np.array([[1.0, 2.0]]), np.array([42]))
+        assert list(ps.ids) == [42]
+
+    def test_rejects_negative_coordinates(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            PointSet(np.array([[1.0, -0.5]]))
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError, match="2-dimensional"):
+            PointSet(np.array([1.0, 2.0]))
+
+    def test_rejects_mismatched_ids(self):
+        with pytest.raises(ValueError, match="ids shape"):
+            PointSet(np.array([[1.0, 2.0]]), np.array([1, 2]))
+
+    def test_values_are_read_only(self):
+        ps = PointSet(np.array([[1.0, 2.0]]))
+        with pytest.raises(ValueError):
+            ps.values[0, 0] = 9.0
+
+    def test_empty(self):
+        ps = PointSet.empty(4)
+        assert len(ps) == 0
+        assert ps.dimensionality == 4
+
+    def test_from_rows(self):
+        ps = PointSet.from_rows([[1, 2], [3, 4]], ids=[7, 8])
+        assert ps.by_id(7).tolist() == [1.0, 2.0]
+
+    def test_integer_input_coerced_to_float(self):
+        ps = PointSet(np.array([[1, 2]]))
+        assert ps.values.dtype == np.float64
+
+
+class TestConcat:
+    def test_concat_preserves_ids(self):
+        a = PointSet(np.array([[1.0, 2.0]]), np.array([1]))
+        b = PointSet(np.array([[3.0, 4.0]]), np.array([2]))
+        merged = PointSet.concat([a, b])
+        assert merged.id_set() == {1, 2}
+
+    def test_concat_skips_empty_parts(self):
+        a = PointSet(np.array([[1.0, 2.0]]), np.array([1]))
+        merged = PointSet.concat([PointSet.empty(2), a])
+        assert len(merged) == 1
+
+    def test_concat_rejects_all_empty(self):
+        with pytest.raises(ValueError, match="zero non-empty"):
+            PointSet.concat([PointSet.empty(2)])
+
+    def test_concat_rejects_mixed_dimensionality(self):
+        a = PointSet(np.array([[1.0, 2.0]]))
+        b = PointSet(np.array([[1.0, 2.0, 3.0]]))
+        with pytest.raises(ValueError, match="mismatched"):
+            PointSet.concat([a, b])
+
+
+class TestAccessors:
+    def test_take(self):
+        ps = PointSet(np.array([[1.0], [2.0], [3.0]]), np.array([10, 20, 30]))
+        sub = ps.take([2, 0])
+        assert list(sub.ids) == [30, 10]
+
+    def test_mask(self):
+        ps = PointSet(np.array([[1.0], [2.0], [3.0]]))
+        sub = ps.mask(np.array([True, False, True]))
+        assert len(sub) == 2
+
+    def test_mask_shape_checked(self):
+        ps = PointSet(np.array([[1.0], [2.0]]))
+        with pytest.raises(ValueError, match="mask shape"):
+            ps.mask(np.array([True]))
+
+    def test_project(self):
+        ps = PointSet(np.array([[1.0, 2.0, 3.0]]))
+        assert ps.project((2, 0)).tolist() == [[3.0, 1.0]]
+
+    def test_by_id_missing(self):
+        ps = PointSet(np.array([[1.0]]))
+        with pytest.raises(KeyError):
+            ps.by_id(99)
+
+    def test_iteration_yields_id_and_coords(self):
+        ps = PointSet(np.array([[1.0, 2.0]]), np.array([5]))
+        items = list(ps)
+        assert items[0][0] == 5
+        assert items[0][1].tolist() == [1.0, 2.0]
+
+    def test_sorted_by(self):
+        ps = PointSet(np.array([[3.0], [1.0], [2.0]]), np.array([0, 1, 2]))
+        out = ps.sorted_by(ps.values[:, 0])
+        assert list(out.ids) == [1, 2, 0]
+
+    def test_sorted_by_is_stable(self):
+        ps = PointSet(np.array([[1.0], [1.0], [0.5]]), np.array([0, 1, 2]))
+        out = ps.sorted_by(ps.values[:, 0])
+        assert list(out.ids) == [2, 0, 1]
+
+    def test_equality(self):
+        a = PointSet(np.array([[1.0, 2.0]]))
+        b = PointSet(np.array([[1.0, 2.0]]))
+        assert a == b
+
+    def test_not_hashable(self):
+        ps = PointSet(np.array([[1.0]]))
+        with pytest.raises(TypeError):
+            hash(ps)

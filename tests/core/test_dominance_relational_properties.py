@@ -1,0 +1,74 @@
+"""Relational properties of the dominance orders (hypothesis).
+
+Dominance and ext-dominance are strict partial orders; several proofs
+in the paper (and several of this repository's optimizations — batch
+verdict survival under eviction, threshold soundness) lean on exactly
+these properties, so they are pinned explicitly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dominance import dominates, ext_dominates
+
+vectors = st.lists(
+    st.floats(0, 4, allow_nan=False, width=16), min_size=3, max_size=3
+).map(lambda xs: np.asarray(xs, dtype=float))
+
+
+@given(vectors)
+@settings(max_examples=100, deadline=None)
+def test_irreflexive(p):
+    assert not dominates(p, p)
+    assert not ext_dominates(p, p)
+
+
+@given(vectors, vectors)
+@settings(max_examples=150, deadline=None)
+def test_antisymmetric(p, q):
+    assert not (dominates(p, q) and dominates(q, p))
+    assert not (ext_dominates(p, q) and ext_dominates(q, p))
+
+
+@given(vectors, vectors, vectors)
+@settings(max_examples=150, deadline=None)
+def test_transitive(p, q, r):
+    if dominates(p, q) and dominates(q, r):
+        assert dominates(p, r)
+    if ext_dominates(p, q) and ext_dominates(q, r):
+        assert ext_dominates(p, r)
+
+
+@given(vectors, vectors)
+@settings(max_examples=150, deadline=None)
+def test_ext_implies_plain(p, q):
+    if ext_dominates(p, q):
+        assert dominates(p, q)
+
+
+@given(vectors, vectors)
+@settings(max_examples=150, deadline=None)
+def test_mixed_transitivity(p, q):
+    """The eviction-survival argument: dominator-of-dominator chains.
+
+    If p ext-dominates q then p also dominates anything q dominates —
+    the mixed chain used when a batch verdict's dominator is evicted.
+    """
+    r = q + 0.5  # q dominates r (strictly greater everywhere)
+    if ext_dominates(p, q):
+        assert dominates(p, r)
+
+
+@given(vectors, vectors)
+@settings(max_examples=150, deadline=None)
+def test_domination_on_superspace_implies_subspace_nothing(p, q):
+    """Obs. 1 direction: domination on D says nothing about subspaces
+    *unless* it holds coordinatewise — spot the exact implication that
+    does hold: ext-domination restricts to every subspace."""
+    if ext_dominates(p, q):
+        for sub in [(0,), (1, 2), (0, 2)]:
+            assert ext_dominates(p, q, subspace=sub)
+            assert dominates(p, q, subspace=sub)

@@ -1,0 +1,110 @@
+"""Unit tests for the pluggable dominance indexes."""
+
+import numpy as np
+import pytest
+
+from repro.core.indexes import (
+    BlockDominanceIndex,
+    ListDominanceIndex,
+    RTreeDominanceIndex,
+    make_index,
+)
+
+ALL_KINDS = ("list", "block", "rtree")
+
+
+class TestFactory:
+    def test_make_index(self):
+        assert isinstance(make_index("list", 3), ListDominanceIndex)
+        assert isinstance(make_index("block", 3), BlockDominanceIndex)
+        assert isinstance(make_index("rtree", 3), RTreeDominanceIndex)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown index kind"):
+            make_index("btree", 3)
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS)
+class TestSemantics:
+    def test_empty_index_dominates_nothing(self, kind):
+        index = make_index(kind, 2)
+        assert not index.is_dominated(np.array([0.5, 0.5]))
+        assert len(index) == 0
+
+    def test_insert_then_dominate(self, kind):
+        index = make_index(kind, 2)
+        index.insert_and_prune(0, np.array([0.2, 0.2]))
+        assert index.is_dominated(np.array([0.5, 0.5]))
+        assert not index.is_dominated(np.array([0.1, 0.5]))
+
+    def test_identical_point_not_dominated(self, kind):
+        index = make_index(kind, 2)
+        index.insert_and_prune(0, np.array([0.2, 0.2]))
+        assert not index.is_dominated(np.array([0.2, 0.2]))
+
+    def test_insert_evicts_dominated(self, kind):
+        index = make_index(kind, 2)
+        index.insert_and_prune(0, np.array([0.5, 0.5]))
+        index.insert_and_prune(1, np.array([0.2, 0.2]))
+        assert len(index) == 1
+        assert index.positions() == [1]
+
+    def test_incomparable_points_coexist(self, kind):
+        index = make_index(kind, 2)
+        index.insert_and_prune(0, np.array([0.1, 0.9]))
+        index.insert_and_prune(1, np.array([0.9, 0.1]))
+        assert sorted(index.positions()) == [0, 1]
+
+    def test_strict_mode(self, kind):
+        index = make_index(kind, 2, strict=True)
+        index.insert_and_prune(0, np.array([0.2, 0.5]))
+        # shares a coordinate -> not ext-dominated
+        assert not index.is_dominated(np.array([0.2, 0.9]))
+        assert index.is_dominated(np.array([0.3, 0.6]))
+
+    def test_comparisons_counter_increases(self, kind):
+        index = make_index(kind, 2)
+        index.insert_and_prune(0, np.array([0.5, 0.5]))
+        before = index.comparisons
+        index.is_dominated(np.array([0.6, 0.6]))
+        assert index.comparisons > before
+
+
+class TestIndexAgreement:
+    def test_random_stream_agreement(self, rng):
+        """All three implementations track identical candidate sets."""
+        indexes = {kind: make_index(kind, 3) for kind in ALL_KINDS}
+        for pos in range(200):
+            point = rng.random(3)
+            verdicts = {kind: idx.is_dominated(point) for kind, idx in indexes.items()}
+            assert len(set(verdicts.values())) == 1, f"disagreement at {pos}"
+            if not verdicts["list"]:
+                for idx in indexes.values():
+                    idx.insert_and_prune(pos, point)
+            survivors = {kind: sorted(idx.positions()) for kind, idx in indexes.items()}
+            assert survivors["list"] == survivors["block"] == survivors["rtree"]
+
+
+class TestBlockBulkInsert:
+    def test_bulk_insert_appends(self):
+        index = BlockDominanceIndex(2)
+        index.bulk_insert(np.array([0, 1]), np.array([[0.1, 0.9], [0.9, 0.1]]))
+        assert sorted(index.positions()) == [0, 1]
+
+    def test_bulk_insert_evicts(self):
+        index = BlockDominanceIndex(2)
+        index.insert_and_prune(0, np.array([0.5, 0.5]))
+        index.bulk_insert(np.array([1]), np.array([[0.2, 0.2]]))
+        assert index.positions() == [1]
+
+    def test_bulk_insert_grows_capacity(self):
+        index = BlockDominanceIndex(2)
+        n = 300  # beyond the initial capacity of 64
+        rows = np.column_stack([np.linspace(0, 1, n), np.linspace(1, 0, n)])
+        index.bulk_insert(np.arange(n), rows)
+        assert len(index) == n
+
+    def test_bulk_insert_empty_is_noop(self):
+        index = BlockDominanceIndex(2)
+        index.bulk_insert(np.array([], dtype=int), np.empty((0, 2)))
+        assert len(index) == 0

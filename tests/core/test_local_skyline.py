@@ -1,0 +1,141 @@
+"""Unit tests for Algorithm 1 (threshold-based local subspace skyline)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import PointSet
+from repro.core.local_skyline import local_subspace_skyline
+from repro.core.mapping import dist_values, f_values
+from repro.core.store import SortedByF
+from tests.conftest import brute_force_skyline_ids
+
+INDEX_KINDS = ("block", "list", "rtree")
+
+
+def _store(rng, n=150, d=5) -> tuple[PointSet, SortedByF]:
+    points = PointSet(rng.random((n, d)))
+    return points, SortedByF.from_points(points)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("index_kind", INDEX_KINDS)
+    def test_matches_brute_force(self, rng, index_kind):
+        points, store = _store(rng)
+        for sub in [(0,), (1, 3), (0, 2, 4)]:
+            got = local_subspace_skyline(store, sub, index_kind=index_kind)
+            assert got.points.id_set() == brute_force_skyline_ids(points, sub)
+
+    @pytest.mark.parametrize("index_kind", INDEX_KINDS)
+    def test_strict_mode_matches_brute_force(self, rng, index_kind):
+        points, store = _store(rng, n=100)
+        got = local_subspace_skyline(store, (0, 1, 2, 3, 4), strict=True, index_kind=index_kind)
+        assert got.points.id_set() == brute_force_skyline_ids(
+            points, (0, 1, 2, 3, 4), strict=True
+        )
+
+    def test_result_is_f_sorted(self, rng):
+        _points, store = _store(rng)
+        got = local_subspace_skyline(store, (1, 2))
+        assert np.all(np.diff(got.result.f) >= 0)
+
+    def test_empty_store(self):
+        got = local_subspace_skyline(SortedByF.empty(3), (0, 1))
+        assert len(got.result) == 0
+        assert got.threshold == math.inf
+        assert got.examined == 0
+
+    def test_single_point(self):
+        store = SortedByF.from_points(PointSet(np.array([[0.3, 0.7]])))
+        got = local_subspace_skyline(store, (0, 1))
+        assert len(got.result) == 1
+        assert got.threshold == pytest.approx(0.7)
+
+    def test_all_duplicates_kept(self):
+        pts = PointSet(np.array([[0.5, 0.5]] * 4))
+        got = local_subspace_skyline(SortedByF.from_points(pts), (0, 1))
+        assert len(got.result) == 4
+
+
+class TestThreshold:
+    def test_final_threshold_is_min_dist(self, rng):
+        points, store = _store(rng)
+        sub = (0, 3)
+        got = local_subspace_skyline(store, sub)
+        expected = dist_values(got.result.points.values, sub).min()
+        assert got.threshold == pytest.approx(expected)
+
+    def test_initial_threshold_caps_result(self, rng):
+        """With threshold t, only skyline points with f <= t come back."""
+        points, store = _store(rng)
+        sub = (1, 4)
+        full = local_subspace_skyline(store, sub)
+        t = 0.15
+        capped = local_subspace_skyline(store, sub, initial_threshold=t)
+        f_full = f_values(full.result.points.values)
+        expected = {
+            int(i)
+            for i, fv in zip(full.result.points.ids, f_full)
+            if fv <= t
+        }
+        assert capped.points.id_set() == expected
+
+    def test_initial_threshold_never_false_negative(self, rng):
+        """Any point pruned by a (valid) threshold is globally dominated,
+        so capped result == full result filtered by f <= t."""
+        points, store = _store(rng, n=200)
+        sub = (0, 2)
+        full = local_subspace_skyline(store, sub)
+        t = full.threshold  # a genuinely achievable threshold
+        capped = local_subspace_skyline(store, sub, initial_threshold=t)
+        assert capped.points.id_set() <= full.points.id_set()
+
+    def test_tiny_threshold_short_circuits(self, rng):
+        points, store = _store(rng)
+        got = local_subspace_skyline(store, (0, 1), initial_threshold=-1.0)
+        assert got.examined == 0
+        assert len(got.result) == 0
+        assert got.threshold == -1.0
+
+    def test_threshold_ties_are_examined(self):
+        """A point whose f equals the threshold must not be dropped.
+
+        The only non-dominated tie is a duplicate of an all-equal
+        threshold point: the paper's ``while f(p) < threshold`` loop
+        would drop it, violating exactness; our ``<=`` keeps it.
+        """
+        pts = PointSet(np.array([[0.5, 0.5], [0.5, 0.5]]))
+        store = SortedByF.from_points(pts)
+        got = local_subspace_skyline(store, (0, 1))
+        assert len(got.result) == 2
+
+    def test_initial_threshold_tie_examined(self):
+        """Same tie situation against a propagated initial threshold."""
+        pts = PointSet(np.array([[0.5, 0.5]]))
+        store = SortedByF.from_points(pts)
+        got = local_subspace_skyline(store, (0, 1), initial_threshold=0.5)
+        assert len(got.result) == 1
+
+    def test_early_termination_prunes_scans(self, rng):
+        points, store = _store(rng, n=500)
+        got = local_subspace_skyline(store, (0, 1))
+        assert got.examined < got.input_size
+        assert got.pruned_by_threshold == got.input_size - got.examined
+
+
+class TestStats:
+    def test_duration_positive(self, rng):
+        _points, store = _store(rng)
+        got = local_subspace_skyline(store, (0, 1))
+        assert got.duration > 0
+
+    def test_comparisons_counted(self, rng):
+        _points, store = _store(rng)
+        got = local_subspace_skyline(store, (0, 1))
+        assert got.comparisons > 0
+
+    def test_input_size_recorded(self, rng):
+        points, store = _store(rng)
+        got = local_subspace_skyline(store, (0, 1))
+        assert got.input_size == len(points)

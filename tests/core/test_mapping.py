@@ -1,0 +1,87 @@
+"""Unit tests for the f(p) mapping and dist_U (paper section 5.1)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import PointSet
+from repro.core.dominance import dominates
+from repro.core.mapping import (
+    can_prune,
+    dist_value,
+    dist_values,
+    f_value,
+    f_values,
+    sort_by_f,
+)
+
+
+class TestFValues:
+    def test_f_is_min_over_all_dimensions(self):
+        values = np.array([[3.0, 1.0, 2.0], [0.5, 4.0, 9.0]])
+        assert f_values(values).tolist() == [1.0, 0.5]
+
+    def test_f_value_scalar(self):
+        assert f_value(np.array([3.0, 1.0, 2.0])) == 1.0
+
+    def test_empty(self):
+        assert f_values(np.empty((0, 3))).tolist() == []
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            f_values(np.array([1.0, 2.0]))
+
+
+class TestDistValues:
+    def test_dist_is_max_over_subspace(self):
+        values = np.array([[3.0, 1.0, 2.0]])
+        assert dist_values(values, (1, 2)).tolist() == [2.0]
+        assert dist_value(values[0], (0,)) == 3.0
+
+    def test_rejects_empty_subspace(self):
+        with pytest.raises(ValueError):
+            dist_values(np.array([[1.0]]), ())
+
+    def test_f_never_exceeds_dist(self, rng):
+        """f(p) = min over D <= max over U = dist_U(p), any U."""
+        values = rng.random((100, 5))
+        f = f_values(values)
+        for sub in [(0,), (1, 3), (0, 1, 2, 3, 4)]:
+            assert np.all(f <= dist_values(values, sub) + 1e-12)
+
+
+class TestObservation5:
+    def test_pruned_points_are_dominated(self, rng):
+        """Observation 5: f(p) > dist_U(p_sky) implies p_sky dominates p."""
+        subspace = (0, 2)
+        for _ in range(200):
+            p_sky = rng.random(4)
+            p = rng.random(4)
+            if f_value(p) > dist_value(p_sky, subspace):
+                assert dominates(p_sky, p, subspace)
+
+    def test_can_prune_is_strict(self):
+        assert can_prune(0.6, 0.5)
+        assert not can_prune(0.5, 0.5)  # ties must be examined
+        assert not can_prune(0.4, 0.5)
+
+    def test_tie_point_can_be_skyline(self):
+        """The reason ties are not prunable: an all-equal point."""
+        p_sky = np.array([0.5, 0.5])
+        p = np.array([0.5, 0.5])
+        assert f_value(p) == dist_value(p_sky, (0, 1))
+        assert not dominates(p_sky, p)
+
+
+class TestSortByF:
+    def test_sorted_ascending(self, rng):
+        points = PointSet(rng.random((50, 3)))
+        sorted_ps, keys = sort_by_f(points)
+        assert np.all(np.diff(keys) >= 0)
+        assert sorted_ps.id_set() == points.id_set()
+
+    def test_keys_match_points(self, rng):
+        points = PointSet(rng.random((50, 3)))
+        sorted_ps, keys = sort_by_f(points)
+        np.testing.assert_allclose(keys, f_values(sorted_ps.values))

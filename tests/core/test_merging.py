@@ -1,0 +1,117 @@
+"""Unit tests for Algorithm 2 (threshold-based merge of sorted lists)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import PointSet
+from repro.core.local_skyline import local_subspace_skyline
+from repro.core.merging import merge_sorted_skylines
+from repro.core.store import SortedByF
+from tests.conftest import brute_force_skyline_ids
+
+INDEX_KINDS = ("block", "list", "rtree")
+
+
+def _split_local_skylines(rng, subspace, parts=4, n=200, d=5):
+    points = PointSet(rng.random((n, d)))
+    part_sets = [PointSet(points.values[i::parts], points.ids[i::parts]) for i in range(parts)]
+    lists = [
+        local_subspace_skyline(SortedByF.from_points(p), subspace).result for p in part_sets
+    ]
+    return points, lists
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("index_kind", INDEX_KINDS)
+    def test_merge_equals_centralized(self, rng, index_kind):
+        sub = (0, 2, 4)
+        points, lists = _split_local_skylines(rng, sub)
+        merged = merge_sorted_skylines(lists, sub, index_kind=index_kind)
+        assert merged.points.id_set() == brute_force_skyline_ids(points, sub)
+
+    def test_fast_and_heap_paths_agree(self, rng):
+        sub = (1, 3)
+        _points, lists = _split_local_skylines(rng, sub)
+        fast = merge_sorted_skylines(lists, sub, index_kind="block")
+        heap = merge_sorted_skylines(lists, sub, index_kind="list")
+        assert fast.points.id_set() == heap.points.id_set()
+        assert fast.threshold == pytest.approx(heap.threshold)
+
+    def test_merge_of_single_list_is_idempotent(self, rng):
+        sub = (0, 1)
+        points = PointSet(rng.random((80, 3)))
+        local = local_subspace_skyline(SortedByF.from_points(points), sub).result
+        merged = merge_sorted_skylines([local], sub)
+        assert merged.points.id_set() == local.points.id_set()
+
+    def test_merge_composes(self, rng):
+        """Progressive merging relies on merges being associative."""
+        sub = (0, 2)
+        points, lists = _split_local_skylines(rng, sub, parts=6)
+        left = merge_sorted_skylines(lists[:3], sub).result
+        right = merge_sorted_skylines(lists[3:], sub).result
+        nested = merge_sorted_skylines([left, right], sub)
+        flat = merge_sorted_skylines(lists, sub)
+        assert nested.points.id_set() == flat.points.id_set()
+
+    def test_result_is_f_sorted(self, rng):
+        sub = (0, 1, 2)
+        _points, lists = _split_local_skylines(rng, sub)
+        merged = merge_sorted_skylines(lists, sub)
+        assert np.all(np.diff(merged.result.f) >= 0)
+
+    def test_strict_mode_merges_ext_skylines(self, rng):
+        """The pre-processing merge: ext-skylines of partitions merge to
+        the ext-skyline of the union."""
+        sub = (0, 1, 2, 3, 4)
+        points = PointSet(rng.random((150, 5)))
+        parts = [PointSet(points.values[i::3], points.ids[i::3]) for i in range(3)]
+        lists = [
+            local_subspace_skyline(SortedByF.from_points(p), sub, strict=True).result
+            for p in parts
+        ]
+        merged = merge_sorted_skylines(lists, sub, strict=True)
+        assert merged.points.id_set() == brute_force_skyline_ids(points, sub, strict=True)
+
+
+class TestEdgeCases:
+    def test_no_lists(self):
+        merged = merge_sorted_skylines([], (0, 1))
+        assert len(merged.result) == 0
+        assert merged.threshold == math.inf
+
+    def test_empty_lists_skipped(self, rng):
+        sub = (0, 1)
+        points = PointSet(rng.random((40, 2)))
+        local = local_subspace_skyline(SortedByF.from_points(points), sub).result
+        merged = merge_sorted_skylines([SortedByF.empty(2), local], sub)
+        assert merged.points.id_set() == local.points.id_set()
+
+    def test_mismatched_dimensionalities_rejected(self, rng):
+        a = SortedByF.from_points(PointSet(rng.random((5, 2))))
+        b = SortedByF.from_points(PointSet(rng.random((5, 3))))
+        with pytest.raises(ValueError, match="mismatched"):
+            merge_sorted_skylines([a, b], (0, 1))
+
+    def test_initial_threshold_respected(self, rng):
+        sub = (0, 1)
+        _points, lists = _split_local_skylines(rng, sub, d=4)
+        unlimited = merge_sorted_skylines(lists, sub)
+        capped = merge_sorted_skylines(lists, sub, initial_threshold=0.1)
+        assert capped.points.id_set() <= unlimited.points.id_set()
+        assert capped.threshold <= 0.1
+
+    def test_examined_counts_early_termination(self, rng):
+        sub = (0, 1)
+        _points, lists = _split_local_skylines(rng, sub, n=400, d=6)
+        merged = merge_sorted_skylines(lists, sub)
+        assert merged.examined <= merged.input_size
+
+    def test_duplicate_ids_across_lists_survive(self):
+        """Identical points in two lists: neither dominates the other."""
+        a = SortedByF.from_points(PointSet(np.array([[0.5, 0.5]]), np.array([1])))
+        b = SortedByF.from_points(PointSet(np.array([[0.5, 0.5]]), np.array([2])))
+        merged = merge_sorted_skylines([a, b], (0, 1))
+        assert merged.points.id_set() == {1, 2}

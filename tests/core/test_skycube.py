@@ -1,0 +1,77 @@
+"""Unit tests for the skycube oracle."""
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import PointSet
+from repro.core.skycube import (
+    skycube,
+    skycube_union_ids,
+    skycube_via_extended,
+    verify_extended_skyline_covers_skycube,
+)
+from repro.core.subspace import all_subspaces
+from tests.conftest import brute_force_skyline_ids
+
+
+class TestSkycube:
+    def test_has_all_subspaces(self, rng):
+        points = PointSet(rng.random((30, 3)))
+        cube = skycube(points)
+        assert set(cube) == set(all_subspaces(3))
+
+    def test_entries_match_brute_force(self, rng):
+        points = PointSet(rng.random((40, 3)))
+        cube = skycube(points)
+        for sub, ids in cube.items():
+            assert ids == brute_force_skyline_ids(points, sub)
+
+    def test_dimensionality_guard(self, rng):
+        points = PointSet(rng.random((5, 13)))
+        with pytest.raises(ValueError, match="entries"):
+            skycube(points)
+
+    def test_union(self, rng):
+        points = PointSet(rng.random((40, 3)))
+        cube = skycube(points)
+        union = skycube_union_ids(cube)
+        assert union == frozenset().union(*cube.values())
+
+    def test_observation4_verifier(self, rng):
+        for seed in range(5):
+            pts = PointSet(np.random.default_rng(seed).random((50, 4)))
+            assert verify_extended_skyline_covers_skycube(pts)
+
+    def test_observation4_verifier_with_ties(self, rng):
+        values = rng.integers(0, 3, size=(60, 4)).astype(float)
+        assert verify_extended_skyline_covers_skycube(PointSet(values))
+
+
+class TestSkycubeViaExtended:
+    def test_equals_brute_force(self, rng):
+        points = PointSet(rng.random((80, 4)))
+        assert skycube_via_extended(points) == skycube(points)
+
+    def test_equals_brute_force_with_ties(self, rng):
+        values = rng.integers(0, 3, size=(80, 4)).astype(float)
+        points = PointSet(values)
+        assert skycube_via_extended(points) == skycube(points)
+
+    def test_dimensionality_guard(self, rng):
+        with pytest.raises(ValueError, match="entries"):
+            skycube_via_extended(PointSet(rng.random((5, 13))))
+
+    def test_ext_skyline_monotonicity(self, rng):
+        """The sharing invariant: ext-SKY_V subset ext-SKY_U, V subset U."""
+        from repro.core.dominance import extended_skyline_mask
+        from repro.core.subspace import all_subspaces
+
+        points = PointSet(rng.random((60, 4)))
+        ext = {
+            sub: points.mask(extended_skyline_mask(points.values, sub)).id_set()
+            for sub in all_subspaces(4)
+        }
+        for small, small_ids in ext.items():
+            for big, big_ids in ext.items():
+                if set(small) <= set(big):
+                    assert small_ids <= big_ids, (small, big)

@@ -1,0 +1,62 @@
+"""Tests for skyline cardinality estimation."""
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import PointSet
+from repro.core.dominance import skyline_mask
+from repro.core.statistics import asymptotic_skyline_size, expected_uniform_skyline_size
+
+
+class TestExactExpectation:
+    def test_one_dimension(self):
+        assert expected_uniform_skyline_size(100, 1) == pytest.approx(1.0)
+
+    def test_two_dimensions_is_harmonic(self):
+        n = 50
+        harmonic = sum(1.0 / k for k in range(1, n + 1))
+        assert expected_uniform_skyline_size(n, 2) == pytest.approx(harmonic)
+
+    def test_single_point(self):
+        for d in (1, 3, 7):
+            assert expected_uniform_skyline_size(1, d) == pytest.approx(1.0)
+
+    def test_zero_points(self):
+        assert expected_uniform_skyline_size(0, 4) == 0.0
+
+    def test_monotone_in_n_and_d(self):
+        assert expected_uniform_skyline_size(100, 3) < expected_uniform_skyline_size(200, 3)
+        assert expected_uniform_skyline_size(200, 3) < expected_uniform_skyline_size(200, 4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_uniform_skyline_size(-1, 2)
+        with pytest.raises(ValueError):
+            expected_uniform_skyline_size(5, 0)
+
+    def test_monte_carlo_agreement(self):
+        """The skyline machinery reproduces the analytic expectation."""
+        n, d, trials = 200, 3, 40
+        expected = expected_uniform_skyline_size(n, d)
+        sizes = []
+        rng = np.random.default_rng(7)
+        for _ in range(trials):
+            sizes.append(int(skyline_mask(rng.random((n, d))).sum()))
+        observed = float(np.mean(sizes))
+        # standard error of the mean is ~ sqrt(var/trials); 15% is safe
+        assert observed == pytest.approx(expected, rel=0.15)
+
+
+class TestAsymptotic:
+    def test_matches_exact_in_order_of_magnitude(self):
+        exact = expected_uniform_skyline_size(10_000, 4)
+        approx = asymptotic_skyline_size(10_000, 4)
+        assert 0.3 < approx / exact < 3.0
+
+    def test_small_n(self):
+        assert asymptotic_skyline_size(0, 3) == 0.0
+        assert asymptotic_skyline_size(1, 3) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            asymptotic_skyline_size(10, 0)

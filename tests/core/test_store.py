@@ -1,0 +1,35 @@
+"""Unit tests for the f-sorted super-peer store."""
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import PointSet
+from repro.core.store import SortedByF
+
+
+class TestSortedByF:
+    def test_from_points_sorts(self, rng):
+        ps = PointSet(rng.random((40, 4)))
+        store = SortedByF.from_points(ps)
+        assert np.all(np.diff(store.f) >= 0)
+        assert store.points.id_set() == ps.id_set()
+
+    def test_rejects_unsorted_keys(self):
+        ps = PointSet(np.array([[1.0, 1.0], [2.0, 2.0]]))
+        with pytest.raises(ValueError, match="sorted ascending"):
+            SortedByF(ps, np.array([2.0, 1.0]))
+
+    def test_rejects_length_mismatch(self):
+        ps = PointSet(np.array([[1.0, 1.0]]))
+        with pytest.raises(ValueError, match="one f value"):
+            SortedByF(ps, np.array([1.0, 2.0]))
+
+    def test_empty(self):
+        store = SortedByF.empty(3)
+        assert len(store) == 0
+        assert store.dimensionality == 3
+
+    def test_f_read_only(self, rng):
+        store = SortedByF.from_points(PointSet(rng.random((5, 2))))
+        with pytest.raises(ValueError):
+            store.f[0] = -1.0

@@ -1,0 +1,60 @@
+"""Unit tests for repro.core.subspace."""
+
+import pytest
+
+from repro.core.subspace import (
+    all_subspaces,
+    full_space,
+    is_subspace_of,
+    normalize_subspace,
+    subspaces_of_size,
+)
+
+
+class TestFullSpace:
+    def test_full_space(self):
+        assert full_space(3) == (0, 1, 2)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            full_space(0)
+
+
+class TestNormalize:
+    def test_sorts_and_dedupes(self):
+        assert normalize_subspace([3, 1, 3], 5) == (1, 3)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one"):
+            normalize_subspace([], 5)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            normalize_subspace([5], 5)
+        with pytest.raises(ValueError, match="out of range"):
+            normalize_subspace([-1], 5)
+
+    def test_full_space_is_valid(self):
+        assert normalize_subspace(range(4), 4) == (0, 1, 2, 3)
+
+
+class TestEnumeration:
+    def test_count_is_2_pow_d_minus_1(self):
+        assert sum(1 for _ in all_subspaces(4)) == 15
+
+    def test_sizes_are_increasing(self):
+        sizes = [len(u) for u in all_subspaces(3)]
+        assert sizes == sorted(sizes)
+
+    def test_subspaces_of_size(self):
+        assert list(subspaces_of_size(3, 2)) == [(0, 1), (0, 2), (1, 2)]
+
+    def test_subspaces_of_size_bounds(self):
+        with pytest.raises(ValueError):
+            list(subspaces_of_size(3, 0))
+        with pytest.raises(ValueError):
+            list(subspaces_of_size(3, 4))
+
+    def test_is_subspace_of(self):
+        assert is_subspace_of((0, 2), (0, 1, 2))
+        assert not is_subspace_of((0, 3), (0, 1, 2))

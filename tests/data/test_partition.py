@@ -1,0 +1,51 @@
+"""Unit tests for horizontal partitioning."""
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import PointSet
+from repro.data.partition import partition_by_sizes, partition_evenly
+
+
+class TestPartitionEvenly:
+    def test_even_split(self, rng):
+        points = PointSet(rng.random((100, 3)))
+        parts = partition_evenly(points, 4)
+        assert [len(p) for p in parts] == [25, 25, 25, 25]
+
+    def test_remainder_spread(self, rng):
+        points = PointSet(rng.random((10, 2)))
+        parts = partition_evenly(points, 3)
+        assert [len(p) for p in parts] == [4, 3, 3]
+
+    def test_partition_is_exact_cover(self, rng):
+        points = PointSet(rng.random((57, 2)))
+        parts = partition_evenly(points, 5)
+        ids = [i for p in parts for i in p.ids]
+        assert sorted(ids) == sorted(points.ids)
+
+    def test_more_parts_than_points(self, rng):
+        points = PointSet(rng.random((2, 2)))
+        parts = partition_evenly(points, 4)
+        assert [len(p) for p in parts] == [1, 1, 0, 0]
+
+    def test_rejects_non_positive(self, rng):
+        with pytest.raises(ValueError):
+            partition_evenly(PointSet(rng.random((4, 2))), 0)
+
+
+class TestPartitionBySizes:
+    def test_custom_sizes(self, rng):
+        points = PointSet(rng.random((10, 2)))
+        parts = partition_by_sizes(points, [7, 0, 3])
+        assert [len(p) for p in parts] == [7, 0, 3]
+
+    def test_rejects_bad_sum(self, rng):
+        points = PointSet(rng.random((10, 2)))
+        with pytest.raises(ValueError, match="sizes sum"):
+            partition_by_sizes(points, [4, 4])
+
+    def test_rejects_negative(self, rng):
+        points = PointSet(rng.random((4, 2)))
+        with pytest.raises(ValueError, match="non-negative"):
+            partition_by_sizes(points, [5, -1])

@@ -1,0 +1,53 @@
+"""Tests for the Zipf-skewed workload generator."""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.data.workload import generate_skewed_workload
+
+
+class TestSkewedWorkload:
+    def test_respects_pool_size(self, rng):
+        queries = generate_skewed_workload(100, 8, 3, [0, 1], rng, distinct_subspaces=4)
+        assert len(queries) == 100
+        assert len({q.subspace for q in queries}) <= 4
+
+    def test_subspace_shape(self, rng):
+        for q in generate_skewed_workload(30, 6, 2, [0], rng):
+            assert len(q.subspace) == 2
+            assert q.subspace == tuple(sorted(q.subspace))
+
+    def test_popularity_is_skewed(self, rng):
+        queries = generate_skewed_workload(
+            500, 8, 3, [0], rng, distinct_subspaces=5, zipf_s=1.5
+        )
+        counts = sorted(Counter(q.subspace for q in queries).values(), reverse=True)
+        # the most popular subspace should dwarf the least popular
+        assert counts[0] > 3 * counts[-1]
+
+    def test_initiators_uniformish(self, rng):
+        ids = [0, 1, 2, 3]
+        queries = generate_skewed_workload(400, 6, 2, ids, rng)
+        counts = Counter(q.initiator for q in queries)
+        assert set(counts) == set(ids)
+        assert max(counts.values()) < 3 * min(counts.values())
+
+    def test_deterministic(self):
+        a = generate_skewed_workload(20, 6, 2, [0, 1], np.random.default_rng(5))
+        b = generate_skewed_workload(20, 6, 2, [0, 1], np.random.default_rng(5))
+        assert a == b
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            generate_skewed_workload(5, 6, 2, [0], rng, distinct_subspaces=0)
+        with pytest.raises(ValueError):
+            generate_skewed_workload(5, 6, 2, [0], rng, zipf_s=0)
+        with pytest.raises(ValueError):
+            generate_skewed_workload(5, 6, 2, [], rng)
+
+    def test_small_subspace_universe(self, rng):
+        """d=2, k=2 has a single possible subspace: pool collapses."""
+        queries = generate_skewed_workload(10, 2, 2, [0], rng, distinct_subspaces=5)
+        assert {q.subspace for q in queries} == {(0, 1)}

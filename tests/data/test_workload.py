@@ -1,0 +1,51 @@
+"""Unit tests for query workload generation."""
+
+import numpy as np
+import pytest
+
+from repro.data.workload import Query, generate_workload
+
+
+class TestQuery:
+    def test_k(self):
+        assert Query(subspace=(0, 2, 5), initiator=3).k == 3
+
+
+class TestGenerateWorkload:
+    def test_workload_size(self, rng):
+        queries = generate_workload(25, 8, 3, [0, 1, 2], rng)
+        assert len(queries) == 25
+
+    def test_subspace_properties(self, rng):
+        for q in generate_workload(50, 8, 3, [0], rng):
+            assert len(q.subspace) == 3
+            assert len(set(q.subspace)) == 3
+            assert q.subspace == tuple(sorted(q.subspace))
+            assert all(0 <= d < 8 for d in q.subspace)
+
+    def test_initiators_from_given_ids(self, rng):
+        ids = [5, 9, 13]
+        for q in generate_workload(50, 6, 2, ids, rng):
+            assert q.initiator in ids
+
+    def test_all_subsets_reachable(self, rng):
+        """Uniform probability over k-subsets: every pair of dims shows
+        up in a large workload over a small space."""
+        queries = generate_workload(400, 4, 2, [0], rng)
+        seen = {q.subspace for q in queries}
+        assert len(seen) == 6  # C(4, 2)
+
+    def test_deterministic_given_rng(self):
+        a = generate_workload(10, 6, 3, [0, 1], np.random.default_rng(3))
+        b = generate_workload(10, 6, 3, [0, 1], np.random.default_rng(3))
+        assert a == b
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            generate_workload(5, 4, 5, [0], rng)  # k > d
+        with pytest.raises(ValueError):
+            generate_workload(5, 4, 0, [0], rng)  # k < 1
+        with pytest.raises(ValueError):
+            generate_workload(-1, 4, 2, [0], rng)
+        with pytest.raises(ValueError):
+            generate_workload(5, 4, 2, [], rng)  # no super-peers

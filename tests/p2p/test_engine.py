@@ -1,0 +1,105 @@
+"""Unit tests for the discrete-event engine and FIFO links."""
+
+import pytest
+
+from repro.p2p.cost import CostModel
+from repro.p2p.engine import EventLoop, LinkLayer
+
+
+class TestEventLoop:
+    def test_runs_in_time_order(self):
+        loop = EventLoop()
+        log = []
+        loop.schedule(3.0, lambda: log.append("c"))
+        loop.schedule(1.0, lambda: log.append("a"))
+        loop.schedule(2.0, lambda: log.append("b"))
+        loop.run()
+        assert log == ["a", "b", "c"]
+
+    def test_ties_run_fifo(self):
+        loop = EventLoop()
+        log = []
+        loop.schedule(1.0, lambda: log.append(1))
+        loop.schedule(1.0, lambda: log.append(2))
+        loop.run()
+        assert log == [1, 2]
+
+    def test_now_advances(self):
+        loop = EventLoop()
+        seen = []
+        loop.schedule(2.5, lambda: seen.append(loop.now))
+        loop.run()
+        assert seen == [2.5]
+
+    def test_nested_scheduling(self):
+        loop = EventLoop()
+        log = []
+        loop.schedule(1.0, lambda: loop.schedule(1.0, lambda: log.append(loop.now)))
+        loop.run()
+        assert log == [2.0]
+
+    def test_rejects_past(self):
+        loop = EventLoop()
+        with pytest.raises(ValueError):
+            loop.schedule(-1.0, lambda: None)
+        with pytest.raises(ValueError):
+            loop.schedule_at(-0.5, lambda: None)
+
+    def test_event_budget(self):
+        loop = EventLoop()
+
+        def forever():
+            loop.schedule(1.0, forever)
+
+        loop.schedule(0.0, forever)
+        with pytest.raises(RuntimeError, match="budget"):
+            loop.run(max_events=100)
+
+    def test_returns_event_count(self):
+        loop = EventLoop()
+        for i in range(5):
+            loop.schedule(float(i), lambda: None)
+        assert loop.run() == 5
+
+
+class TestLinkLayer:
+    def _setup(self, bandwidth=1024.0):
+        loop = EventLoop()
+        links = LinkLayer(loop, CostModel(bandwidth_bytes_per_sec=bandwidth))
+        return loop, links
+
+    def test_delivery_time(self):
+        loop, links = self._setup()
+        seen = []
+        links.send(0, 1, 2048, lambda: seen.append(loop.now))
+        loop.run()
+        assert seen == [pytest.approx(2.0)]
+
+    def test_accounting(self):
+        loop, links = self._setup()
+        links.send(0, 1, 100, lambda: None)
+        links.send(1, 0, 200, lambda: None)
+        loop.run()
+        assert links.bytes_sent == 300
+        assert links.messages_sent == 2
+
+    def test_link_serializes(self):
+        loop, links = self._setup()
+        arrivals = []
+        links.send(0, 1, 1024, lambda: arrivals.append(loop.now))
+        links.send(0, 1, 1024, lambda: arrivals.append(loop.now))
+        loop.run()
+        assert arrivals == [pytest.approx(1.0), pytest.approx(2.0)]
+
+    def test_opposite_directions_parallel(self):
+        loop, links = self._setup()
+        arrivals = []
+        links.send(0, 1, 1024, lambda: arrivals.append(loop.now))
+        links.send(1, 0, 1024, lambda: arrivals.append(loop.now))
+        loop.run()
+        assert arrivals == [pytest.approx(1.0), pytest.approx(1.0)]
+
+    def test_negative_bytes_rejected(self):
+        _loop, links = self._setup()
+        with pytest.raises(ValueError):
+            links.send(0, 1, -1, lambda: None)

@@ -1,0 +1,77 @@
+"""Unit tests for peers and super-peers (pre-processing, section 5.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import PointSet
+from repro.core.store import SortedByF
+from repro.p2p.node import Peer, SuperPeer
+from tests.conftest import brute_force_skyline_ids
+
+
+class TestPeer:
+    def test_computes_ext_skyline(self, rng):
+        data = PointSet(rng.random((80, 4)))
+        peer = Peer(peer_id=0, data=data)
+        got = peer.compute_extended_skyline()
+        expected = brute_force_skyline_ids(data, (0, 1, 2, 3), strict=True)
+        assert got.points.id_set() == expected
+
+    def test_paper_figure2_peer_a(self, paper_peer_a):
+        peer = Peer(peer_id=0, data=paper_peer_a)
+        assert peer.compute_extended_skyline().points.id_set() == {1, 2, 3, 4, 5}
+
+    def test_len(self, rng):
+        assert len(Peer(peer_id=0, data=PointSet(rng.random((7, 2))))) == 7
+
+
+class TestSuperPeer:
+    def test_merge_of_figure2_peers(self, paper_peer_a, paper_peer_b):
+        """Super-peer merge over P_A and P_B matches the ext-skyline of
+        their union (the invariant of section 5.3)."""
+        sp = SuperPeer(superpeer_id=0, dimensionality=4)
+        for pid, data in ((0, paper_peer_a), (1, paper_peer_b)):
+            sp.receive_peer_skyline(pid, Peer(peer_id=pid, data=data).compute_extended_skyline().result)
+        sp.rebuild_store()
+        union = PointSet.concat([paper_peer_a, paper_peer_b])
+        expected = brute_force_skyline_ids(union, (0, 1, 2, 3), strict=True)
+        assert sp.store.points.id_set() == expected
+
+    def test_incremental_join_equals_rebuild(self, rng):
+        datasets = [PointSet(rng.random((40, 3)), np.arange(i * 40, (i + 1) * 40)) for i in range(4)]
+        incremental = SuperPeer(superpeer_id=0, dimensionality=3)
+        for pid, data in enumerate(datasets):
+            skyline = Peer(peer_id=pid, data=data).compute_extended_skyline().result
+            incremental.merge_in_peer(pid, skyline)
+        rebuilt = SuperPeer(superpeer_id=1, dimensionality=3)
+        for pid, data in enumerate(datasets):
+            rebuilt.receive_peer_skyline(
+                pid, Peer(peer_id=pid, data=data).compute_extended_skyline().result
+            )
+        rebuilt.rebuild_store()
+        assert incremental.store.points.id_set() == rebuilt.store.points.id_set()
+
+    def test_drop_peer_restores_exactness(self, rng):
+        datasets = [PointSet(rng.random((30, 3)), np.arange(i * 30, (i + 1) * 30)) for i in range(3)]
+        sp = SuperPeer(superpeer_id=0, dimensionality=3)
+        for pid, data in enumerate(datasets):
+            sp.receive_peer_skyline(
+                pid, Peer(peer_id=pid, data=data).compute_extended_skyline().result
+            )
+        sp.rebuild_store()
+        sp.drop_peer(1)
+        union = PointSet.concat([datasets[0], datasets[2]])
+        expected = brute_force_skyline_ids(union, (0, 1, 2), strict=True)
+        assert sp.store.points.id_set() == expected
+
+    def test_dimensionality_check(self, rng):
+        sp = SuperPeer(superpeer_id=0, dimensionality=3)
+        bad = SortedByF.from_points(PointSet(rng.random((5, 2))))
+        with pytest.raises(ValueError, match="4-dim|2-dim"):
+            sp.receive_peer_skyline(0, bad)
+
+    def test_require_store_before_preprocessing(self):
+        sp = SuperPeer(superpeer_id=0, dimensionality=3)
+        with pytest.raises(RuntimeError, match="no store"):
+            sp.require_store()
+        assert sp.store_size == 0

@@ -1,0 +1,85 @@
+"""Unit tests for the store-and-forward transfer simulation."""
+
+import pytest
+
+from repro.p2p.simulation import TransferRequest, simulate_transfers
+
+
+class TestSimulateTransfers:
+    def test_empty(self):
+        assert simulate_transfers([]) == {}
+
+    def test_single_hop(self):
+        out = simulate_transfers(
+            [TransferRequest("m", ready_at=1.0, path=((1, 0),), seconds_per_hop=2.0)]
+        )
+        assert out["m"] == pytest.approx(3.0)
+
+    def test_multi_hop_store_and_forward(self):
+        out = simulate_transfers(
+            [TransferRequest("m", 0.0, ((2, 1), (1, 0)), 1.5)]
+        )
+        assert out["m"] == pytest.approx(3.0)
+
+    def test_empty_path_delivers_at_ready(self):
+        out = simulate_transfers([TransferRequest("m", 4.2, (), 1.0)])
+        assert out["m"] == pytest.approx(4.2)
+
+    def test_shared_edge_serializes(self):
+        """Two messages funneling into the same link cannot overlap."""
+        requests = [
+            TransferRequest("a", 0.0, ((1, 0),), 2.0),
+            TransferRequest("b", 0.0, ((1, 0),), 2.0),
+        ]
+        out = simulate_transfers(requests)
+        assert sorted(out.values()) == [pytest.approx(2.0), pytest.approx(4.0)]
+
+    def test_disjoint_edges_parallel(self):
+        requests = [
+            TransferRequest("a", 0.0, ((1, 0),), 2.0),
+            TransferRequest("b", 0.0, ((2, 0),), 2.0),
+        ]
+        out = simulate_transfers(requests)
+        assert out["a"] == pytest.approx(2.0)
+        assert out["b"] == pytest.approx(2.0)
+
+    def test_fifo_order_on_shared_edge(self):
+        """The earlier-ready message goes first."""
+        requests = [
+            TransferRequest("late", 1.0, ((1, 0),), 1.0),
+            TransferRequest("early", 0.0, ((1, 0),), 1.0),
+        ]
+        out = simulate_transfers(requests)
+        assert out["early"] == pytest.approx(1.0)
+        assert out["late"] == pytest.approx(2.0)
+
+    def test_relay_funnel(self):
+        """Leaves behind a relay serialize on the relay's uplink — the
+        fixed-merging bottleneck of the paper."""
+        # 3 leaves -> relay node 1 -> root 0
+        requests = [
+            TransferRequest(f"leaf{i}", 0.0, ((10 + i, 1), (1, 0)), 1.0)
+            for i in range(3)
+        ]
+        out = simulate_transfers(requests)
+        assert max(out.values()) == pytest.approx(4.0)  # 1s down, then 3 serialized
+
+    def test_direction_matters(self):
+        """Edges are directed: up and down traffic do not contend."""
+        requests = [
+            TransferRequest("up", 0.0, ((1, 0),), 1.0),
+            TransferRequest("down", 0.0, ((0, 1),), 1.0),
+        ]
+        out = simulate_transfers(requests)
+        assert out["up"] == pytest.approx(1.0)
+        assert out["down"] == pytest.approx(1.0)
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(ValueError):
+            simulate_transfers([TransferRequest("m", 0.0, ((1, 0),), -1.0)])
+
+    def test_zero_duration_messages(self):
+        out = simulate_transfers(
+            [TransferRequest("m", 0.5, ((1, 0), (0, 2)), 0.0)]
+        )
+        assert out["m"] == pytest.approx(0.5)

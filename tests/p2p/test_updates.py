@@ -1,0 +1,137 @@
+"""Tests for point-level data updates at peers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dataset import PointSet
+from repro.core.extended_skyline import extended_skyline_points, subspace_skyline_points
+from repro.data.workload import Query
+from repro.p2p.network import SuperPeerNetwork
+from repro.p2p.updates import delete_points, insert_points
+from repro.skypeer.executor import execute_query
+from repro.skypeer.variants import Variant
+
+
+@pytest.fixture
+def network() -> SuperPeerNetwork:
+    return SuperPeerNetwork.build(n_peers=20, points_per_peer=25, dimensionality=4, seed=3)
+
+
+def _assert_stores_fresh(network):
+    """Every super-peer store equals the ext-skyline of its peers' data."""
+    for sp_id, sp in network.superpeers.items():
+        peer_ids = network.topology.peers_of[sp_id]
+        union = PointSet.concat([network.peers[p].data for p in peer_ids])
+        assert sp.store.points.id_set() == extended_skyline_points(union).id_set()
+
+
+def _assert_queries_exact(network):
+    query = Query(subspace=(0, 2), initiator=network.topology.superpeer_ids[0])
+    truth = subspace_skyline_points(network.all_points(), (0, 2)).id_set()
+    assert execute_query(network, query, Variant.FTPM).result_ids == truth
+
+
+class TestInsert:
+    def test_insert_updates_store(self, network, rng):
+        peer_id = next(iter(network.peers))
+        outcome = insert_points(
+            network, peer_id, PointSet(rng.random((10, 4)), np.arange(9000, 9010))
+        )
+        assert outcome.kind == "insert"
+        assert outcome.points_changed == 10
+        assert not outcome.store_rebuilt
+        _assert_stores_fresh(network)
+        _assert_queries_exact(network)
+
+    def test_dominating_insert_evicts(self, network):
+        """An all-zeros point ext-dominates everything nonzero."""
+        peer_id = next(iter(network.peers))
+        super_point = PointSet(np.zeros((1, 4)), np.array([9999]))
+        insert_points(network, peer_id, super_point)
+        _assert_stores_fresh(network)
+        sp = network.topology.superpeer_of_peer(peer_id)
+        assert 9999 in network.superpeers[sp].store.points.id_set()
+
+    def test_duplicate_ids_rejected(self, network, rng):
+        peer_id = next(iter(network.peers))
+        existing = int(network.peers[peer_id].data.ids[0])
+        with pytest.raises(ValueError, match="already present"):
+            insert_points(
+                network, peer_id, PointSet(rng.random((1, 4)), np.array([existing]))
+            )
+
+    def test_dimensionality_checked(self, network, rng):
+        peer_id = next(iter(network.peers))
+        with pytest.raises(ValueError, match="dim"):
+            insert_points(network, peer_id, PointSet(rng.random((2, 3))))
+
+    def test_unknown_peer(self, network, rng):
+        with pytest.raises(KeyError):
+            insert_points(network, 10**9, PointSet(rng.random((1, 4))))
+
+
+class TestDelete:
+    def test_delete_non_skyline_point_is_cheap(self, network):
+        """Deleting a dominated point must not rebuild anything."""
+        for peer_id, peer in network.peers.items():
+            sp = network.topology.superpeer_of_peer(peer_id)
+            uploaded = network.superpeers[sp].peer_skylines[peer_id].points.id_set()
+            dominated = [int(i) for i in peer.data.ids if int(i) not in uploaded]
+            if dominated:
+                outcome = delete_points(network, peer_id, [dominated[0]])
+                assert not outcome.store_rebuilt
+                assert outcome.peer_skyline_delta == 0
+                _assert_stores_fresh(network)
+                _assert_queries_exact(network)
+                return
+        pytest.skip("no dominated point found (unexpected at this size)")
+
+    def test_delete_skyline_point_resurfaces_shadowed(self, network):
+        peer_id = next(iter(network.peers))
+        sp = network.topology.superpeer_of_peer(peer_id)
+        uploaded = sorted(network.superpeers[sp].peer_skylines[peer_id].points.id_set())
+        outcome = delete_points(network, peer_id, uploaded[:2])
+        assert outcome.store_rebuilt
+        _assert_stores_fresh(network)
+        _assert_queries_exact(network)
+
+    def test_delete_missing_point(self, network):
+        peer_id = next(iter(network.peers))
+        with pytest.raises(KeyError, match="does not hold"):
+            delete_points(network, peer_id, [10**9])
+
+    def test_delete_everything_from_peer(self, network):
+        peer_id = next(iter(network.peers))
+        all_ids = [int(i) for i in network.peers[peer_id].data.ids]
+        delete_points(network, peer_id, all_ids)
+        assert len(network.peers[peer_id]) == 0
+        _assert_queries_exact(network)
+
+
+@given(st.integers(0, 10_000), st.integers(1, 12), st.integers(0, 6))
+@settings(max_examples=20, deadline=None)
+def test_update_sequences_stay_exact(seed, n_insert, n_delete):
+    """Random insert/delete sequences == rebuild from scratch."""
+    rng = np.random.default_rng(seed)
+    network = SuperPeerNetwork.build(
+        n_peers=6, points_per_peer=10, dimensionality=3, n_superpeers=2, seed=seed
+    )
+    peer_id = int(rng.choice(list(network.peers)))
+    insert_points(
+        network, peer_id,
+        PointSet(rng.random((n_insert, 3)), np.arange(50_000, 50_000 + n_insert)),
+    )
+    holdable = [int(i) for i in network.peers[peer_id].data.ids]
+    victims = list(rng.choice(holdable, size=min(n_delete, len(holdable)), replace=False))
+    if victims:
+        delete_points(network, peer_id, victims)
+    for sp_id, sp in network.superpeers.items():
+        peer_ids = network.topology.peers_of[sp_id]
+        parts = [network.peers[p].data for p in peer_ids if len(network.peers[p].data)]
+        if not parts:
+            assert sp.store_size == 0
+            continue
+        union = PointSet.concat(parts)
+        assert sp.store.points.id_set() == extended_skyline_points(union).id_set()

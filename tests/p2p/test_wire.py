@@ -1,0 +1,104 @@
+"""Unit tests for the wire format."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import PointSet
+from repro.core.store import SortedByF
+from repro.p2p.wire import QueryMessage, ResultMessage, WireError, decode
+
+
+class TestQueryMessage:
+    def test_roundtrip(self):
+        msg = QueryMessage(query_id=7, subspace=(0, 3, 6), threshold=0.25, initiator=42)
+        assert decode(msg.encode()) == msg
+
+    def test_infinite_threshold_roundtrips(self):
+        msg = QueryMessage(query_id=1, subspace=(2,), threshold=math.inf, initiator=0)
+        assert decode(msg.encode()).threshold == math.inf
+
+    def test_empty_subspace_rejected(self):
+        with pytest.raises(WireError, match="at least one"):
+            QueryMessage(query_id=1, subspace=(), threshold=1.0, initiator=0).encode()
+
+    def test_byte_size_matches_structure(self):
+        """Size = header(16) + k*2 + threshold(8) + initiator(8)."""
+        k3 = len(QueryMessage(1, (0, 1, 2), 1.0, 0).encode())
+        k5 = len(QueryMessage(1, (0, 1, 2, 3, 4), 1.0, 0).encode())
+        assert k5 - k3 == 4  # two more 2-byte dimension tags
+
+
+class TestResultMessage:
+    def _store(self, rng, n=10, d=4) -> SortedByF:
+        return SortedByF.from_points(PointSet(rng.random((n, d)), np.arange(100, 100 + n)))
+
+    def test_roundtrip(self, rng):
+        store = self._store(rng)
+        msg = ResultMessage.from_store(9, sender=3, result=store, subspace=(0, 2))
+        back = decode(msg.encode())
+        assert back == msg
+        assert back.k == 2
+        assert len(back) == 10
+
+    def test_to_store_preserves_ids_f_and_projection(self, rng):
+        store = self._store(rng)
+        msg = ResultMessage.from_store(9, sender=3, result=store, subspace=(1, 3))
+        rebuilt = msg.to_store()
+        assert rebuilt.points.id_set() == store.points.id_set()
+        np.testing.assert_allclose(rebuilt.f, store.f)
+        np.testing.assert_allclose(rebuilt.points.values, store.points.values[:, [1, 3]])
+
+    def test_empty_result(self):
+        msg = ResultMessage(query_id=1, sender=2, ids=(), f=(), coords=())
+        back = decode(msg.encode())
+        assert len(back) == 0
+        assert len(back.to_store()) == 0
+
+    def test_per_point_size_matches_cost_model_shape(self, rng):
+        """Growth per point is id + f + k coordinates (all 8 bytes)."""
+        s1 = self._store(rng, n=1)
+        s2 = self._store(rng, n=2)
+        b1 = len(ResultMessage.from_store(1, 0, s1, (0, 1, 2)).encode())
+        b2 = len(ResultMessage.from_store(1, 0, s2, (0, 1, 2)).encode())
+        assert b2 - b1 == 8 + 8 + 3 * 8
+
+    def test_ragged_coords_rejected(self):
+        msg = ResultMessage(query_id=1, sender=0, ids=(1, 2), f=(0.1, 0.2),
+                            coords=((1.0, 2.0), (1.0,)))
+        with pytest.raises(WireError, match="ragged"):
+            msg.encode()
+
+    def test_parallel_arrays_enforced(self):
+        msg = ResultMessage(query_id=1, sender=0, ids=(1,), f=(), coords=())
+        with pytest.raises(WireError, match="parallel"):
+            msg.encode()
+
+
+class TestFraming:
+    def test_bad_magic(self):
+        blob = QueryMessage(1, (0,), 1.0, 0).encode()
+        with pytest.raises(WireError, match="magic"):
+            decode(b"XX" + blob[2:])
+
+    def test_truncated_header(self):
+        with pytest.raises(WireError, match="shorter than header"):
+            decode(b"SP")
+
+    def test_truncated_body(self):
+        blob = QueryMessage(1, (0, 1), 1.0, 0).encode()
+        with pytest.raises(WireError):
+            decode(blob[:-2])
+
+    def test_unknown_version(self):
+        blob = bytearray(QueryMessage(1, (0,), 1.0, 0).encode())
+        blob[2] = 99
+        with pytest.raises(WireError, match="version"):
+            decode(bytes(blob))
+
+    def test_unknown_kind(self):
+        blob = bytearray(QueryMessage(1, (0,), 1.0, 0).encode())
+        blob[3] = 77
+        with pytest.raises(WireError, match="kind"):
+            decode(bytes(blob))

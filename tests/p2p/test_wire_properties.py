@@ -1,0 +1,76 @@
+"""Property-based tests (hypothesis) for the wire format."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.p2p.wire import QueryMessage, ResultMessage, WireError, decode
+
+finite_floats = st.floats(0, 1e9, allow_nan=False)
+
+
+@given(
+    st.integers(0, 2**31 - 1),
+    st.lists(st.integers(0, 1000), min_size=1, max_size=16, unique=True),
+    st.floats(0, 1e12, allow_nan=False) | st.just(float("inf")),
+    st.integers(-(2**40), 2**40),
+)
+@settings(max_examples=150, deadline=None)
+def test_query_roundtrip(query_id, dims, threshold, initiator):
+    msg = QueryMessage(
+        query_id=query_id,
+        subspace=tuple(sorted(dims)),
+        threshold=threshold,
+        initiator=initiator,
+    )
+    assert decode(msg.encode()) == msg
+
+
+@given(
+    st.integers(0, 2**31 - 1),
+    st.integers(-(2**40), 2**40),
+    st.lists(
+        st.tuples(
+            st.integers(0, 2**40),
+            finite_floats,
+            st.lists(finite_floats, min_size=3, max_size=3),
+        ),
+        max_size=25,
+    ),
+)
+@settings(max_examples=100, deadline=None)
+def test_result_roundtrip(query_id, sender, rows):
+    msg = ResultMessage(
+        query_id=query_id,
+        sender=sender,
+        ids=tuple(r[0] for r in rows),
+        f=tuple(r[1] for r in rows),
+        coords=tuple(tuple(r[2]) for r in rows),
+    )
+    back = decode(msg.encode())
+    assert back == msg
+
+
+@given(st.binary(max_size=200))
+@settings(max_examples=200, deadline=None)
+def test_random_blobs_never_crash(blob):
+    """Garbage must raise WireError, never anything else."""
+    try:
+        decode(blob)
+    except WireError:
+        pass
+
+
+@given(st.data())
+@settings(max_examples=100, deadline=None)
+def test_truncation_always_detected(data):
+    msg = QueryMessage(query_id=1, subspace=(0, 2, 5), threshold=0.5, initiator=3)
+    blob = msg.encode()
+    cut = data.draw(st.integers(0, len(blob) - 1))
+    try:
+        decoded = decode(blob[:cut])
+    except WireError:
+        return
+    raise AssertionError(f"truncated blob decoded to {decoded}")

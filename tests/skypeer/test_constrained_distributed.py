@@ -1,0 +1,153 @@
+"""Tests for distributed constrained subspace skylines."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.constrained import RangeConstraint, constrained_subspace_skyline
+from repro.p2p.network import SuperPeerNetwork
+from repro.skypeer.constrained import (
+    ConstrainedExecution,
+    ConstrainedQuery,
+    execute_constrained_query,
+)
+
+
+def _oracle_ids(network, subspace, constraint):
+    return constrained_subspace_skyline(
+        network.all_points(), subspace, constraint
+    ).id_set()
+
+
+class TestStoreMode:
+    """Upper-bound-only boxes: answerable from the ext-skyline stores."""
+
+    def test_exact(self, small_network):
+        constraint = RangeConstraint.from_dict({0: (0.0, 0.6), 2: (0.0, 0.8)})
+        query = ConstrainedQuery(
+            subspace=(0, 2, 3),
+            initiator=small_network.topology.superpeer_ids[0],
+            constraint=constraint,
+        )
+        got = execute_constrained_query(small_network, query)
+        assert not got.used_full_data
+        assert got.peer_uploads == 0
+        assert got.result_ids == _oracle_ids(small_network, (0, 2, 3), constraint)
+
+    def test_unconstrained_equals_plain_skyline(self, small_network):
+        constraint = RangeConstraint.from_dict({})
+        query = ConstrainedQuery(
+            subspace=(1, 3),
+            initiator=small_network.topology.superpeer_ids[1],
+            constraint=constraint,
+        )
+        got = execute_constrained_query(small_network, query)
+        assert got.result_ids == _oracle_ids(small_network, (1, 3), constraint)
+
+    def test_box_excluding_everything(self, small_network):
+        constraint = RangeConstraint.from_dict({0: (0.0, -1.0 + 1.0)})  # [0, 0]
+        query = ConstrainedQuery(
+            subspace=(0, 1),
+            initiator=small_network.topology.superpeer_ids[0],
+            constraint=constraint,
+        )
+        got = execute_constrained_query(small_network, query)
+        assert got.result_ids == _oracle_ids(small_network, (0, 1), constraint)
+
+
+class TestFullDataMode:
+    """Boxes with lower bounds force the peer-level fallback."""
+
+    def test_exact(self, small_network):
+        constraint = RangeConstraint.from_dict({0: (0.4, 0.9)})
+        query = ConstrainedQuery(
+            subspace=(0, 1, 4),
+            initiator=small_network.topology.superpeer_ids[0],
+            constraint=constraint,
+        )
+        got = execute_constrained_query(small_network, query)
+        assert got.used_full_data
+        assert got.peer_uploads > 0
+        assert got.result_ids == _oracle_ids(small_network, (0, 1, 4), constraint)
+
+    def test_store_would_be_wrong(self, small_network):
+        """The reason the fallback exists: answering a lower-bounded box
+        from the ext-skyline stores misses points whose dominators fall
+        below the bound.  Verify the discrepancy actually occurs."""
+        constraint = RangeConstraint.from_dict({0: (0.5, 1.0)})
+        subspace = (0, 1)
+        truth = _oracle_ids(small_network, subspace, constraint)
+        from repro.core.dataset import PointSet
+        from repro.core.dominance import skyline_mask
+
+        stores = PointSet.concat(
+            [network_store.points for network_store in
+             (small_network.store_of(sp) for sp in small_network.topology.superpeer_ids)]
+        )
+        inside = stores.mask(constraint.mask(stores.values))
+        from_store = inside.mask(skyline_mask(inside.values, subspace)).id_set()
+        assert from_store != truth  # stores alone are insufficient
+        got = execute_constrained_query(
+            small_network,
+            ConstrainedQuery(subspace=subspace,
+                             initiator=small_network.topology.superpeer_ids[0],
+                             constraint=constraint),
+        )
+        assert got.result_ids == truth
+
+    def test_costs_reported(self, small_network):
+        constraint = RangeConstraint.from_dict({1: (0.3, 1.0)})
+        query = ConstrainedQuery(
+            subspace=(1, 2),
+            initiator=small_network.topology.superpeer_ids[0],
+            constraint=constraint,
+        )
+        got = execute_constrained_query(small_network, query)
+        assert got.volume_bytes > 0
+        assert got.message_count > 0
+        assert got.total_time >= got.computational_time
+
+
+class TestValidation:
+    def test_unknown_initiator(self, small_network):
+        query = ConstrainedQuery(
+            subspace=(0, 1), initiator=10**9,
+            constraint=RangeConstraint.from_dict({}),
+        )
+        with pytest.raises(KeyError):
+            execute_constrained_query(small_network, query)
+
+
+@st.composite
+def constrained_cases(draw):
+    seed = draw(st.integers(0, 2**31 - 1))
+    d = draw(st.integers(2, 4))
+    dim = draw(st.integers(0, d - 1))
+    low = draw(st.floats(0, 0.7, allow_nan=False))
+    high = draw(st.floats(0.3, 1.0, allow_nan=False))
+    if low > high:
+        low, high = high, low
+    k = draw(st.integers(1, d))
+    dims = tuple(sorted(draw(
+        st.lists(st.integers(0, d - 1), min_size=k, max_size=k, unique=True)
+    )))
+    return seed, d, dim, low, high, dims
+
+
+@given(constrained_cases())
+@settings(max_examples=25, deadline=None)
+def test_constrained_queries_always_exact(case):
+    seed, d, dim, low, high, dims = case
+    network = SuperPeerNetwork.build(
+        n_peers=12, points_per_peer=15, dimensionality=d,
+        n_superpeers=3, seed=seed,
+    )
+    constraint = RangeConstraint.from_dict({dim: (low, high)})
+    query = ConstrainedQuery(
+        subspace=dims,
+        initiator=network.topology.superpeer_ids[seed % 3],
+        constraint=constraint,
+    )
+    got = execute_constrained_query(network, query)
+    assert got.result_ids == _oracle_ids(network, dims, constraint)

@@ -1,0 +1,64 @@
+"""Tests for execution inspection / reporting."""
+
+import json
+
+import pytest
+
+from repro.data.workload import Query
+from repro.skypeer.executor import execute_query
+from repro.skypeer.inspection import (
+    execution_report,
+    execution_report_json,
+    format_execution,
+)
+from repro.skypeer.variants import Variant
+
+
+@pytest.fixture
+def execution(small_network):
+    query = Query(subspace=(0, 2, 4), initiator=small_network.topology.superpeer_ids[0])
+    return execute_query(small_network, query, Variant.FTPM)
+
+
+class TestExecutionReport:
+    def test_top_level_fields(self, execution):
+        report = execution_report(execution)
+        assert report["variant"] == "FTPM"
+        assert report["query"]["subspace"] == [0, 2, 4]
+        assert report["result_points"] == len(execution.result)
+        assert report["volume_bytes"] == execution.volume_bytes
+        assert report["transfer_time_seconds"] == pytest.approx(
+            execution.total_time - execution.computational_time
+        )
+
+    def test_per_superpeer_entries(self, execution, small_network):
+        report = execution_report(execution)
+        assert len(report["per_superpeer"]) == small_network.n_superpeers
+        for entry in report["per_superpeer"].values():
+            assert 0 <= entry["scan_fraction"] <= 1
+            assert entry["examined"] <= entry["store_points"]
+
+    def test_json_serializable(self, execution):
+        payload = execution_report_json(execution)
+        decoded = json.loads(payload)
+        assert decoded["variant"] == "FTPM"
+
+    def test_infinite_threshold_becomes_null(self, small_network):
+        query = Query(subspace=(0, 1), initiator=small_network.topology.superpeer_ids[0])
+        naive = execute_query(small_network, query, Variant.NAIVE)
+        report = execution_report(naive)
+        assert report["initial_threshold"] is None
+        json.loads(execution_report_json(naive))  # still serializable
+
+
+class TestFormatExecution:
+    def test_mentions_key_numbers(self, execution):
+        text = format_execution(execution)
+        assert "FTPM" in text
+        assert "skyline points" in text
+        assert "scan effort" in text
+        assert "busiest super-peers" in text
+
+    def test_top_limits_breakdown(self, execution):
+        text = format_execution(execution, top=1)
+        assert text.count("SP ") == 1

@@ -1,0 +1,42 @@
+"""Unit tests for the variant enum (Table 2)."""
+
+import pytest
+
+from repro.skypeer.variants import Variant
+
+
+class TestVariant:
+    def test_table2_mnemonics(self):
+        assert {v.value for v in Variant} == {"FTFM", "FTPM", "RTFM", "RTPM", "naive"}
+
+    def test_refined_threshold_flag(self):
+        assert Variant.RTFM.refined_threshold
+        assert Variant.RTPM.refined_threshold
+        assert not Variant.FTFM.refined_threshold
+        assert not Variant.FTPM.refined_threshold
+        assert not Variant.NAIVE.refined_threshold
+
+    def test_progressive_merging_flag(self):
+        assert Variant.FTPM.progressive_merging
+        assert Variant.RTPM.progressive_merging
+        assert not Variant.FTFM.progressive_merging
+        assert not Variant.RTFM.progressive_merging
+        assert not Variant.NAIVE.progressive_merging
+
+    def test_uses_threshold(self):
+        assert all(v.uses_threshold for v in Variant.skypeer_variants())
+        assert not Variant.NAIVE.uses_threshold
+
+    def test_skypeer_variants_excludes_naive(self):
+        assert Variant.NAIVE not in Variant.skypeer_variants()
+        assert len(Variant.skypeer_variants()) == 4
+
+    def test_parse_case_insensitive(self):
+        assert Variant.parse("ftpm") is Variant.FTPM
+        assert Variant.parse("RTFM") is Variant.RTFM
+        assert Variant.parse("naive") is Variant.NAIVE
+        assert Variant.parse("NAIVE") is Variant.NAIVE
+
+    def test_parse_unknown(self):
+        with pytest.raises(ValueError, match="unknown variant"):
+            Variant.parse("FTXX")

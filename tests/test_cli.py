@@ -1,0 +1,91 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_all_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig3a", "fig3f", "fig4h"):
+            assert name in out
+
+
+class TestFigure:
+    def test_runs_figure_text(self, capsys):
+        assert main(["figure", "fig3a", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "SEL_p" in out
+
+    def test_runs_figure_markdown(self, capsys):
+        assert main(["figure", "fig3a", "--scale", "tiny", "--markdown"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("### fig3a")
+
+    def test_rejects_unknown_figure(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "fig99"])
+
+
+class TestQuery:
+    def test_single_query(self, capsys):
+        code = main([
+            "query", "--peers", "20", "--points-per-peer", "15",
+            "--dims", "4", "--subspace", "0,2", "--variant", "rtpm",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "RTPM" in out
+        assert "computational time" in out
+        assert "transferred volume" in out
+
+    def test_naive_variant(self, capsys):
+        code = main([
+            "query", "--peers", "10", "--points-per-peer", "10",
+            "--dims", "3", "--subspace", "0,1", "--variant", "naive",
+        ])
+        assert code == 0
+
+    def test_clustered_dataset(self, capsys):
+        code = main([
+            "query", "--peers", "10", "--points-per-peer", "10",
+            "--dims", "3", "--subspace", "0,1,2", "--dataset", "clustered",
+        ])
+        assert code == 0
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_explain(self, capsys):
+        code = main([
+            "query", "--peers", "12", "--points-per-peer", "10",
+            "--dims", "3", "--subspace", "0,1", "--explain",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "scan effort" in out
+        assert "busiest super-peers" in out
+
+    def test_json_report(self, capsys):
+        import json
+
+        code = main([
+            "query", "--peers", "12", "--points-per-peer", "10",
+            "--dims", "3", "--subspace", "0,1", "--json",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out[out.index("{"):])
+        assert payload["query"]["subspace"] == [0, 1]
+
+
+class TestExport:
+    def test_export_writes_file(self, tmp_path, capsys):
+        target = tmp_path / "EXP.md"
+        code = main(["export", "--scale", "tiny", "--output", str(target)])
+        assert code == 0
+        assert target.exists()
+        assert "fig3a" in target.read_text()

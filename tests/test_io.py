@@ -1,0 +1,87 @@
+"""Tests for persistence (save/load of point sets and networks)."""
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import PointSet
+from repro.core.extended_skyline import subspace_skyline_points
+from repro.data.workload import Query
+from repro.io import load_network, load_pointset, save_network, save_pointset
+from repro.p2p.cost import CostModel
+from repro.p2p.network import SuperPeerNetwork
+from repro.skypeer.executor import execute_query
+from repro.skypeer.variants import Variant
+
+
+class TestPointSetRoundtrip:
+    def test_roundtrip(self, tmp_path, rng):
+        points = PointSet(rng.random((40, 5)), np.arange(100, 140))
+        path = tmp_path / "points.npz"
+        save_pointset(path, points)
+        loaded = load_pointset(path)
+        assert loaded == points
+
+    def test_empty(self, tmp_path):
+        path = tmp_path / "empty.npz"
+        save_pointset(path, PointSet.empty(3))
+        loaded = load_pointset(path)
+        assert len(loaded) == 0
+        assert loaded.dimensionality == 3
+
+
+class TestNetworkRoundtrip:
+    @pytest.fixture
+    def network(self):
+        return SuperPeerNetwork.build(
+            n_peers=12, points_per_peer=15, dimensionality=4, seed=31,
+            cost_model=CostModel(bandwidth_bytes_per_sec=8192.0),
+        )
+
+    def test_structure_preserved(self, tmp_path, network):
+        path = tmp_path / "net.npz"
+        save_network(path, network)
+        loaded = load_network(path)
+        assert loaded.topology.adjacency == network.topology.adjacency
+        assert loaded.topology.peers_of == network.topology.peers_of
+        assert loaded.dimensionality == network.dimensionality
+        assert loaded.cost_model == network.cost_model
+        assert loaded.all_points() == network.all_points()
+
+    def test_stores_rebuilt_identically(self, tmp_path, network):
+        path = tmp_path / "net.npz"
+        save_network(path, network)
+        loaded = load_network(path)
+        for sp in network.topology.superpeer_ids:
+            assert (
+                loaded.store_of(sp).points.id_set()
+                == network.store_of(sp).points.id_set()
+            )
+
+    def test_queries_identical(self, tmp_path, network):
+        path = tmp_path / "net.npz"
+        save_network(path, network)
+        loaded = load_network(path)
+        query = Query(subspace=(0, 2), initiator=network.topology.superpeer_ids[0])
+        a = execute_query(network, query, Variant.FTPM).result_ids
+        b = execute_query(loaded, query, Variant.FTPM).result_ids
+        truth = subspace_skyline_points(network.all_points(), (0, 2)).id_set()
+        assert a == b == truth
+
+    def test_skip_preprocess(self, tmp_path, network):
+        path = tmp_path / "net.npz"
+        save_network(path, network)
+        loaded = load_network(path, preprocess=False)
+        assert loaded.preprocessing is None
+
+    def test_format_version_checked(self, tmp_path, network):
+        import json
+
+        path = tmp_path / "net.npz"
+        save_network(path, network)
+        data = dict(np.load(path))
+        meta = json.loads(bytes(data["meta"].tobytes()).decode())
+        meta["format"] = 99
+        data["meta"] = np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8)
+        np.savez(path, **data)
+        with pytest.raises(ValueError, match="unsupported"):
+            load_network(path)
