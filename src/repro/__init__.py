@@ -34,6 +34,7 @@ from .core import (
 )
 from .data import Query, generate_workload, load_csv
 from .io import load_network, load_pointset, save_network, save_pointset
+from .obs import MetricsRegistry, Tracer, observed, write_chrome_trace
 from .p2p import (
     CostModel,
     PreprocessingReport,
@@ -87,6 +88,11 @@ __all__ = [
     "fail_peer",
     "insert_points",
     "delete_points",
+    # observability
+    "Tracer",
+    "MetricsRegistry",
+    "observed",
+    "write_chrome_trace",
     # engine
     "Variant",
     "QueryExecution",

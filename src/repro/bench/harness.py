@@ -15,6 +15,7 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from ..data.workload import Query, generate_workload
+from ..obs.runtime import active_metrics
 from ..p2p.network import SuperPeerNetwork
 from ..skypeer.executor import QueryExecution, execute_query
 from ..skypeer.variants import Variant
@@ -111,8 +112,27 @@ def run_queries(
 ) -> dict[Variant, VariantStats]:
     """Execute every query under every variant and aggregate."""
     stats: dict[Variant, VariantStats] = {}
+    metrics = active_metrics()
     for variant in variants:
         variant = Variant.parse(variant) if isinstance(variant, str) else variant
         runs = [execute_query(network, q, variant) for q in queries]
         stats[variant] = VariantStats.from_executions(variant, runs)
+        if metrics is not None:
+            aggregated = stats[variant]
+            metrics.counter("bench.queries", variant=variant.value).inc(len(runs))
+            metrics.counter("bench.comparisons", variant=variant.value).inc(
+                sum(r.comparisons for r in runs)
+            )
+            metrics.counter("bench.volume_bytes", variant=variant.value).inc(
+                sum(r.volume_bytes for r in runs)
+            )
+            metrics.counter("bench.messages", variant=variant.value).inc(
+                sum(r.message_count for r in runs)
+            )
+            metrics.histogram(
+                "bench.total_seconds", variant=variant.value
+            ).observe(aggregated.mean_total_time)
+            metrics.histogram(
+                "bench.computational_seconds", variant=variant.value
+            ).observe(aggregated.mean_computational_time)
     return stats

@@ -63,6 +63,25 @@ def _build_parser() -> argparse.ArgumentParser:
     q.add_argument("--json", action="store_true",
                    help="emit the execution report as JSON")
 
+    tr = sub.add_parser(
+        "trace",
+        help="run one query under the tracer and write a Chrome-trace JSON",
+    )
+    tr.add_argument("--peers", type=int, default=60)
+    tr.add_argument("--points-per-peer", type=int, default=30)
+    tr.add_argument("--dims", type=int, default=5)
+    tr.add_argument("--subspace", type=str, default="0,2,4",
+                    help="comma-separated dimension indices")
+    tr.add_argument("--variant", type=str, default="FTPM",
+                    help="FTFM | FTPM | RTFM | RTPM | naive")
+    tr.add_argument("--dataset", choices=("uniform", "clustered", "correlated", "anticorrelated"),
+                    default="uniform")
+    tr.add_argument("--seed", type=int, default=0)
+    tr.add_argument("--output", default="query-trace.json",
+                    help="Chrome-trace JSON path (open in chrome://tracing or Perfetto)")
+    tr.add_argument("--metrics-output", default=None,
+                    help="optional path for the metrics snapshot JSON")
+
     ex = sub.add_parser("export", help="regenerate EXPERIMENTS.md")
     ex.add_argument("--scale", choices=sorted(SCALES), default=None)
     ex.add_argument("--output", default="EXPERIMENTS.md")
@@ -91,6 +110,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
     if args.command == "query":
         return _run_single_query(args)
+    if args.command == "trace":
+        return _run_trace(args)
     if args.command == "export":
         from .bench.export import main as export_main
 
@@ -135,6 +156,44 @@ def _run_single_query(args: argparse.Namespace) -> int:
 
         print()
         print(format_execution(execution))
+    return 0
+
+
+def _run_trace(args: argparse.Namespace) -> int:
+    """``skypeer trace``: one observed query, written as a Chrome trace."""
+    import json
+
+    from .obs import chrome_trace, observed, write_chrome_trace
+    from .skypeer.inspection import format_execution
+
+    subspace = tuple(int(x) for x in args.subspace.split(","))
+    variant = Variant.parse(args.variant)
+    with observed() as (tracer, metrics):
+        network = SuperPeerNetwork.build(
+            n_peers=args.peers,
+            points_per_peer=args.points_per_peer,
+            dimensionality=args.dims,
+            dataset=args.dataset,
+            seed=args.seed,
+        )
+        query = Query(subspace=subspace, initiator=network.topology.superpeer_ids[0])
+        execution = execute_query(network, query, variant)
+    write_chrome_trace(args.output, tracer, indent=None)
+    trace = chrome_trace(tracer)
+    print(format_execution(execution))
+    print()
+    print(
+        f"trace: {len(tracer)} spans / {len(trace['traceEvents'])} events "
+        f"over {len(tracer.tracks())} tracks -> {args.output}"
+    )
+    print("open it in chrome://tracing or https://ui.perfetto.dev")
+    if args.metrics_output:
+        with open(args.metrics_output, "w", encoding="utf-8") as handle:
+            json.dump(metrics.snapshot(), handle, indent=2, sort_keys=True)
+        print(f"metrics snapshot -> {args.metrics_output}")
+    print()
+    print("metrics:")
+    print(metrics.format_text())
     return 0
 
 

@@ -81,9 +81,10 @@ class LinkLayer:
         dst: int,
         nbytes: int,
         deliver: Callable[[], None],
-    ) -> None:
+    ) -> tuple[float, float]:
         """Transmit ``nbytes`` from ``src`` to ``dst``; run ``deliver``
-        on arrival."""
+        on arrival.  Returns the transmission window ``(start, end)``
+        (FIFO serialization may start the transfer after ``now``)."""
         if nbytes < 0:
             raise ValueError("nbytes must be non-negative")
         self.bytes_sent += nbytes
@@ -93,3 +94,4 @@ class LinkLayer:
         end = start + self._cost.transfer_seconds(nbytes)
         self._free_at[edge] = end
         self._loop.schedule_at(end, deliver)
+        return start, end

@@ -23,6 +23,7 @@ from ..core.dataset import PointSet
 from ..core.store import SortedByF
 from ..data.generators import make_generator
 from ..data.partition import partition_evenly
+from ..obs.runtime import active_metrics, active_tracer
 from .cost import DEFAULT_COST_MODEL, CostModel
 from .node import Peer, SuperPeer
 from .topology import Topology
@@ -196,25 +197,61 @@ class SuperPeerNetwork:
     # ------------------------------------------------------------------
     def preprocess(self) -> PreprocessingReport:
         """Run the full pre-processing phase and record its statistics."""
+        tracer = active_tracer()
+        metrics = active_metrics()
         total_points = 0
         uploaded = 0
         stored = 0
         upload_bytes = 0
         compute_seconds = 0.0
         for sp_id, superpeer in self.superpeers.items():
+            # Peers compute their ext-skylines in parallel; the
+            # super-peer merge starts once the slowest one uploaded.
+            slowest_peer = 0.0
             for peer_id in self.topology.peers_of[sp_id]:
                 peer = self.peers[peer_id]
                 total_points += len(peer)
                 computation = peer.compute_extended_skyline(index_kind=self.index_kind)
                 uploaded += len(computation.result)
-                upload_bytes += self.cost_model.result_bytes(
+                peer_bytes = self.cost_model.result_bytes(
                     len(computation.result), self.dimensionality
                 )
+                upload_bytes += peer_bytes
                 compute_seconds += computation.duration
+                slowest_peer = max(slowest_peer, computation.duration)
                 superpeer.receive_peer_skyline(peer_id, computation.result)
+                if tracer is not None:
+                    tracer.interval(
+                        "ext-skyline", category="preprocess",
+                        track=f"peer{peer_id}", start=0.0,
+                        end=computation.duration, clock="preprocess",
+                        points=len(peer), kept=len(computation.result),
+                        upload_bytes=peer_bytes,
+                    )
+                if metrics is not None:
+                    metrics.counter(
+                        "preprocess.uploaded_points", superpeer=sp_id
+                    ).inc(len(computation.result))
+                    metrics.counter(
+                        "preprocess.upload_bytes", superpeer=sp_id
+                    ).inc(peer_bytes)
             merge = superpeer.rebuild_store(index_kind=self.index_kind)
             compute_seconds += merge.duration
             stored += superpeer.store_size
+            if tracer is not None:
+                tracer.interval(
+                    "ext-skyline merge", category="preprocess",
+                    track=f"sp{sp_id}", start=slowest_peer,
+                    end=slowest_peer + merge.duration, clock="preprocess",
+                    kept=superpeer.store_size,
+                )
+            if metrics is not None:
+                metrics.counter(
+                    "preprocess.store_points", superpeer=sp_id
+                ).inc(superpeer.store_size)
+        if metrics is not None:
+            metrics.counter("preprocess.total_points").inc(total_points)
+            metrics.histogram("preprocess.compute_seconds").observe(compute_seconds)
         self.preprocessing = PreprocessingReport(
             total_points=total_points,
             peer_skyline_points=uploaded,

@@ -32,6 +32,7 @@ from ..core.mapping import dist_values
 from ..core.store import SortedByF
 from ..core.subspace import Subspace
 from ..data.workload import Query
+from ..obs.runtime import active_metrics
 from ..p2p.network import SuperPeerNetwork
 from .executor import QueryExecution, execute_query
 from .variants import Variant
@@ -99,9 +100,12 @@ class CachedQueryEngine:
 
     def _full_local(self, superpeer_id: int, subspace: Subspace) -> SkylineComputation:
         key = (superpeer_id, subspace)
+        metrics = active_metrics()
         cached = self._cache.get(key)
         if cached is not None and cached[0] == self.network.epoch:
             self.hits += 1
+            if metrics is not None:
+                metrics.counter("cache.hits", superpeer=superpeer_id).inc()
             computation = cached[1]
             # Report a cache hit as (almost) free compute.
             started = time.perf_counter()
@@ -114,6 +118,8 @@ class CachedQueryEngine:
                 input_size=computation.input_size,
             )
         self.misses += 1
+        if metrics is not None:
+            metrics.counter("cache.misses", superpeer=superpeer_id).inc()
         computation = local_subspace_skyline(
             self.network.store_of(superpeer_id),
             subspace,

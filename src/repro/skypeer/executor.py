@@ -31,6 +31,7 @@ from ..core.merging import merge_sorted_skylines
 from ..core.store import SortedByF
 from ..core.subspace import Subspace, normalize_subspace
 from ..data.workload import Query
+from ..obs.runtime import active_metrics, active_tracer
 from ..p2p.network import SuperPeerNetwork
 from ..p2p.simulation import TransferRequest, simulate_transfers
 from .variants import Variant
@@ -168,6 +169,8 @@ def _execute_skypeer(
     order = _bfs_preorder(root, children)
     k = len(subspace)
     query_delay = cost.transfer_seconds(cost.query_bytes(k))
+    tracer = active_tracer()
+    metrics = active_metrics()
 
     # ------------------------------------------------------------------
     # Phase 1: local computations (Algorithm 1 at every super-peer).
@@ -181,6 +184,26 @@ def _execute_skypeer(
         incoming = refined[parent[sp]] if variant.refined_threshold else initial_threshold
         local[sp] = local_compute(sp, subspace, incoming)
         refined[sp] = local[sp].threshold
+    if metrics is not None:
+        for sp in order:
+            comp = local[sp]
+            metrics.counter(
+                "skypeer.points_examined",
+                variant=variant.value, superpeer=sp, phase="scan",
+            ).inc(comp.examined)
+            metrics.counter(
+                "skypeer.comparisons",
+                variant=variant.value, superpeer=sp, phase="scan",
+            ).inc(comp.comparisons)
+            incoming = (
+                math.inf if sp == root
+                else refined[parent[sp]] if variant.refined_threshold
+                else initial_threshold
+            )
+            if comp.threshold < incoming:
+                metrics.counter(
+                    "skypeer.threshold_refinements", variant=variant.value
+                ).inc()
 
     # ------------------------------------------------------------------
     # Phase 2: schedule query propagation on both clocks.
@@ -199,13 +222,34 @@ def _execute_skypeer(
             forward_ready[sp] = compute_end[sp]
         else:
             forward_ready[sp] = arrive[sp]
+        if tracer is not None:
+            tracer.span(
+                "algorithm1 scan", category="compute", track=f"sp{sp}",
+                start=arrive[sp], end=compute_end[sp],
+                examined=scanned, kept=len(local[sp].result),
+                comparisons=local[sp].comparisons,
+            )
         for child in children[sp]:
             arrive[child] = forward_ready[sp].after_transfer(query_delay)
+            if tracer is not None:
+                tracer.span(
+                    "query hop", category="transfer",
+                    track=f"link sp{sp}->sp{child}",
+                    start=forward_ready[sp], end=arrive[child],
+                    bytes=cost.query_bytes(k),
+                )
 
     query_messages = len(order) - 1
     volume = cost.query_bytes(k) * query_messages
     messages = query_messages
     comparisons = sum(comp.comparisons for comp in local.values())
+    if metrics is not None:
+        metrics.counter(
+            "skypeer.messages", variant=variant.value, kind="query"
+        ).inc(query_messages)
+        metrics.counter(
+            "skypeer.volume_bytes", variant=variant.value, kind="query"
+        ).inc(cost.query_bytes(k) * query_messages)
 
     # ------------------------------------------------------------------
     # Phase 3: results flow back (merging strategy).
@@ -225,7 +269,24 @@ def _execute_skypeer(
                 child_bytes = cost.result_bytes(len(up_list[child]), k)
                 volume += child_bytes
                 messages += 1
-                inbound.append(up_ready[child].after_transfer(cost.transfer_seconds(child_bytes)))
+                delivered_at = up_ready[child].after_transfer(
+                    cost.transfer_seconds(child_bytes)
+                )
+                inbound.append(delivered_at)
+                if tracer is not None:
+                    tracer.span(
+                        "result hop", category="transfer",
+                        track=f"link sp{child}->sp{sp}",
+                        start=up_ready[child], end=delivered_at,
+                        bytes=child_bytes, points=len(up_list[child]),
+                    )
+                if metrics is not None:
+                    metrics.counter(
+                        "skypeer.messages", variant=variant.value, kind="result"
+                    ).inc()
+                    metrics.counter(
+                        "skypeer.volume_bytes", variant=variant.value, kind="result"
+                    ).inc(child_bytes)
             merged = merge_sorted_skylines(
                 [local[sp].result] + [up_list[c] for c in kids],
                 subspace,
@@ -234,9 +295,26 @@ def _execute_skypeer(
             merge_traces[sp] = merged
             comparisons += merged.comparisons
             up_list[sp] = merged.result
-            up_ready[sp] = Clock.latest(inbound).after_compute(
+            merge_start = Clock.latest(inbound)
+            up_ready[sp] = merge_start.after_compute(
                 merged.duration, work=merged.examined
             )
+            if tracer is not None:
+                tracer.span(
+                    "algorithm2 merge", category="compute", track=f"sp{sp}",
+                    start=merge_start, end=up_ready[sp],
+                    inputs=len(kids) + 1, examined=merged.examined,
+                    kept=len(merged.result), comparisons=merged.comparisons,
+                )
+            if metrics is not None:
+                metrics.counter(
+                    "skypeer.comparisons",
+                    variant=variant.value, superpeer=sp, phase="merge",
+                ).inc(merged.comparisons)
+                metrics.counter(
+                    "skypeer.points_examined",
+                    variant=variant.value, superpeer=sp, phase="merge",
+                ).inc(merged.examined)
         final_result = up_list[root]
         finish = up_ready[root]
     else:
@@ -260,10 +338,62 @@ def _execute_skypeer(
         inbound = [compute_end[root]] + [
             Clock(comp=compute_end[sp].comp, total=delivered[sp]) for sp in order[1:]
         ]
+        if tracer is not None:
+            for sp in order[1:]:
+                tracer.interval(
+                    "result relay", category="transfer", track=f"result sp{sp}",
+                    start=compute_end[sp].total, end=delivered[sp],
+                    hops=len(paths[sp]), points=len(local[sp].result),
+                )
+        if metrics is not None:
+            for sp in order[1:]:
+                nbytes = cost.result_bytes(len(local[sp].result), k)
+                metrics.counter(
+                    "skypeer.messages", variant=variant.value, kind="result"
+                ).inc(len(paths[sp]))
+                metrics.counter(
+                    "skypeer.volume_bytes", variant=variant.value, kind="result"
+                ).inc(nbytes * len(paths[sp]))
         merged = merge_sorted_skylines(lists, subspace, index_kind=index_kind)
         comparisons += merged.comparisons
         final_result = merged.result
-        finish = Clock.latest(inbound).after_compute(merged.duration, work=merged.examined)
+        merge_start = Clock.latest(inbound)
+        finish = merge_start.after_compute(merged.duration, work=merged.examined)
+        if tracer is not None:
+            tracer.span(
+                "algorithm2 merge", category="compute", track=f"sp{root}",
+                start=merge_start, end=finish,
+                inputs=len(lists), examined=merged.examined,
+                kept=len(merged.result), comparisons=merged.comparisons,
+            )
+        if metrics is not None:
+            metrics.counter(
+                "skypeer.comparisons",
+                variant=variant.value, superpeer=root, phase="merge",
+            ).inc(merged.comparisons)
+            metrics.counter(
+                "skypeer.points_examined",
+                variant=variant.value, superpeer=root, phase="merge",
+            ).inc(merged.examined)
+
+    if tracer is not None:
+        tracer.span(
+            "query", category="query", track="query",
+            start=Clock(), end=finish,
+            variant=variant.value, subspace=str(tuple(subspace)),
+            initiator=root, result_points=len(final_result),
+        )
+    if metrics is not None:
+        metrics.counter("skypeer.queries", variant=variant.value).inc()
+        metrics.counter(
+            "skypeer.result_points", variant=variant.value
+        ).inc(len(final_result))
+        metrics.histogram(
+            "skypeer.query_seconds", variant=variant.value, clock="comp"
+        ).observe(finish.comp)
+        metrics.histogram(
+            "skypeer.query_seconds", variant=variant.value, clock="total"
+        ).observe(finish.total)
 
     return QueryExecution(
         query=query,
@@ -301,15 +431,21 @@ def _execute_naive(
     order = _bfs_preorder(root, children)
     k = len(subspace)
     query_delay = cost.transfer_seconds(cost.query_bytes(k))
+    tracer = active_tracer()
+    metrics = active_metrics()
+    variant_label = Variant.NAIVE.value
 
     local: dict[int, PointSet] = {}
     durations: dict[int, float] = {}
     bnl_stats: dict = {"comparisons": 0}
+    scan_comparisons: dict[int, int] = {}
     for sp in order:
         store = network.store_of(sp)
         started = time.perf_counter()
+        before = bnl_stats["comparisons"]
         local[sp] = block_nested_loops(store.points, subspace, stats=bnl_stats)
         durations[sp] = time.perf_counter() - started
+        scan_comparisons[sp] = bnl_stats["comparisons"] - before
 
     arrive: dict[int, Clock] = {root: Clock()}
     compute_end: dict[int, Clock] = {}
@@ -317,13 +453,43 @@ def _execute_naive(
         compute_end[sp] = arrive[sp].after_compute(
             durations[sp], work=len(network.store_of(sp))
         )
+        if tracer is not None:
+            tracer.span(
+                "bnl scan", category="compute", track=f"sp{sp}",
+                start=arrive[sp], end=compute_end[sp],
+                examined=len(network.store_of(sp)), kept=len(local[sp]),
+                comparisons=scan_comparisons[sp],
+            )
+        if metrics is not None:
+            metrics.counter(
+                "skypeer.points_examined",
+                variant=variant_label, superpeer=sp, phase="scan",
+            ).inc(len(network.store_of(sp)))
+            metrics.counter(
+                "skypeer.comparisons",
+                variant=variant_label, superpeer=sp, phase="scan",
+            ).inc(scan_comparisons[sp])
         for child in children[sp]:
             # Nothing to wait for: the query is forwarded on receipt.
             arrive[child] = arrive[sp].after_transfer(query_delay)
+            if tracer is not None:
+                tracer.span(
+                    "query hop", category="transfer",
+                    track=f"link sp{sp}->sp{child}",
+                    start=arrive[sp], end=arrive[child],
+                    bytes=cost.query_bytes(k),
+                )
 
     query_messages = len(order) - 1
     volume = cost.query_bytes(k) * query_messages
     messages = query_messages
+    if metrics is not None:
+        metrics.counter(
+            "skypeer.messages", variant=variant_label, kind="query"
+        ).inc(query_messages)
+        metrics.counter(
+            "skypeer.volume_bytes", variant=variant_label, kind="query"
+        ).inc(cost.query_bytes(k) * query_messages)
 
     paths = _paths_to_root(order, parent)
     requests = []
@@ -331,6 +497,13 @@ def _execute_naive(
         nbytes = cost.result_bytes(len(local[sp]), k)
         volume += nbytes * len(paths[sp])
         messages += len(paths[sp])
+        if metrics is not None:
+            metrics.counter(
+                "skypeer.messages", variant=variant_label, kind="result"
+            ).inc(len(paths[sp]))
+            metrics.counter(
+                "skypeer.volume_bytes", variant=variant_label, kind="result"
+            ).inc(nbytes * len(paths[sp]))
         requests.append(
             TransferRequest(
                 message_id=sp,
@@ -343,8 +516,16 @@ def _execute_naive(
     inbound = [compute_end[root]] + [
         Clock(comp=compute_end[sp].comp, total=delivered[sp]) for sp in order[1:]
     ]
+    if tracer is not None:
+        for sp in order[1:]:
+            tracer.interval(
+                "result relay", category="transfer", track=f"result sp{sp}",
+                start=compute_end[sp].total, end=delivered[sp],
+                hops=len(paths[sp]), points=len(local[sp]),
+            )
 
     non_empty = [local[sp] for sp in order if len(local[sp])]
+    merge_before = bnl_stats["comparisons"]
     if non_empty:
         stacked = PointSet.concat(non_empty)
         started = time.perf_counter()
@@ -355,7 +536,40 @@ def _execute_naive(
         final_points = PointSet.empty(network.dimensionality)
         merge_duration = 0.0
         merge_examined = 0
-    finish = Clock.latest(inbound).after_compute(merge_duration, work=merge_examined)
+    merge_start = Clock.latest(inbound)
+    finish = merge_start.after_compute(merge_duration, work=merge_examined)
+    if tracer is not None:
+        tracer.span(
+            "bnl merge", category="compute", track=f"sp{root}",
+            start=merge_start, end=finish,
+            examined=merge_examined, kept=len(final_points),
+            comparisons=bnl_stats["comparisons"] - merge_before,
+        )
+        tracer.span(
+            "query", category="query", track="query",
+            start=Clock(), end=finish,
+            variant=variant_label, subspace=str(tuple(subspace)),
+            initiator=root, result_points=len(final_points),
+        )
+    if metrics is not None:
+        metrics.counter(
+            "skypeer.comparisons",
+            variant=variant_label, superpeer=root, phase="merge",
+        ).inc(bnl_stats["comparisons"] - merge_before)
+        metrics.counter(
+            "skypeer.points_examined",
+            variant=variant_label, superpeer=root, phase="merge",
+        ).inc(merge_examined)
+        metrics.counter("skypeer.queries", variant=variant_label).inc()
+        metrics.counter(
+            "skypeer.result_points", variant=variant_label
+        ).inc(len(final_points))
+        metrics.histogram(
+            "skypeer.query_seconds", variant=variant_label, clock="comp"
+        ).observe(finish.comp)
+        metrics.histogram(
+            "skypeer.query_seconds", variant=variant_label, clock="total"
+        ).observe(finish.total)
 
     return QueryExecution(
         query=query,

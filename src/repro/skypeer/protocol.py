@@ -39,6 +39,7 @@ from ..core.merging import merge_sorted_skylines
 from ..core.store import SortedByF
 from ..core.subspace import normalize_subspace
 from ..data.workload import Query
+from ..obs.runtime import active_metrics, active_tracer
 from ..p2p.engine import EventLoop, LinkLayer
 from ..p2p.network import SuperPeerNetwork
 from ..p2p.wire import QueryMessage, ResultMessage, decode
@@ -105,12 +106,28 @@ class _ProtocolRun:
         self.duplicate_replies = 0
         self.query_messages = 0
         self.query_id = (hash(query.subspace) ^ query.initiator) & 0x7FFFFFFF
+        self.tracer = active_tracer()
+        self.metrics = active_metrics()
 
     # ------------------------------------------------------------------
     # plumbing
     # ------------------------------------------------------------------
     def _transmit(self, src: int, dst: int, blob: bytes) -> None:
-        self.links.send(src, dst, len(blob), lambda: self.on_message(dst, src, blob))
+        start, end = self.links.send(
+            src, dst, len(blob), lambda: self.on_message(dst, src, blob)
+        )
+        if self.tracer is not None:
+            self.tracer.interval(
+                "transmit", category="transfer", track=f"link {src}->{dst}",
+                start=start, end=end, clock="protocol", bytes=len(blob),
+            )
+        if self.metrics is not None:
+            self.metrics.counter(
+                "protocol.messages", variant=self.variant.value
+            ).inc()
+            self.metrics.counter(
+                "protocol.volume_bytes", variant=self.variant.value
+            ).inc(len(blob))
 
     def _neighbours(self, sp: int) -> tuple[int, ...]:
         return self.network.topology.adjacency[sp]
@@ -128,7 +145,27 @@ class _ProtocolRun:
         state.local_result = self._project(computation.result)
         state.local_done = True
         state.refined_threshold = computation.threshold
-        return time.perf_counter() - started
+        duration = time.perf_counter() - started
+        if self.tracer is not None:
+            # The scan is modelled as occupying [now, now + duration] of
+            # simulated time (its completion event is scheduled there).
+            self.tracer.interval(
+                "algorithm1 scan", category="compute", track=f"sp{sp}",
+                start=self.loop.now, end=self.loop.now + duration,
+                clock="protocol", examined=computation.examined,
+                kept=len(computation.result),
+                comparisons=computation.comparisons,
+            )
+        if self.metrics is not None:
+            self.metrics.counter(
+                "protocol.comparisons",
+                variant=self.variant.value, superpeer=sp, phase="scan",
+            ).inc(computation.comparisons)
+            self.metrics.counter(
+                "protocol.points_examined",
+                variant=self.variant.value, superpeer=sp, phase="scan",
+            ).inc(computation.examined)
+        return duration
 
     def _project(self, store: SortedByF) -> SortedByF:
         """Restrict a full-space store to the query subspace.
@@ -184,6 +221,10 @@ class _ProtocolRun:
             # so the sender's collection loop terminates (the paper
             # assumes routing handles this; flooding makes it explicit).
             self.duplicate_replies += 1
+            if self.metrics is not None:
+                self.metrics.counter(
+                    "protocol.duplicate_replies", variant=self.variant.value
+                ).inc()
             empty = ResultMessage(
                 query_id=self.query_id, sender=sp, ids=(), f=(), coords=()
             )
@@ -241,6 +282,19 @@ class _ProtocolRun:
                 index_kind=self.index_kind,
             )
             duration = time.perf_counter() - started
+            if self.tracer is not None:
+                self.tracer.interval(
+                    "algorithm2 merge", category="compute", track=f"sp{sp}",
+                    start=self.loop.now, end=self.loop.now + duration,
+                    clock="protocol", inputs=len(state.collected) + 1,
+                    examined=merged.examined, kept=len(merged.result),
+                    comparisons=merged.comparisons,
+                )
+            if self.metrics is not None:
+                self.metrics.counter(
+                    "protocol.comparisons",
+                    variant=self.variant.value, superpeer=sp, phase="merge",
+                ).inc(merged.comparisons)
             state.collected = []
             self.loop.schedule(duration, lambda: self._ship(sp, merged.result))
         else:
@@ -275,6 +329,11 @@ def run_protocol(
     events = run.loop.run()
     if run.final is None:
         raise RuntimeError("protocol terminated without producing a result")
+    if run.metrics is not None:
+        run.metrics.counter("protocol.events", variant=variant.value).inc(events)
+        run.metrics.counter(
+            "protocol.query_messages", variant=variant.value
+        ).inc(run.query_messages)
     return ProtocolOutcome(
         query=query,
         variant=variant,

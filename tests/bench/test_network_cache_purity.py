@@ -1,0 +1,105 @@
+"""Regression: the harness's memoized networks are read-only in practice.
+
+``bench.harness._NETWORK_CACHE`` shares one pre-processed
+``SuperPeerNetwork`` across every variant of a figure sweep (and across
+sweeps with equal configs).  Nothing may mutate it — not a variant, not
+a repeat run, and in particular not the observability instrumentation —
+otherwise later sweeps silently measure a different network.  These
+tests pin that down by comparing raw result bytes across repeated runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.config import ExperimentConfig
+from repro.bench.harness import build_network, clear_network_cache, make_queries
+from repro.obs import observed
+from repro.skypeer.executor import execute_query
+from repro.skypeer.variants import Variant
+
+CONFIG = ExperimentConfig(
+    n_peers=8, points_per_peer=12, dimensionality=4,
+    query_dimensionality=2, seed=31,
+)
+
+
+def _result_fingerprint(network, queries) -> dict:
+    """Byte-exact outcome of every (query, variant) pair."""
+    fingerprint = {}
+    for qi, query in enumerate(queries):
+        for variant in Variant:
+            run = execute_query(network, query, variant)
+            fingerprint[(qi, variant)] = (
+                run.result.points.values.tobytes(),
+                run.result.points.ids.tobytes(),
+                run.result.f.tobytes(),
+                run.comparisons,
+                run.volume_bytes,
+                run.message_count,
+                run.critical_path_examined,
+            )
+    return fingerprint
+
+
+def _network_fingerprint(network) -> dict:
+    stores = {
+        sp: (
+            network.store_of(sp).points.values.tobytes(),
+            network.store_of(sp).points.ids.tobytes(),
+            network.store_of(sp).f.tobytes(),
+        )
+        for sp in network.topology.superpeer_ids
+    }
+    return {"epoch": network.epoch, "stores": stores}
+
+
+def test_cached_network_yields_byte_identical_results_across_runs():
+    clear_network_cache()
+    try:
+        network = build_network(CONFIG)
+        assert build_network(CONFIG) is network  # memoized
+        queries = make_queries(network, CONFIG, n_queries=3)
+        before_state = _network_fingerprint(network)
+        first = _result_fingerprint(network, queries)
+        second = _result_fingerprint(build_network(CONFIG), queries)
+        assert first == second
+        assert _network_fingerprint(network) == before_state
+    finally:
+        clear_network_cache()
+
+
+def test_instrumented_runs_do_not_mutate_the_cached_network():
+    clear_network_cache()
+    try:
+        network = build_network(CONFIG)
+        queries = make_queries(network, CONFIG, n_queries=2)
+        baseline = _result_fingerprint(network, queries)
+        state = _network_fingerprint(network)
+        with observed() as (tracer, metrics):
+            traced = _result_fingerprint(build_network(CONFIG), queries)
+        assert len(tracer) > 0 and len(metrics) > 0
+        assert traced == baseline
+        assert _network_fingerprint(network) == state
+        # And a post-observation run still matches, byte for byte.
+        assert _result_fingerprint(network, queries) == baseline
+    finally:
+        clear_network_cache()
+
+
+def test_cache_key_isolation_between_configs():
+    clear_network_cache()
+    try:
+        network = build_network(CONFIG)
+        other = build_network(
+            ExperimentConfig(
+                n_peers=8, points_per_peer=12, dimensionality=4,
+                query_dimensionality=2, seed=32,
+            )
+        )
+        assert other is not network
+        assert not np.array_equal(
+            network.all_points().values, other.all_points().values
+        )
+    finally:
+        clear_network_cache()

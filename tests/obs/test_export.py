@@ -1,0 +1,109 @@
+"""Chrome-trace export: schema validity and JSON round-trip."""
+
+from __future__ import annotations
+
+import json
+
+from repro.data.workload import Query
+from repro.obs import Tracer, chrome_trace, chrome_trace_json, observed, write_chrome_trace
+from repro.p2p.network import SuperPeerNetwork
+from repro.skypeer.executor import execute_query
+
+REQUIRED_X_KEYS = {"name", "cat", "ph", "ts", "dur", "pid", "tid", "args"}
+
+
+def _traced_query(variant="FTPM", seed=7):
+    network = SuperPeerNetwork.build(
+        n_peers=40, points_per_peer=15, dimensionality=4, seed=seed
+    )
+    query = Query(subspace=(0, 2), initiator=network.topology.superpeer_ids[0])
+    with observed() as (tracer, metrics):
+        execution = execute_query(network, query, variant)
+    return tracer, metrics, execution
+
+
+def _validate_chrome_trace(trace: dict) -> None:
+    """The schema checks the acceptance criterion refers to."""
+    assert set(trace) >= {"traceEvents", "displayTimeUnit"}
+    events = trace["traceEvents"]
+    assert events, "empty trace"
+    phases = {event["ph"] for event in events}
+    # Only complete (X) and metadata (M) events: nothing can be unmatched.
+    assert phases <= {"X", "M"}
+    xs = [event for event in events if event["ph"] == "X"]
+    assert xs, "no span events"
+    for event in xs:
+        assert REQUIRED_X_KEYS <= set(event), event
+        assert event["ts"] >= 0
+        assert event["dur"] >= 0
+        assert isinstance(event["pid"], int) and event["pid"] >= 1
+        assert isinstance(event["tid"], int) and event["tid"] >= 1
+    timestamps = [event["ts"] for event in xs]
+    assert timestamps == sorted(timestamps), "X events must be ts-monotone"
+    metadata = [event for event in events if event["ph"] == "M"]
+    names = {event["name"] for event in metadata}
+    assert {"process_name", "thread_name"} <= names
+
+
+def test_export_round_trips_through_json():
+    tracer, _, _ = _traced_query()
+    loaded = json.loads(chrome_trace_json(tracer))
+    _validate_chrome_trace(loaded)
+    assert loaded == chrome_trace(tracer)
+
+
+def test_every_variant_exports_a_valid_trace():
+    for variant in ("FTFM", "FTPM", "RTFM", "RTPM", "naive"):
+        tracer, _, _ = _traced_query(variant)
+        _validate_chrome_trace(chrome_trace(tracer))
+
+
+def test_write_chrome_trace_loads_from_disk(tmp_path):
+    tracer, _, _ = _traced_query()
+    path = tmp_path / "query-trace.json"
+    write_chrome_trace(str(path), tracer, indent=2)
+    with open(path, encoding="utf-8") as handle:
+        _validate_chrome_trace(json.load(handle))
+
+
+def test_clocks_become_processes_and_tracks_become_threads():
+    tracer, _, _ = _traced_query()
+    trace = chrome_trace(tracer)
+    process_names = {
+        event["args"]["name"]
+        for event in trace["traceEvents"]
+        if event["ph"] == "M" and event["name"] == "process_name"
+    }
+    assert process_names == {"comp clock", "total clock"}
+    thread_names = {
+        event["args"]["name"]
+        for event in trace["traceEvents"]
+        if event["ph"] == "M" and event["name"] == "thread_name"
+    }
+    assert set(tracer.tracks()) == thread_names
+
+
+def test_transfers_have_zero_extent_on_the_computational_clock():
+    tracer, _, _ = _traced_query("FTPM")
+    trace = chrome_trace(tracer)
+    comp_pid = next(
+        event["pid"]
+        for event in trace["traceEvents"]
+        if event["ph"] == "M"
+        and event["name"] == "process_name"
+        and event["args"]["name"] == "comp clock"
+    )
+    transfer_durs = [
+        event["dur"]
+        for event in trace["traceEvents"]
+        if event["ph"] == "X"
+        and event["cat"] == "transfer"
+        and event["pid"] == comp_pid
+    ]
+    assert transfer_durs and all(dur == 0 for dur in transfer_durs)
+
+
+def test_empty_tracer_exports_an_empty_but_valid_object():
+    trace = chrome_trace(Tracer())
+    assert trace["traceEvents"] == []
+    assert json.loads(chrome_trace_json(Tracer()))["traceEvents"] == []

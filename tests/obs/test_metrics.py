@@ -1,0 +1,84 @@
+"""MetricsRegistry: counters, histograms, labels, snapshots."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import MetricsRegistry
+
+
+def test_counter_identity_by_name_and_labels():
+    registry = MetricsRegistry()
+    a = registry.counter("hits", superpeer=1)
+    b = registry.counter("hits", superpeer=1)
+    c = registry.counter("hits", superpeer=2)
+    assert a is b
+    assert a is not c
+    a.inc()
+    a.inc(2)
+    c.inc(5)
+    assert a.value == 3
+    assert registry.total("hits") == 8
+
+
+def test_label_order_does_not_matter():
+    registry = MetricsRegistry()
+    registry.counter("m", variant="FTPM", phase="scan").inc()
+    assert registry.counter("m", phase="scan", variant="FTPM").value == 1
+
+
+def test_counters_reject_negative_increments():
+    with pytest.raises(ValueError):
+        MetricsRegistry().counter("m").inc(-1)
+
+
+def test_histogram_summary_statistics():
+    registry = MetricsRegistry()
+    h = registry.histogram("latency", variant="FTPM")
+    for value in (2.0, 4.0, 9.0):
+        h.observe(value)
+    assert h.count == 3
+    assert h.total == 15.0
+    assert h.min == 2.0
+    assert h.max == 9.0
+    assert h.mean == 5.0
+
+
+def test_snapshot_is_json_serializable_and_complete():
+    registry = MetricsRegistry()
+    registry.counter("messages", kind="query").inc(3)
+    registry.counter("messages", kind="result").inc(4)
+    registry.counter("bytes").inc(1024)
+    registry.histogram("seconds", clock="comp").observe(0.5)
+    snapshot = json.loads(json.dumps(registry.snapshot()))
+    assert snapshot["totals"] == {"messages": 7, "bytes": 1024}
+    by_kind = {
+        tuple(sorted(entry["labels"].items())): entry["value"]
+        for entry in snapshot["counters"]["messages"]
+    }
+    assert by_kind == {(("kind", "query"),): 3, (("kind", "result"),): 4}
+    [hist] = snapshot["histograms"]["seconds"]
+    assert hist["count"] == 1 and hist["sum"] == 0.5
+
+
+def test_format_text_one_line_per_instrument():
+    registry = MetricsRegistry()
+    registry.counter("skypeer.messages", kind="query", variant="FTPM").inc(7)
+    registry.histogram("skypeer.query_seconds").observe(1.25)
+    text = registry.format_text()
+    lines = text.splitlines()
+    assert len(lines) == 2
+    assert 'skypeer.messages{kind="query",variant="FTPM"} 7' in lines
+    assert any(line.startswith("skypeer.query_seconds count=1") for line in lines)
+
+
+def test_reset_clears_everything():
+    registry = MetricsRegistry()
+    registry.counter("a").inc()
+    registry.histogram("b").observe(1)
+    assert len(registry) == 2
+    registry.reset()
+    assert len(registry) == 0
+    assert registry.total("a") == 0

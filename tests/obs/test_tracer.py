@@ -1,0 +1,88 @@
+"""Tracer: span recording, ordering/nesting invariants, runtime switch."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import Tracer, active_metrics, active_tracer, install, observed, uninstall
+from repro.skypeer.executor import Clock
+
+
+def test_span_records_both_clocks():
+    tracer = Tracer()
+    start = Clock(comp=1.0, total=2.0, work=5.0)
+    end = start.after_compute(0.5, work=3.0)
+    span = tracer.span("scan", category="compute", track="sp0", start=start, end=end)
+    assert span.interval("comp") == (1.0, 1.5)
+    assert span.interval("total") == (2.0, 2.5)
+    assert span.interval("nope") is None
+    assert tracer.clocks() == ("comp", "total")
+    assert tracer.tracks() == ("sp0",)
+
+
+def test_interval_records_a_single_clock():
+    tracer = Tracer()
+    tracer.interval("transmit", category="transfer", track="link 0->1",
+                    start=0.25, end=0.75, clock="protocol", bytes=42)
+    [span] = tracer.spans
+    assert span.interval("protocol") == (0.25, 0.75)
+    assert span.interval("comp") is None
+    assert dict(span.args) == {"bytes": 42}
+
+
+def test_backwards_spans_are_rejected():
+    tracer = Tracer()
+    with pytest.raises(ValueError):
+        tracer.interval("bad", category="x", track="t", start=1.0, end=0.5)
+    assert len(tracer) == 0
+
+
+def test_validate_accepts_disjoint_and_nested_spans():
+    tracer = Tracer()
+    tracer.interval("outer", category="c", track="t", start=0.0, end=10.0)
+    tracer.interval("inner", category="c", track="t", start=1.0, end=4.0)
+    tracer.interval("later", category="c", track="t", start=4.0, end=9.0)
+    tracer.interval("other track", category="c", track="u", start=3.0, end=20.0)
+    assert tracer.validate() == []
+
+
+def test_validate_flags_partial_overlap():
+    tracer = Tracer()
+    tracer.interval("a", category="c", track="t", start=0.0, end=5.0)
+    tracer.interval("b", category="c", track="t", start=3.0, end=8.0)
+    problems = tracer.validate()
+    assert len(problems) == 1
+    assert "partially overlaps" in problems[0]
+
+
+def test_by_track_sorts_by_start_then_longest_first():
+    tracer = Tracer()
+    tracer.interval("short", category="c", track="t", start=2.0, end=3.0)
+    tracer.interval("long", category="c", track="t", start=2.0, end=9.0)
+    tracer.interval("first", category="c", track="t", start=0.0, end=1.0)
+    names = [s.name for s in tracer.by_track("t", "total")]
+    assert names == ["first", "long", "short"]
+
+
+def test_runtime_switch_defaults_off_and_restores():
+    assert active_tracer() is None
+    assert active_metrics() is None
+    with observed() as (tracer, metrics):
+        assert active_tracer() is tracer
+        assert active_metrics() is metrics
+        with observed() as (inner_tracer, _):
+            assert active_tracer() is inner_tracer
+        assert active_tracer() is tracer
+    assert active_tracer() is None
+    assert active_metrics() is None
+
+
+def test_install_uninstall_roundtrip():
+    tracer = Tracer()
+    install(tracer=tracer)
+    try:
+        assert active_tracer() is tracer
+        assert active_metrics() is None
+    finally:
+        uninstall()
+    assert active_tracer() is None

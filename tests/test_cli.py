@@ -82,6 +82,43 @@ class TestQuery:
         assert payload["query"]["subspace"] == [0, 1]
 
 
+class TestTrace:
+    def test_trace_writes_valid_chrome_trace(self, tmp_path, capsys):
+        import json
+
+        trace_path = tmp_path / "trace.json"
+        metrics_path = tmp_path / "metrics.json"
+        code = main([
+            "trace", "--peers", "16", "--points-per-peer", "10",
+            "--dims", "4", "--subspace", "0,2", "--variant", "ftpm",
+            "--seed", "1", "--output", str(trace_path),
+            "--metrics-output", str(metrics_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "perfetto" in out
+        assert "metrics:" in out
+        with open(trace_path, encoding="utf-8") as handle:
+            trace = json.load(handle)
+        phases = {event["ph"] for event in trace["traceEvents"]}
+        assert phases <= {"X", "M"} and "X" in phases
+        with open(metrics_path, encoding="utf-8") as handle:
+            snapshot = json.load(handle)
+        assert snapshot["totals"]["skypeer.queries"] == 1
+
+    def test_trace_leaves_observability_uninstalled(self, tmp_path, capsys):
+        from repro.obs import active_metrics, active_tracer
+
+        code = main([
+            "trace", "--peers", "10", "--points-per-peer", "8",
+            "--dims", "3", "--subspace", "0,1",
+            "--output", str(tmp_path / "t.json"),
+        ])
+        assert code == 0
+        assert active_tracer() is None
+        assert active_metrics() is None
+
+
 class TestExport:
     def test_export_writes_file(self, tmp_path, capsys):
         target = tmp_path / "EXP.md"
