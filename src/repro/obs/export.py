@@ -1,0 +1,90 @@
+"""Chrome-trace (Trace Event Format) export.
+
+``chrome_trace`` turns a :class:`~repro.obs.tracer.Tracer` into the
+JSON object understood by ``chrome://tracing``, Perfetto
+(https://ui.perfetto.dev) and ``speedscope``: one *process* per model
+clock (so the computational and total timelines sit side by side), one
+*thread* per track (super-peer or link), and one complete ``"X"`` event
+per span interval.  Timestamps are microseconds, as the format
+requires; events are sorted by timestamp so consumers that assume
+monotone ``ts`` (and our tests) are happy.
+
+Only ``"X"`` (complete) and ``"M"`` (metadata) phases are emitted —
+there are no unmatched begin/end pairs by construction.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from .tracer import Tracer
+
+__all__ = ["chrome_trace", "chrome_trace_json", "write_chrome_trace"]
+
+#: Stable ordering of the well-known clocks; unknown clocks follow.
+_CLOCK_ORDER = {"comp": 1, "total": 2}
+
+
+def chrome_trace(tracer: Tracer) -> dict[str, Any]:
+    """The tracer's spans as a Trace Event Format object."""
+    clocks = sorted(
+        tracer.clocks(), key=lambda c: (_CLOCK_ORDER.get(c, 99), c)
+    )
+    pids = {clock: i + 1 for i, clock in enumerate(clocks)}
+    tids = {track: i + 1 for i, track in enumerate(sorted(tracer.tracks()))}
+
+    events: list[dict[str, Any]] = []
+    for clock in clocks:
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pids[clock],
+                "tid": 0,
+                "args": {"name": f"{clock} clock"},
+            }
+        )
+        for track, tid in tids.items():
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pids[clock],
+                    "tid": tid,
+                    "args": {"name": track},
+                }
+            )
+
+    spans: list[dict[str, Any]] = []
+    for span in tracer.spans:
+        for clock, start, end in span.intervals:
+            spans.append(
+                {
+                    "name": span.name,
+                    "cat": span.category,
+                    "ph": "X",
+                    "ts": start * 1e6,
+                    "dur": (end - start) * 1e6,
+                    "pid": pids[clock],
+                    "tid": tids[span.track],
+                    "args": dict(span.args),
+                }
+            )
+    spans.sort(key=lambda e: (e["ts"], -e["dur"], e["pid"], e["tid"]))
+    return {
+        "traceEvents": events + spans,
+        "displayTimeUnit": "ms",
+        "otherData": {"producer": "repro.obs"},
+    }
+
+
+def chrome_trace_json(tracer: Tracer, indent: int | None = None) -> str:
+    """The trace as a JSON string."""
+    return json.dumps(chrome_trace(tracer), indent=indent)
+
+
+def write_chrome_trace(path: str, tracer: Tracer, indent: int | None = None) -> None:
+    """Write the trace to ``path`` (open it in a trace viewer)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(chrome_trace_json(tracer, indent=indent))

@@ -1,0 +1,157 @@
+"""Named counters and histograms with label support.
+
+A :class:`MetricsRegistry` is a flat map from ``(name, labels)`` to a
+:class:`Counter` or :class:`Histogram`.  Labels are free-form keyword
+arguments (``variant="FTPM"``, ``superpeer=3``, ``phase="scan"``);
+``total(name)`` sums a counter across every label combination, which is
+what the acceptance checks compare against the per-query totals of
+:mod:`repro.skypeer.inspection`.
+
+The registry is deliberately tiny: instruments are created lazily on
+first touch, reads are lock-free (the simulator is single-threaded),
+and a snapshot is a plain dict — JSON-serializable as-is.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+__all__ = ["Counter", "Histogram", "MetricsRegistry"]
+
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict[str, Any]) -> LabelKey:
+    """Canonical, hashable form of a label set (values stringified)."""
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing numeric counter."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+
+class Histogram:
+    """Summary statistics of observed values (count/sum/min/max)."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count: int = 0
+        self.total: float = 0.0
+        self.min: float = float("inf")
+        self.max: float = float("-inf")
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Lazily created counters and histograms keyed by name + labels."""
+
+    def __init__(self) -> None:
+        self._counters: dict[tuple[str, LabelKey], Counter] = {}
+        self._histograms: dict[tuple[str, LabelKey], Histogram] = {}
+
+    # ------------------------------------------------------------------
+    # instruments
+    # ------------------------------------------------------------------
+    def counter(self, name: str, **labels: Any) -> Counter:
+        key = (name, _label_key(labels))
+        instrument = self._counters.get(key)
+        if instrument is None:
+            instrument = self._counters[key] = Counter()
+        return instrument
+
+    def histogram(self, name: str, **labels: Any) -> Histogram:
+        key = (name, _label_key(labels))
+        instrument = self._histograms.get(key)
+        if instrument is None:
+            instrument = self._histograms[key] = Histogram()
+        return instrument
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def total(self, name: str) -> float:
+        """Sum of a counter over every label combination."""
+        return sum(c.value for (n, _), c in self._counters.items() if n == name)
+
+    def counters(self, name: str | None = None) -> Iterator[tuple[str, LabelKey, float]]:
+        for (n, labels), c in sorted(self._counters.items()):
+            if name is None or n == name:
+                yield n, labels, c.value
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._histograms)
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[str, Any]:
+        """All instruments as one JSON-serializable dict."""
+        counters: dict[str, list[dict[str, Any]]] = {}
+        for (name, labels), c in sorted(self._counters.items()):
+            counters.setdefault(name, []).append(
+                {"labels": dict(labels), "value": c.value}
+            )
+        histograms: dict[str, list[dict[str, Any]]] = {}
+        for (name, labels), h in sorted(self._histograms.items()):
+            histograms.setdefault(name, []).append(
+                {
+                    "labels": dict(labels),
+                    "count": h.count,
+                    "sum": h.total,
+                    "min": h.min if h.count else None,
+                    "max": h.max if h.count else None,
+                    "mean": h.mean,
+                }
+            )
+        totals = {name: self.total(name) for name in {n for n, _ in self._counters}}
+        return {"counters": counters, "histograms": histograms, "totals": totals}
+
+    def format_text(self) -> str:
+        """Plaintext rendering, one instrument per line (promtext-ish)."""
+        lines = []
+        for (name, labels), c in sorted(self._counters.items()):
+            lines.append(f"{name}{_format_labels(labels)} {_num(c.value)}")
+        for (name, labels), h in sorted(self._histograms.items()):
+            lines.append(
+                f"{name}{_format_labels(labels)} "
+                f"count={h.count} sum={_num(h.total)} mean={h.mean:.6g}"
+            )
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._histograms.clear()
+
+
+def _format_labels(labels: LabelKey) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in labels)
+    return "{" + inner + "}"
+
+
+def _num(value: float) -> str:
+    return str(int(value)) if float(value).is_integer() else f"{value:.6g}"

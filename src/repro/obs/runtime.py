@@ -1,0 +1,76 @@
+"""The process-wide observability switch.
+
+Instrumented code asks ``active_tracer()`` / ``active_metrics()`` and
+does nothing when they return ``None`` — which is the default, so the
+query path pays one attribute read per instrumentation site and zero
+allocations when observability is off (the acceptance bar: identical
+``Clock.work`` with and without a tracer).
+
+``observed(...)`` is the ergonomic front door::
+
+    with observed() as (tracer, metrics):
+        execute_query(net, query, "FTPM")
+    write_chrome_trace("query.json", tracer)
+
+Installation is not re-entrant by design (the simulator is
+single-threaded); nested ``observed`` blocks stack and restore the
+previous observer on exit.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from .metrics import MetricsRegistry
+from .tracer import Tracer
+
+__all__ = [
+    "active_metrics",
+    "active_tracer",
+    "install",
+    "observed",
+    "uninstall",
+]
+
+_tracer: Tracer | None = None
+_metrics: MetricsRegistry | None = None
+
+
+def active_tracer() -> Tracer | None:
+    """The installed tracer, or ``None`` (observability off)."""
+    return _tracer
+
+
+def active_metrics() -> MetricsRegistry | None:
+    """The installed metrics registry, or ``None`` (observability off)."""
+    return _metrics
+
+
+def install(
+    tracer: Tracer | None = None, metrics: MetricsRegistry | None = None
+) -> None:
+    """Make ``tracer`` / ``metrics`` the process-wide observers."""
+    global _tracer, _metrics
+    _tracer = tracer
+    _metrics = metrics
+
+
+def uninstall() -> None:
+    """Turn observability off (the default state)."""
+    install(None, None)
+
+
+@contextmanager
+def observed(
+    tracer: Tracer | None = None, metrics: MetricsRegistry | None = None
+) -> Iterator[tuple[Tracer, MetricsRegistry]]:
+    """Install fresh (or given) observers for the duration of a block."""
+    tracer = Tracer() if tracer is None else tracer
+    metrics = MetricsRegistry() if metrics is None else metrics
+    previous = (_tracer, _metrics)
+    install(tracer, metrics)
+    try:
+        yield tracer, metrics
+    finally:
+        install(*previous)
