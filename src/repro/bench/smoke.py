@@ -1,0 +1,151 @@
+"""Machine-readable performance baseline (``skypeer bench --smoke``).
+
+Runs the Figure 3(b) dimensionality sweep twice over pre-built
+networks — once serial, once through the :mod:`repro.parallel` pool —
+and emits one JSON document with the harness wall-clocks, the speedup,
+a field-by-field equality check of the deterministic statistics, and
+the per-variant means the paper's figures are drawn from.  CI uploads
+the document as an artifact; committed snapshots (``BENCH_*.json``)
+give successive revisions an honest, diffable perf baseline.
+
+Wall-clock fields are hardware-dependent by nature: on a single-core
+host the pool cannot beat the serial loop (the JSON records
+``cpu_count`` so readers can tell).  Everything under ``"variants"``
+and ``"per_dimension"`` is deterministic and must be identical across
+machines, worker counts and start methods.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from typing import Any, Iterable, Sequence
+
+from ..parallel import resolve_workers, start_method
+from ..skypeer.variants import Variant
+from .config import ExperimentConfig, Scale, resolve_scale
+from .harness import VariantStats, build_network, make_queries, run_queries
+
+__all__ = ["SMOKE_SCHEMA", "bench_smoke", "write_bench_smoke"]
+
+SMOKE_SCHEMA = "repro-bench-smoke/1"
+
+#: VariantStats fields that do not depend on wall-clock measurement —
+#: these must match exactly between serial and parallel runs.
+DETERMINISTIC_FIELDS = (
+    "queries",
+    "mean_volume_kb",
+    "mean_messages",
+    "mean_result_size",
+    "mean_comparisons",
+    "mean_critical_path_examined",
+)
+
+
+def _stats_dict(stats: VariantStats) -> dict[str, Any]:
+    return {
+        "queries": stats.queries,
+        "mean_computational_time": stats.mean_computational_time,
+        "mean_total_time": stats.mean_total_time,
+        "mean_volume_kb": stats.mean_volume_kb,
+        "mean_messages": stats.mean_messages,
+        "mean_result_size": stats.mean_result_size,
+        "mean_comparisons": stats.mean_comparisons,
+        "mean_critical_path_examined": stats.mean_critical_path_examined,
+    }
+
+
+def _run_sweep(
+    prepared: Sequence[tuple[int, Any, Any]], variants: Sequence[Variant], workers: int
+) -> tuple[float, dict[int, dict[Variant, VariantStats]]]:
+    """Time one pass over the prepared (d, network, queries) list."""
+    results: dict[int, dict[Variant, VariantStats]] = {}
+    started = time.perf_counter()
+    for d, network, queries in prepared:
+        results[d] = run_queries(network, queries, variants, workers=workers)
+    return time.perf_counter() - started, results
+
+
+def _mismatches(
+    serial: dict[int, dict[Variant, VariantStats]],
+    parallel: dict[int, dict[Variant, VariantStats]],
+) -> list[str]:
+    out: list[str] = []
+    for d, by_variant in serial.items():
+        for variant, stats in by_variant.items():
+            other = parallel[d][variant]
+            for field in DETERMINISTIC_FIELDS:
+                if getattr(stats, field) != getattr(other, field):
+                    out.append(f"d={d} {variant.value} {field}")
+    return out
+
+
+def bench_smoke(
+    scale: str | Scale | None = None,
+    workers: int | None = None,
+    dims: Iterable[int] = range(5, 11),
+    variants: Sequence[Variant | str] = tuple(Variant),
+) -> dict[str, Any]:
+    """Serial-vs-parallel baseline over the fig3b dimensionality sweep."""
+    scale = resolve_scale(scale)
+    n_workers = resolve_workers(workers)
+    if n_workers <= 1:
+        n_workers = 2  # the smoke exists to exercise the pool
+    variant_list = [Variant.parse(v) if isinstance(v, str) else v for v in variants]
+
+    dims = list(dims)
+    prepared = []
+    for d in dims:
+        config = ExperimentConfig(dimensionality=d).scaled(scale)
+        network = build_network(config)
+        prepared.append((d, network, make_queries(network, config, scale.queries)))
+
+    serial_wall, serial = _run_sweep(prepared, variant_list, workers=1)
+    parallel_wall, parallel = _run_sweep(prepared, variant_list, workers=n_workers)
+    mismatches = _mismatches(serial, parallel)
+
+    # Per-variant means across the sweep, from the serial (reference) run.
+    variant_means: dict[str, dict[str, float]] = {}
+    for variant in variant_list:
+        rows = [serial[d][variant] for d in dims]
+        variant_means[variant.value] = {
+            "mean_computational_time": sum(r.mean_computational_time for r in rows) / len(rows),
+            "mean_total_time": sum(r.mean_total_time for r in rows) / len(rows),
+            "mean_volume_kb": sum(r.mean_volume_kb for r in rows) / len(rows),
+            "mean_messages": sum(r.mean_messages for r in rows) / len(rows),
+            "mean_comparisons": sum(r.mean_comparisons for r in rows) / len(rows),
+            "mean_critical_path_examined": sum(
+                r.mean_critical_path_examined for r in rows
+            ) / len(rows),
+        }
+
+    return {
+        "schema": SMOKE_SCHEMA,
+        "sweep": "fig3b-dimensionality",
+        "scale": scale.name,
+        "dimensions": dims,
+        "queries_per_config": scale.queries,
+        "workers": n_workers,
+        "start_method": start_method(),
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "serial_wall_seconds": serial_wall,
+        "parallel_wall_seconds": parallel_wall,
+        "speedup": serial_wall / parallel_wall if parallel_wall else float("nan"),
+        "parallel_matches_serial": not mismatches,
+        "mismatched_fields": mismatches,
+        "variants": variant_means,
+        "per_dimension": {
+            str(d): {v.value: _stats_dict(serial[d][v]) for v in variant_list}
+            for d in dims
+        },
+    }
+
+
+def write_bench_smoke(path: str, report: dict[str, Any]) -> None:
+    """Write a smoke report as stable, diff-friendly JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -3,7 +3,8 @@
 ::
 
     skypeer figure fig3b --scale tiny       # one experiment
-    skypeer all --scale default             # every table/figure
+    skypeer all --scale default --workers 4 # every table/figure, 4 procs
+    skypeer bench --smoke --json BENCH.json # machine-readable baseline
     skypeer export --scale default          # regenerate EXPERIMENTS.md
     skypeer query --peers 400 --dims 8 --subspace 0,3,6 --variant FTPM \
             [--explain] [--json]
@@ -17,6 +18,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from contextlib import contextmanager
 from typing import Sequence
 
 from . import bench
@@ -36,16 +38,34 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    workers_help = (
+        "process-pool size for query execution (default: serial, or "
+        "REPRO_WORKERS; negative = one per CPU)"
+    )
+
     fig = sub.add_parser("figure", help="run one paper experiment")
     fig.add_argument("experiment", choices=sorted(bench.EXPERIMENTS))
     fig.add_argument("--scale", choices=sorted(SCALES), default=None)
     fig.add_argument("--markdown", action="store_true", help="emit Markdown instead of text")
+    fig.add_argument("--workers", type=int, default=None, help=workers_help)
 
     allp = sub.add_parser("all", help="run every experiment")
     allp.add_argument("--scale", choices=sorted(SCALES), default=None)
     allp.add_argument("--markdown", action="store_true")
+    allp.add_argument("--workers", type=int, default=None, help=workers_help)
 
     sub.add_parser("list", help="list experiments")
+
+    be = sub.add_parser(
+        "bench",
+        help="write a machine-readable perf baseline (serial vs parallel)",
+    )
+    be.add_argument("--smoke", action="store_true",
+                    help="run the fig3b-scale serial-vs-parallel smoke")
+    be.add_argument("--scale", choices=sorted(SCALES), default="tiny")
+    be.add_argument("--workers", type=int, default=None, help=workers_help)
+    be.add_argument("--json", dest="json_path", default=None, metavar="PATH",
+                    help="write the report to PATH (default: stdout only)")
 
     q = sub.add_parser("query", help="run one distributed query and print metrics")
     q.add_argument("--peers", type=int, default=400)
@@ -97,17 +117,21 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(f"{name}: {headline}")
         return 0
     if args.command == "figure":
-        table = bench.run_experiment(args.experiment, args.scale)
+        with _ambient_workers(args.workers):
+            table = bench.run_experiment(args.experiment, args.scale)
         print(table.to_markdown() if args.markdown else table.to_text())
         return 0
     if args.command == "all":
-        for name in sorted(bench.EXPERIMENTS):
-            started = time.time()
-            table = bench.run_experiment(name, args.scale)
-            print(table.to_markdown() if args.markdown else table.to_text())
-            print(f"[{name} finished in {time.time() - started:.1f}s]")
-            print()
+        with _ambient_workers(args.workers):
+            for name in sorted(bench.EXPERIMENTS):
+                started = time.time()
+                table = bench.run_experiment(name, args.scale)
+                print(table.to_markdown() if args.markdown else table.to_text())
+                print(f"[{name} finished in {time.time() - started:.1f}s]")
+                print()
         return 0
+    if args.command == "bench":
+        return _run_bench(args)
     if args.command == "query":
         return _run_single_query(args)
     if args.command == "trace":
@@ -118,6 +142,41 @@ def main(argv: Sequence[str] | None = None) -> int:
         return export_main(["--output", args.output] +
                            (["--scale", args.scale] if args.scale else []))
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
+
+
+@contextmanager
+def _ambient_workers(workers: int | None):
+    """Scope the CLI ``--workers`` value as the ambient pool size."""
+    from .parallel import set_default_workers
+
+    if workers is None:
+        yield
+        return
+    set_default_workers(workers)
+    try:
+        yield
+    finally:
+        set_default_workers(None)
+
+
+def _run_bench(args: argparse.Namespace) -> int:
+    """``skypeer bench``: serial-vs-parallel smoke baseline as JSON."""
+    import json
+
+    from .bench.smoke import bench_smoke, write_bench_smoke
+
+    if not args.smoke:
+        print("nothing to do: pass --smoke", file=sys.stderr)
+        return 2
+    report = bench_smoke(scale=args.scale, workers=args.workers)
+    print(json.dumps(report, indent=2, sort_keys=True))
+    if args.json_path:
+        write_bench_smoke(args.json_path, report)
+        print(f"baseline -> {args.json_path}", file=sys.stderr)
+    if not report["parallel_matches_serial"]:
+        print("parallel run diverged from serial!", file=sys.stderr)
+        return 1
+    return 0
 
 
 def _run_single_query(args: argparse.Namespace) -> int:

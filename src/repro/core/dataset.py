@@ -131,6 +131,17 @@ class PointSet:
     def __hash__(self) -> int:  # PointSets are not hashable (mutable-ish semantics)
         raise TypeError("PointSet is not hashable")
 
+    # Explicit pickle support: slots classes pickle fine by default,
+    # but the arrays would come back writable on the far side (the
+    # parallel engine ships point sets between processes).
+    def __getstate__(self) -> tuple[np.ndarray, np.ndarray]:
+        return (self._values, self._ids)
+
+    def __setstate__(self, state: tuple[np.ndarray, np.ndarray]) -> None:
+        self._values, self._ids = state
+        self._values.setflags(write=False)
+        self._ids.setflags(write=False)
+
     # ------------------------------------------------------------------
     # derived sets
     # ------------------------------------------------------------------

@@ -156,19 +156,27 @@ class BlockDominanceIndex:
         """Read-only view of the live candidate block (chunked scans)."""
         return self._block[: self._count]
 
-    def bulk_insert(self, positions: np.ndarray, rows: np.ndarray) -> None:
+    def bulk_insert(
+        self, positions: np.ndarray, rows: np.ndarray, can_evict: bool = True
+    ) -> None:
         """Insert several mutually non-dominated points at once.
 
         Evicts every current candidate dominated by any incoming row,
         then appends the rows in order.  Caller guarantees no incoming
         row is dominated by a current candidate or by another incoming
         row (the chunked scan establishes both).
+
+        ``can_evict=False`` is the f-order insert fast path: a caller
+        scanning in ascending ``f`` order over the space ``f`` is
+        computed on may assert that no incoming row can dominate a
+        current candidate (the SFS property — a dominator never has a
+        larger ``f``), and the eviction scan is skipped entirely.
         """
         rows = np.asarray(rows, dtype=np.float64)
         incoming = rows.shape[0]
         if incoming == 0:
             return
-        if self._count:
+        if self._count and can_evict:
             block = self._block[: self._count]
             self.comparisons += self._count * incoming
             if self._strict:

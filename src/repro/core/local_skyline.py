@@ -16,6 +16,7 @@ full space, which is exactly how the pre-processing phase of section
 from __future__ import annotations
 
 import math
+import os
 import time
 from dataclasses import dataclass
 from typing import Sequence
@@ -24,10 +25,13 @@ import numpy as np
 
 from .dataset import PointSet
 from .indexes import make_index
-from .mapping import dist_values
 from .store import SortedByF
 
-__all__ = ["SkylineComputation", "local_subspace_skyline"]
+__all__ = [
+    "SkylineComputation",
+    "local_subspace_skyline",
+    "resolve_scan_chunk",
+]
 
 
 @dataclass
@@ -74,6 +78,7 @@ def local_subspace_skyline(
     initial_threshold: float = math.inf,
     strict: bool = False,
     index_kind: str = "block",
+    scan_chunk: int | None = None,
 ) -> SkylineComputation:
     """Run Algorithm 1 over an f-sorted store.
 
@@ -89,6 +94,10 @@ def local_subspace_skyline(
         ``True`` switches to ext-domination (pre-processing mode).
     index_kind:
         Dominance index implementation (``block``, ``list``, ``rtree``).
+    scan_chunk:
+        Batch size of the vectorized scan; defaults to
+        :func:`resolve_scan_chunk` (the ``REPRO_SCAN_CHUNK`` env var or
+        the built-in default).
 
     Notes
     -----
@@ -97,20 +106,25 @@ def local_subspace_skyline(
     ``f`` (see :func:`repro.core.mapping.can_prune`).
     """
     started = time.perf_counter()
-    cols = list(subspace)
+    cols = tuple(subspace)
     n = len(store)
     index = make_index(index_kind, len(cols), strict=strict)
     threshold = float(initial_threshold)
-    proj = store.points.values[:, cols] if n else np.empty((0, len(cols)))
-    dists = dist_values(store.points.values, cols) if n else np.empty(0)
+    proj, dists = store.projection(cols)
     f = store.f
     if index_kind == "block":
-        examined, threshold = _chunked_scan(index, proj, f, dists, threshold, strict)
+        full_space = len(cols) == store.dimensionality
+        examined, threshold = _chunked_scan(
+            index, proj, f, dists, threshold, strict,
+            full_space=full_space, chunk=resolve_scan_chunk(scan_chunk),
+        )
     else:
         examined, threshold = _pointwise_scan(index, proj, f, dists, threshold)
     positions = index.positions()
     result_points = store.points.take(positions)
-    result = SortedByF(result_points, f[positions] if positions else np.zeros(0))
+    # len() (not truthiness) keeps this correct should an index ever
+    # return its positions as an ndarray instead of a list.
+    result = SortedByF(result_points, f[positions] if len(positions) else np.zeros(0))
     return SkylineComputation(
         result=result,
         threshold=threshold,
@@ -139,11 +153,37 @@ def _pointwise_scan(index, proj, f, dists, threshold: float) -> tuple[int, float
 
 #: Points pre-filtered per vectorized batch.  Chosen so the batch
 #: dominance test amortizes numpy dispatch without growing the
-#: batch-vs-candidates matrix beyond cache-friendly sizes.
-_SCAN_CHUNK = 256
+#: batch-vs-candidates matrix beyond cache-friendly sizes — the
+#: micro-benchmark in ``benchmarks/test_micro_scan_chunk.py`` sweeps
+#: alternatives (64 beats both 16, where dispatch overhead shows, and
+#: 256+, where the quadratic intra-batch pass and the points examined
+#: past tighter mid-batch thresholds start to dominate).  Override per
+#: call (``scan_chunk=...``) or per process (``REPRO_SCAN_CHUNK``).
+_SCAN_CHUNK = 64
 
 
-def _chunked_scan(index, proj, f, dists, threshold: float, strict: bool) -> tuple[int, float]:
+def resolve_scan_chunk(scan_chunk: int | None = None) -> int:
+    """The effective scan batch size: argument, env var or default."""
+    if scan_chunk is None:
+        raw = os.environ.get("REPRO_SCAN_CHUNK")
+        if raw is None:
+            return _SCAN_CHUNK
+        scan_chunk = int(raw)
+    if scan_chunk <= 0:
+        raise ValueError(f"scan chunk must be positive, got {scan_chunk}")
+    return scan_chunk
+
+
+def _chunked_scan(
+    index,
+    proj,
+    f,
+    dists,
+    threshold: float,
+    strict: bool,
+    full_space: bool = False,
+    chunk: int = _SCAN_CHUNK,
+) -> tuple[int, float]:
     """Vectorized variant of the scan, identical semantics.
 
     Each batch of f-ascending points is tested against the current
@@ -154,36 +194,49 @@ def _chunked_scan(index, proj, f, dists, threshold: float, strict: bool) -> tupl
     the threshold known at batch start; points a tighter mid-batch
     threshold would have pruned are merely examined and discarded, so
     exactness is unaffected (they are dominated by the threshold point).
+
+    ``full_space=True`` asserts the scanned columns are the full space
+    the stored ``f = min_i p[i]`` is computed over.  Then a dominator
+    always satisfies ``f(q) <= f(p)`` (min is monotone), so a point
+    inserted later in the f-ascending scan can evict an earlier
+    candidate only on an exact f-tie — and in strict (ext-domination)
+    mode never, since ``q < p`` everywhere forces ``f(q) < f(p)``.
+    The insert below skips the eviction scan whenever that argument
+    applies (the SFS property); for proper subspaces ``f`` says nothing
+    about subspace dominance and the eviction scan always runs.
     """
     n = proj.shape[0]
     examined = 0
     i = 0
+    last_inserted_f = -math.inf
     while i < n:
         if f[i] > threshold:
             break
-        hi = min(n, i + _SCAN_CHUNK)
+        hi = min(n, i + chunk)
         # Only points with f <= threshold may be skyline points.
         hi = i + int(np.searchsorted(f[i:hi], threshold, side="right"))
-        chunk = proj[i:hi]
+        chunk_rows = proj[i:hi]
         examined += hi - i
         block = index.block_view()
         if block.shape[0]:
-            index.comparisons += block.shape[0] * chunk.shape[0]
+            index.comparisons += block.shape[0] * chunk_rows.shape[0]
             if strict:
-                dominated = np.any(np.all(block[None, :, :] < chunk[:, None, :], axis=2), axis=1)
+                dominated = np.any(
+                    np.all(block[None, :, :] < chunk_rows[:, None, :], axis=2), axis=1
+                )
             else:
-                less_eq = np.all(block[None, :, :] <= chunk[:, None, :], axis=2)
-                less = np.any(block[None, :, :] < chunk[:, None, :], axis=2)
+                less_eq = np.all(block[None, :, :] <= chunk_rows[:, None, :], axis=2)
+                less = np.any(block[None, :, :] < chunk_rows[:, None, :], axis=2)
                 dominated = np.any(less_eq & less, axis=1)
             candidates = np.nonzero(~dominated)[0]
         else:
-            candidates = np.arange(chunk.shape[0])
+            candidates = np.arange(chunk_rows.shape[0])
         if candidates.size:
             # Pairwise pass among the batch survivors: a survivor stays
             # iff no other survivor dominates it.  (A point a per-point
             # loop would first insert and later evict is simply never
             # inserted — the final set is identical.)
-            sub = chunk[candidates]
+            sub = chunk_rows[candidates]
             index.comparisons += candidates.size * candidates.size
             if strict:
                 dom = np.all(sub[None, :, :] < sub[:, None, :], axis=2)
@@ -196,7 +249,11 @@ def _chunked_scan(index, proj, f, dists, threshold: float, strict: bool) -> tupl
             winners = candidates[~np.any(dom, axis=1)]
             if winners.size:
                 positions = i + winners
-                index.bulk_insert(positions, chunk[winners])
+                can_evict = not full_space or (
+                    not strict and float(f[positions[0]]) <= last_inserted_f
+                )
+                index.bulk_insert(positions, chunk_rows[winners], can_evict=can_evict)
+                last_inserted_f = float(f[positions[-1]])
                 batch_min = float(dists[positions].min())
                 if batch_min < threshold:
                     threshold = batch_min

@@ -37,6 +37,7 @@ def merge_sorted_skylines(
     initial_threshold: float = math.inf,
     strict: bool = False,
     index_kind: str = "block",
+    scan_chunk: int | None = None,
 ) -> SkylineComputation:
     """Run Algorithm 2 over several f-sorted lists.
 
@@ -59,7 +60,8 @@ def merge_sorted_skylines(
         # that alternative wins in CPython, and the early-termination
         # semantics are identical (the scan stops at the same f bound).
         return _merge_by_concatenation(
-            lists, cols, dimensionality, initial_threshold, strict, started, total_input
+            lists, cols, dimensionality, initial_threshold, strict, started,
+            total_input, scan_chunk,
         )
     index = make_index(index_kind, len(cols), strict=strict)
     threshold = float(initial_threshold)
@@ -121,8 +123,9 @@ def _merge_by_concatenation(
     strict: bool,
     started: float,
     total_input: int,
+    scan_chunk: int | None = None,
 ) -> SkylineComputation:
-    from .local_skyline import _chunked_scan  # local import avoids a cycle
+    from .local_skyline import _chunked_scan, resolve_scan_chunk  # avoids a cycle
     from .indexes import BlockDominanceIndex
     from .mapping import dist_values
 
@@ -143,7 +146,10 @@ def _merge_by_concatenation(
     proj = values[:, cols]
     dists = dist_values(values, cols)
     index = BlockDominanceIndex(len(cols), strict=strict)
-    examined, threshold = _chunked_scan(index, proj, f, dists, float(initial_threshold), strict)
+    examined, threshold = _chunked_scan(
+        index, proj, f, dists, float(initial_threshold), strict,
+        full_space=len(cols) == dimensionality, chunk=resolve_scan_chunk(scan_chunk),
+    )
     positions = index.positions()
     result = SortedByF(points=PointSet(values[positions], ids[positions]), f=f[positions])
     return SkylineComputation(

@@ -5,9 +5,19 @@ points in an ascending order of their f(p) values".  ``SortedByF``
 bundles a :class:`~repro.core.dataset.PointSet` with its pre-computed
 ``f`` values, sorted ascending, which is the exact access path both
 Algorithm 1 and Algorithm 2 need.
+
+A store is immutable, so per-subspace derived arrays (the column
+projection Algorithm 1 scans and the ``dist_U`` vector it thresholds
+on) are pure functions of the store and can be cached on the instance:
+:meth:`SortedByF.projection`.  Store-changing operations (pre-
+processing, churn, data updates) *replace* the store object — and bump
+``SuperPeerNetwork.epoch`` — so a cache entry can never outlive the
+arrays it was sliced from.
 """
 
 from __future__ import annotations
+
+from typing import Sequence
 
 import numpy as np
 
@@ -20,7 +30,12 @@ __all__ = ["SortedByF"]
 class SortedByF:
     """A point set sorted ascending by ``f(p)`` with cached keys."""
 
-    __slots__ = ("points", "f")
+    __slots__ = ("points", "f", "_projections")
+
+    #: Most distinct subspaces cached per store.  Workloads concentrate
+    #: on a handful of subspaces (the query-cache motivation); the cap
+    #: merely bounds memory under adversarial workloads.
+    MAX_CACHED_SUBSPACES = 32
 
     def __init__(self, points: PointSet, f: np.ndarray):
         if len(points) != len(f):
@@ -30,6 +45,7 @@ class SortedByF:
         self.points = points
         self.f = np.asarray(f, dtype=np.float64)
         self.f.setflags(write=False)
+        self._projections: dict[tuple[int, ...], tuple[np.ndarray, np.ndarray]] | None = None
 
     @classmethod
     def from_points(cls, points: PointSet) -> "SortedByF":
@@ -48,6 +64,45 @@ class SortedByF:
     @property
     def dimensionality(self) -> int:
         return self.points.dimensionality
+
+    def projection(self, subspace: Sequence[int]) -> tuple[np.ndarray, np.ndarray]:
+        """The ``(proj, dists)`` pair Algorithm 1 scans for ``subspace``.
+
+        ``proj`` is the point array restricted to the subspace columns
+        and ``dists`` is ``dist_U(p) = max_{i in U} p[i]`` per point.
+        Both are cached per subspace (read-only, shared across calls)
+        so repeated queries over the same subspace stop re-slicing the
+        store.  The full-space projection is the stored value array
+        itself — zero copies.
+        """
+        key = tuple(subspace)
+        cache = self._projections
+        if cache is None:
+            cache = self._projections = {}
+        hit = cache.get(key)
+        if hit is None:
+            if key == tuple(range(self.dimensionality)):
+                proj = self.points.values  # already read-only
+            else:
+                proj = self.points.values[:, list(key)]
+                proj.setflags(write=False)
+            dists = proj.max(axis=1) if len(self) else np.zeros(0)
+            dists.setflags(write=False)
+            if len(cache) >= self.MAX_CACHED_SUBSPACES:
+                cache.pop(next(iter(cache)))
+            hit = cache[key] = (proj, dists)
+        return hit
+
+    # Slots would otherwise pickle the projection cache alongside the
+    # data; rebuild lean on the far side (the parallel engine ships
+    # stores between processes).
+    def __getstate__(self) -> tuple[PointSet, np.ndarray]:
+        return (self.points, self.f)
+
+    def __setstate__(self, state: tuple[PointSet, np.ndarray]) -> None:
+        self.points, self.f = state
+        self.f.setflags(write=False)
+        self._projections = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"SortedByF(n={len(self)}, d={self.dimensionality})"

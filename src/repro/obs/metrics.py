@@ -64,6 +64,25 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def merge_stats(
+        self, count: int, total: float, minimum: float | None, maximum: float | None
+    ) -> None:
+        """Fold another histogram's summary into this one.
+
+        ``minimum``/``maximum`` may be ``None`` for an empty source
+        (the snapshot format uses ``None`` when ``count == 0``).
+        """
+        if count < 0:
+            raise ValueError("histogram counts only go up")
+        if count == 0:
+            return
+        self.count += int(count)
+        self.total += float(total)
+        if minimum is not None and minimum < self.min:
+            self.min = float(minimum)
+        if maximum is not None and maximum > self.max:
+            self.max = float(maximum)
+
 
 class MetricsRegistry:
     """Lazily created counters and histograms keyed by name + labels."""
@@ -144,6 +163,31 @@ class MetricsRegistry:
     def reset(self) -> None:
         self._counters.clear()
         self._histograms.clear()
+
+    # ------------------------------------------------------------------
+    # merging (parallel workers report snapshots back to the parent)
+    # ------------------------------------------------------------------
+    def merge_snapshot(self, snapshot: dict[str, Any]) -> None:
+        """Fold a :meth:`snapshot` dict into this registry.
+
+        Counters add, histograms combine their summary statistics.
+        Merging is commutative and associative, so the parent of a
+        process pool obtains the same totals regardless of worker
+        scheduling; only then can parallel runs promise counter totals
+        identical to serial ones.
+        """
+        for name, entries in snapshot.get("counters", {}).items():
+            for entry in entries:
+                self.counter(name, **entry["labels"]).inc(entry["value"])
+        for name, entries in snapshot.get("histograms", {}).items():
+            for entry in entries:
+                self.histogram(name, **entry["labels"]).merge_stats(
+                    entry["count"], entry["sum"], entry["min"], entry["max"]
+                )
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry into this one (see :meth:`merge_snapshot`)."""
+        self.merge_snapshot(other.snapshot())
 
 
 def _format_labels(labels: LabelKey) -> str:

@@ -14,13 +14,17 @@ and records the selectivity statistics Figure 3(a) reports.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Mapping
+from typing import Mapping, Sequence
 
 import numpy as np
 
 from ..core.dataset import PointSet
+from ..core.local_skyline import SkylineComputation
+from ..core.merging import merge_sorted_skylines
 from ..core.store import SortedByF
+from ..core.subspace import full_space
 from ..data.generators import make_generator
 from ..data.partition import partition_evenly
 from ..obs.runtime import active_metrics, active_tracer
@@ -28,7 +32,24 @@ from .cost import DEFAULT_COST_MODEL, CostModel
 from .node import Peer, SuperPeer
 from .topology import Topology
 
-__all__ = ["PreprocessingReport", "SuperPeerNetwork"]
+__all__ = ["PreprocessingReport", "SuperPeerPreprocess", "SuperPeerNetwork"]
+
+
+@dataclass
+class SuperPeerPreprocess:
+    """Pure computation results of pre-processing one super-peer.
+
+    ``peer_results`` holds ``(peer_id, n_points, ext-skyline scan)`` for
+    every attached peer, in topology order; ``merge`` is the Algorithm 2
+    run producing the super-peer's query store.  The struct is what the
+    compute phase (serial loop or process-pool worker) hands to
+    :meth:`SuperPeerNetwork._ingest_preprocessing`, which owns every
+    side effect: node state, metrics, traces, the report.
+    """
+
+    superpeer_id: int
+    peer_results: list[tuple[int, int, SkylineComputation]]
+    merge: SkylineComputation
 
 
 @dataclass(frozen=True)
@@ -112,12 +133,15 @@ class SuperPeerNetwork:
         cost_model: CostModel = DEFAULT_COST_MODEL,
         index_kind: str = "block",
         preprocess: bool = True,
+        workers: int | None = None,
     ) -> "SuperPeerNetwork":
         """Generate topology and data, then (optionally) pre-process.
 
         ``dataset`` is one of the generator kinds; the clustered kind
         follows the paper: each super-peer draws its own centroid and
-        all of its peers' points scatter around it.
+        all of its peers' points scatter around it.  ``workers > 1``
+        fans the pre-processing out over a process pool (see
+        :mod:`repro.parallel`).
         """
         rng = np.random.default_rng(seed)
         topology = Topology.generate(
@@ -134,7 +158,7 @@ class SuperPeerNetwork:
             index_kind=index_kind,
         )
         if preprocess:
-            network.preprocess()
+            network.preprocess(workers=workers)
         return network
 
     @staticmethod
@@ -172,6 +196,7 @@ class SuperPeerNetwork:
         cost_model: CostModel = DEFAULT_COST_MODEL,
         index_kind: str = "block",
         preprocess: bool = True,
+        workers: int | None = None,
     ) -> "SuperPeerNetwork":
         """Build a network over explicitly provided per-peer data."""
         expected = {p for peers in topology.peers_of.values() for p in peers}
@@ -189,14 +214,56 @@ class SuperPeerNetwork:
             index_kind=index_kind,
         )
         if preprocess:
-            network.preprocess()
+            network.preprocess(workers=workers)
         return network
 
     # ------------------------------------------------------------------
     # pre-processing (section 5.3)
     # ------------------------------------------------------------------
-    def preprocess(self) -> PreprocessingReport:
-        """Run the full pre-processing phase and record its statistics."""
+    def preprocess(self, workers: int | None = None) -> PreprocessingReport:
+        """Run the full pre-processing phase and record its statistics.
+
+        ``workers > 1`` fans the per-super-peer computations (peer
+        ext-skyline scans plus the Algorithm 2 merge) out over a
+        process pool; the aggregation below is identical either way, so
+        stores, selectivities and metric counters match the serial run
+        exactly (wall-clock ``compute_seconds`` aside).
+        """
+        if workers is not None and workers > 1:
+            from ..parallel.engine import preprocess_network_parallel
+
+            results = preprocess_network_parallel(self, workers)
+        else:
+            results = [self.compute_superpeer_preprocess(sp) for sp in self.superpeers]
+        return self._ingest_preprocessing(results)
+
+    def compute_superpeer_preprocess(self, superpeer_id: int) -> SuperPeerPreprocess:
+        """The pure compute half of pre-processing one super-peer.
+
+        Independent across super-peers (only the topology, the attached
+        peers' partitions and the index kind are read), which is what
+        lets the parallel engine run one task per super-peer.
+        """
+        peer_results: list[tuple[int, int, SkylineComputation]] = []
+        for peer_id in self.topology.peers_of[superpeer_id]:
+            peer = self.peers[peer_id]
+            computation = peer.compute_extended_skyline(index_kind=self.index_kind)
+            peer_results.append((peer_id, len(peer), computation))
+        merge = merge_sorted_skylines(
+            [computation.result for _, _, computation in peer_results],
+            full_space(self.dimensionality),
+            initial_threshold=math.inf,
+            strict=True,
+            index_kind=self.index_kind,
+        )
+        return SuperPeerPreprocess(
+            superpeer_id=superpeer_id, peer_results=peer_results, merge=merge
+        )
+
+    def _ingest_preprocessing(
+        self, results: Sequence[SuperPeerPreprocess]
+    ) -> PreprocessingReport:
+        """Apply computed pre-processing results: state, obs, report."""
         tracer = active_tracer()
         metrics = active_metrics()
         total_points = 0
@@ -204,14 +271,14 @@ class SuperPeerNetwork:
         stored = 0
         upload_bytes = 0
         compute_seconds = 0.0
-        for sp_id, superpeer in self.superpeers.items():
+        for result in results:
+            sp_id = result.superpeer_id
+            superpeer = self.superpeers[sp_id]
             # Peers compute their ext-skylines in parallel; the
             # super-peer merge starts once the slowest one uploaded.
             slowest_peer = 0.0
-            for peer_id in self.topology.peers_of[sp_id]:
-                peer = self.peers[peer_id]
-                total_points += len(peer)
-                computation = peer.compute_extended_skyline(index_kind=self.index_kind)
+            for peer_id, n_points, computation in result.peer_results:
+                total_points += n_points
                 uploaded += len(computation.result)
                 peer_bytes = self.cost_model.result_bytes(
                     len(computation.result), self.dimensionality
@@ -225,7 +292,7 @@ class SuperPeerNetwork:
                         "ext-skyline", category="preprocess",
                         track=f"peer{peer_id}", start=0.0,
                         end=computation.duration, clock="preprocess",
-                        points=len(peer), kept=len(computation.result),
+                        points=n_points, kept=len(computation.result),
                         upload_bytes=peer_bytes,
                     )
                 if metrics is not None:
@@ -235,14 +302,14 @@ class SuperPeerNetwork:
                     metrics.counter(
                         "preprocess.upload_bytes", superpeer=sp_id
                     ).inc(peer_bytes)
-            merge = superpeer.rebuild_store(index_kind=self.index_kind)
-            compute_seconds += merge.duration
+            superpeer.store = result.merge.result
+            compute_seconds += result.merge.duration
             stored += superpeer.store_size
             if tracer is not None:
                 tracer.interval(
                     "ext-skyline merge", category="preprocess",
                     track=f"sp{sp_id}", start=slowest_peer,
-                    end=slowest_peer + merge.duration, clock="preprocess",
+                    end=slowest_peer + result.merge.duration, clock="preprocess",
                     kept=superpeer.store_size,
                 )
             if metrics is not None:

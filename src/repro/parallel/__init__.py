@@ -1,0 +1,30 @@
+"""Process-pool execution engine.
+
+The simulator's two embarrassingly parallel workloads — the bench
+harness's independent (query, variant) executions and pre-processing's
+independent per-super-peer computations — fan out over a
+``concurrent.futures`` process pool.  Workers are initialized once from
+an ``.npz`` snapshot of the network (:mod:`repro.io`), which makes the
+pool safe under both the ``fork`` and ``spawn`` start methods, and all
+aggregation happens in the parent in deterministic submission order, so
+parallel runs produce results, work counts and metric totals identical
+to serial ones (wall-clock fields aside).  See ``docs/PERFORMANCE.md``.
+"""
+
+from .engine import (
+    default_workers,
+    preprocess_network_parallel,
+    resolve_workers,
+    run_queries_parallel,
+    set_default_workers,
+    start_method,
+)
+
+__all__ = [
+    "default_workers",
+    "preprocess_network_parallel",
+    "resolve_workers",
+    "run_queries_parallel",
+    "set_default_workers",
+    "start_method",
+]

@@ -1,0 +1,235 @@
+"""The process pool: worker lifecycle, task functions, aggregation.
+
+Design notes
+------------
+*Worker initialization.*  The parent saves the network's partitions to
+a temporary ``.npz`` (no pickle of live object graphs, no reliance on
+fork-inherited globals) and every worker rebuilds its own
+``SuperPeerNetwork`` from that file exactly once, in its initializer.
+Pre-processing is deterministic given the partitions, so every worker's
+stores are byte-identical to the parent's.  This works unchanged under
+``fork`` and ``spawn``; pick the method with ``REPRO_MP_START``.
+
+*Determinism.*  Tasks are submitted in the same order the serial loops
+iterate and their results are consumed in submission order, so the
+aggregated statistics and the parent-side metrics merges cannot depend
+on worker scheduling.
+
+*Observability.*  Workers never install a tracer (spans model the
+simulated distributed schedule, which the parent already owns); when
+the parent has an active :class:`~repro.obs.metrics.MetricsRegistry`,
+each query task records into a fresh worker-local registry and ships
+its snapshot back for a commutative merge in the parent.
+Pre-processing tasks are pure compute — the parent emits all of their
+metrics and trace intervals while ingesting results.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import tempfile
+from concurrent.futures import Future, ProcessPoolExecutor
+from typing import TYPE_CHECKING, Any, Sequence
+
+if TYPE_CHECKING:  # imports deferred at runtime to keep workers lean
+    from ..data.workload import Query
+    from ..p2p.network import SuperPeerNetwork, SuperPeerPreprocess
+    from ..skypeer.executor import QueryExecution
+    from ..skypeer.variants import Variant
+
+__all__ = [
+    "default_workers",
+    "preprocess_network_parallel",
+    "resolve_workers",
+    "run_queries_parallel",
+    "set_default_workers",
+    "start_method",
+]
+
+#: Ambient worker count (CLI ``--workers`` / ``REPRO_WORKERS``) applied
+#: when the bench harness is called without an explicit value.
+_DEFAULT_WORKERS: int | None = None
+
+
+def set_default_workers(workers: int | None) -> None:
+    """Set the ambient worker count (``None`` restores serial/env)."""
+    global _DEFAULT_WORKERS
+    _DEFAULT_WORKERS = workers
+
+
+def default_workers() -> int | None:
+    """The ambient worker count: ``set_default_workers`` or env."""
+    if _DEFAULT_WORKERS is not None:
+        return _DEFAULT_WORKERS
+    raw = os.environ.get("REPRO_WORKERS")
+    return int(raw) if raw else None
+
+
+def resolve_workers(workers: int | None, use_default: bool = True) -> int:
+    """Normalize a worker-count request to an effective pool size.
+
+    ``None`` consults the ambient default (unless ``use_default`` is
+    off) and falls back to serial; ``0``/``1`` mean serial; a negative
+    value means "one per CPU".
+    """
+    if workers is None and use_default:
+        workers = default_workers()
+    if workers is None or workers == 0:
+        return 1
+    if workers < 0:
+        return max(1, os.cpu_count() or 1)
+    return workers
+
+
+def start_method() -> str:
+    """The multiprocessing start method (``REPRO_MP_START`` or platform pick).
+
+    ``fork`` is preferred where available: worker startup is cheap and
+    the one-shot ``.npz`` reload keeps it correct anyway.
+    """
+    raw = os.environ.get("REPRO_MP_START")
+    available = multiprocessing.get_all_start_methods()
+    if raw:
+        if raw not in available:
+            raise ValueError(
+                f"REPRO_MP_START={raw!r} not available; expected one of {available}"
+            )
+        return raw
+    return "fork" if "fork" in available else "spawn"
+
+
+# ----------------------------------------------------------------------
+# worker-side state and task functions
+# ----------------------------------------------------------------------
+_WORKER_NETWORK: Any = None
+_WORKER_COLLECT_METRICS = False
+
+
+def _init_worker(path: str, preprocess: bool, collect_metrics: bool) -> None:
+    """One-shot worker setup: rebuild the network from the snapshot."""
+    global _WORKER_NETWORK, _WORKER_COLLECT_METRICS
+    from ..io import load_network
+
+    _WORKER_NETWORK = load_network(path, preprocess=preprocess)
+    _WORKER_COLLECT_METRICS = collect_metrics
+
+
+def _query_task(
+    query: "Query", variant_value: str, scan_chunk: int | None
+) -> tuple["QueryExecution", dict[str, Any] | None]:
+    """Execute one (query, variant) pair on the worker's network."""
+    from ..obs.metrics import MetricsRegistry
+    from ..obs.runtime import install, uninstall
+    from ..skypeer.executor import execute_query
+    from ..skypeer.variants import Variant
+
+    variant = Variant.parse(variant_value)
+    snapshot: dict[str, Any] | None = None
+    if _WORKER_COLLECT_METRICS:
+        registry = MetricsRegistry()
+        install(None, registry)
+        try:
+            run = execute_query(_WORKER_NETWORK, query, variant, scan_chunk=scan_chunk)
+        finally:
+            uninstall()
+        snapshot = registry.snapshot()
+    else:
+        run = execute_query(_WORKER_NETWORK, query, variant, scan_chunk=scan_chunk)
+    # Per-super-peer scan traces are debugging detail; dropping them
+    # keeps the result pickle small.
+    run.traces = {}
+    return run, snapshot
+
+
+def _preprocess_task(superpeer_id: int) -> "SuperPeerPreprocess":
+    """Pre-process one super-peer (pure compute, no obs side effects)."""
+    return _WORKER_NETWORK.compute_superpeer_preprocess(superpeer_id)
+
+
+# ----------------------------------------------------------------------
+# parent-side fan-out
+# ----------------------------------------------------------------------
+def _pool(
+    network: "SuperPeerNetwork", workers: int, tmpdir: str,
+    preprocess: bool, collect_metrics: bool,
+) -> ProcessPoolExecutor:
+    from ..io import save_network
+
+    path = os.path.join(tmpdir, "network.npz")
+    save_network(path, network)
+    return ProcessPoolExecutor(
+        max_workers=workers,
+        mp_context=multiprocessing.get_context(start_method()),
+        initializer=_init_worker,
+        initargs=(path, preprocess, collect_metrics),
+    )
+
+
+def run_queries_parallel(
+    network: "SuperPeerNetwork",
+    queries: Sequence["Query"],
+    variants: Sequence["Variant"],
+    workers: int,
+    scan_chunk: int | None = None,
+) -> dict["Variant", list["QueryExecution"]]:
+    """Fan independent (query, variant) executions out over a pool.
+
+    Returns per-variant run lists in the serial loop's order.  Worker
+    metrics snapshots are merged into the parent's active registry (in
+    submission order; the merge is commutative regardless).
+
+    The snapshot/rebuild step assumes the super-peer stores are the
+    deterministic pre-processing of the current partitions — true for
+    any built or loaded network; a network whose stores were modified
+    incrementally (churn, updates) may order f-tied points differently.
+    """
+    from ..obs.runtime import active_metrics
+
+    metrics = active_metrics()
+    with tempfile.TemporaryDirectory(prefix="repro-parallel-") as tmpdir:
+        with _pool(
+            network, workers, tmpdir,
+            preprocess=True, collect_metrics=metrics is not None,
+        ) as pool:
+            submitted: list[tuple["Variant", list[Future]]] = [
+                (
+                    variant,
+                    [
+                        pool.submit(_query_task, query, variant.value, scan_chunk)
+                        for query in queries
+                    ],
+                )
+                for variant in variants
+            ]
+            runs_by_variant: dict["Variant", list["QueryExecution"]] = {}
+            for variant, futures in submitted:
+                runs: list["QueryExecution"] = []
+                for future in futures:
+                    run, snapshot = future.result()
+                    if snapshot is not None and metrics is not None:
+                        metrics.merge_snapshot(snapshot)
+                    runs.append(run)
+                runs_by_variant[variant] = runs
+    return runs_by_variant
+
+
+def preprocess_network_parallel(
+    network: "SuperPeerNetwork", workers: int
+) -> list["SuperPeerPreprocess"]:
+    """Fan per-super-peer pre-processing out over a pool.
+
+    Workers rebuild the network *without* pre-processing it (that is
+    the work being distributed) and each task covers one super-peer:
+    its peers' ext-skyline scans plus the store merge.  Results come
+    back in topology order for the parent's deterministic ingest.
+    """
+    with tempfile.TemporaryDirectory(prefix="repro-parallel-") as tmpdir:
+        with _pool(
+            network, workers, tmpdir, preprocess=False, collect_metrics=False
+        ) as pool:
+            futures = [
+                pool.submit(_preprocess_task, sp_id)
+                for sp_id in network.topology.superpeer_ids
+            ]
+            return [future.result() for future in futures]

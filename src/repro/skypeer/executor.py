@@ -117,6 +117,7 @@ def execute_query(
     variant: Variant | str = Variant.FTPM,
     index_kind: str | None = None,
     local_compute=None,
+    scan_chunk: int | None = None,
 ) -> QueryExecution:
     """Execute a subspace skyline query over the network.
 
@@ -133,6 +134,9 @@ def execute_query(
     local_compute:
         Optional strategy replacing the per-super-peer Algorithm 1 run
         (see :mod:`repro.skypeer.cache`); ignored by the naive baseline.
+    scan_chunk:
+        Batch size override for the vectorized scans (see
+        :func:`repro.core.local_skyline.resolve_scan_chunk`).
     """
     variant = Variant.parse(variant) if isinstance(variant, str) else variant
     index_kind = index_kind or network.index_kind
@@ -146,9 +150,11 @@ def execute_query(
         def local_compute(sp: int, sub, threshold: float) -> SkylineComputation:
             return local_subspace_skyline(
                 network.store_of(sp), sub, initial_threshold=threshold,
-                index_kind=index_kind,
+                index_kind=index_kind, scan_chunk=scan_chunk,
             )
-    return _execute_skypeer(network, query, subspace, variant, index_kind, local_compute)
+    return _execute_skypeer(
+        network, query, subspace, variant, index_kind, local_compute, scan_chunk
+    )
 
 
 # ----------------------------------------------------------------------
@@ -161,6 +167,7 @@ def _execute_skypeer(
     variant: Variant,
     index_kind: str,
     local_compute,
+    scan_chunk: int | None = None,
 ) -> QueryExecution:
     topology = network.topology
     cost = network.cost_model
@@ -291,6 +298,7 @@ def _execute_skypeer(
                 [local[sp].result] + [up_list[c] for c in kids],
                 subspace,
                 index_kind=index_kind,
+                scan_chunk=scan_chunk,
             )
             merge_traces[sp] = merged
             comparisons += merged.comparisons
@@ -354,7 +362,9 @@ def _execute_skypeer(
                 metrics.counter(
                     "skypeer.volume_bytes", variant=variant.value, kind="result"
                 ).inc(nbytes * len(paths[sp]))
-        merged = merge_sorted_skylines(lists, subspace, index_kind=index_kind)
+        merged = merge_sorted_skylines(
+            lists, subspace, index_kind=index_kind, scan_chunk=scan_chunk
+        )
         comparisons += merged.comparisons
         final_result = merged.result
         merge_start = Clock.latest(inbound)

@@ -1,0 +1,62 @@
+"""The machine-readable perf baseline (``skypeer bench --smoke``)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.smoke import DETERMINISTIC_FIELDS, SMOKE_SCHEMA, bench_smoke, write_bench_smoke
+from repro.cli import main as cli_main
+
+
+@pytest.fixture(scope="module")
+def report():
+    """One micro smoke run shared across assertions (it spins a pool)."""
+    return bench_smoke(scale="tiny", workers=2, dims=[5], variants=["FTPM"])
+
+
+def test_schema_and_shape(report):
+    assert report["schema"] == SMOKE_SCHEMA
+    assert report["sweep"] == "fig3b-dimensionality"
+    assert report["scale"] == "tiny"
+    assert report["workers"] == 2
+    assert report["dimensions"] == [5]
+    assert report["serial_wall_seconds"] > 0
+    assert report["parallel_wall_seconds"] > 0
+    assert report["speedup"] > 0
+    assert isinstance(report["cpu_count"], int)
+
+
+def test_parallel_matches_serial(report):
+    assert report["parallel_matches_serial"] is True
+    assert report["mismatched_fields"] == []
+
+
+def test_per_variant_means_present(report):
+    means = report["variants"]["FTPM"]
+    for field in (
+        "mean_computational_time",
+        "mean_total_time",
+        "mean_volume_kb",
+        "mean_messages",
+        "mean_comparisons",
+        "mean_critical_path_examined",
+    ):
+        assert field in means
+    per_dim = report["per_dimension"]["5"]["FTPM"]
+    for field in DETERMINISTIC_FIELDS:
+        assert field in per_dim
+
+
+def test_report_is_json_serializable(report, tmp_path):
+    path = tmp_path / "BENCH_test.json"
+    write_bench_smoke(str(path), report)
+    loaded = json.loads(path.read_text())
+    assert loaded["schema"] == SMOKE_SCHEMA
+    assert loaded["parallel_matches_serial"] is True
+
+
+def test_cli_bench_requires_smoke(capsys):
+    assert cli_main(["bench"]) == 2
+    assert "--smoke" in capsys.readouterr().err

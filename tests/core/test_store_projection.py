@@ -1,0 +1,85 @@
+"""The per-store projection/dist cache: hits, safety, bounds, pickling."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import PointSet
+from repro.core.store import SortedByF
+
+
+@pytest.fixture
+def store(rng) -> SortedByF:
+    return SortedByF.from_points(PointSet(rng.random((50, 5))))
+
+
+class TestProjectionCache:
+    def test_matches_direct_slicing(self, store):
+        proj, dists = store.projection((1, 3))
+        assert np.array_equal(proj, store.points.values[:, [1, 3]])
+        assert np.array_equal(dists, store.points.values[:, [1, 3]].max(axis=1))
+
+    def test_repeat_call_is_a_cache_hit(self, store):
+        first = store.projection((0, 2, 4))
+        second = store.projection((0, 2, 4))
+        assert first[0] is second[0]
+        assert first[1] is second[1]
+
+    def test_distinct_subspaces_are_distinct_entries(self, store):
+        a, _ = store.projection((0, 1))
+        b, _ = store.projection((1, 0))
+        assert np.array_equal(a, b[:, ::-1])
+
+    def test_full_space_projection_is_zero_copy(self, store):
+        proj, dists = store.projection(tuple(range(5)))
+        assert proj is store.points.values
+        assert np.array_equal(dists, store.points.values.max(axis=1))
+
+    def test_cached_arrays_are_read_only(self, store):
+        proj, dists = store.projection((2, 4))
+        with pytest.raises(ValueError):
+            proj[0, 0] = -1.0
+        with pytest.raises(ValueError):
+            dists[0] = -1.0
+
+    def test_cache_is_bounded(self, store):
+        from itertools import combinations
+
+        subspaces = list(combinations(range(5), 2)) + list(combinations(range(5), 3))
+        for _ in range(3):  # revisit to exercise eviction + refill
+            for sub in subspaces:
+                store.projection(sub)
+        assert len(store._projections) <= SortedByF.MAX_CACHED_SUBSPACES
+
+    def test_empty_store(self):
+        empty = SortedByF.from_points(PointSet(np.zeros((0, 3))))
+        proj, dists = empty.projection((0, 2))
+        assert proj.shape[0] == 0
+        assert dists.shape == (0,)
+
+
+class TestPickling:
+    def test_round_trip_preserves_data_and_drops_cache(self, store):
+        store.projection((0, 1))  # populate the cache
+        clone = pickle.loads(pickle.dumps(store))
+        assert clone._projections is None
+        assert np.array_equal(clone.points.values, store.points.values)
+        assert np.array_equal(clone.points.ids, store.points.ids)
+        assert np.array_equal(clone.f, store.f)
+
+    def test_round_trip_restores_read_only_flags(self, store):
+        clone = pickle.loads(pickle.dumps(store))
+        assert not clone.f.flags.writeable
+        assert not clone.points.values.flags.writeable
+        proj, _ = clone.projection((0, 3))
+        assert not proj.flags.writeable
+
+    def test_clone_serves_projections(self, store):
+        clone = pickle.loads(pickle.dumps(store))
+        proj, dists = clone.projection((1, 4))
+        expected, expected_d = store.projection((1, 4))
+        assert np.array_equal(proj, expected)
+        assert np.array_equal(dists, expected_d)

@@ -1,0 +1,91 @@
+"""Merging worker registries into the parent (repro.parallel support)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+
+def _registry(counter_values: dict[str, float], observations=()) -> MetricsRegistry:
+    reg = MetricsRegistry()
+    for name, value in counter_values.items():
+        reg.counter(name, variant="FTPM").inc(value)
+    for value in observations:
+        reg.histogram("latency").observe(value)
+    return reg
+
+
+class TestHistogramMergeStats:
+    def test_combines_summaries(self):
+        h = Histogram()
+        h.observe(1.0)
+        h.observe(3.0)
+        h.merge_stats(count=2, total=10.0, minimum=0.5, maximum=9.5)
+        assert h.count == 4
+        assert h.total == 14.0
+        assert h.min == 0.5
+        assert h.max == 9.5
+        assert h.mean == 3.5
+
+    def test_empty_source_is_a_no_op(self):
+        h = Histogram()
+        h.observe(2.0)
+        h.merge_stats(count=0, total=0.0, minimum=None, maximum=None)
+        assert h.count == 1
+        assert h.min == h.max == 2.0
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram().merge_stats(count=-1, total=0.0, minimum=None, maximum=None)
+
+
+class TestMergeSnapshot:
+    def test_counters_add(self):
+        parent = _registry({"queries": 2.0, "bytes": 100.0})
+        worker = _registry({"queries": 3.0, "messages": 7.0})
+        parent.merge_snapshot(worker.snapshot())
+        assert parent.total("queries") == 5.0
+        assert parent.total("bytes") == 100.0
+        assert parent.total("messages") == 7.0
+
+    def test_labels_are_respected(self):
+        parent = MetricsRegistry()
+        parent.counter("queries", variant="FTPM").inc(1)
+        worker = MetricsRegistry()
+        worker.counter("queries", variant="RTPM").inc(2)
+        parent.merge_snapshot(worker.snapshot())
+        assert parent.counter("queries", variant="FTPM").value == 1
+        assert parent.counter("queries", variant="RTPM").value == 2
+        assert parent.total("queries") == 3
+
+    def test_histograms_combine(self):
+        parent = _registry({}, observations=[1.0, 2.0])
+        worker = _registry({}, observations=[0.5, 4.0])
+        parent.merge_snapshot(worker.snapshot())
+        h = parent.histogram("latency")
+        assert h.count == 4
+        assert h.total == 7.5
+        assert h.min == 0.5
+        assert h.max == 4.0
+
+    def test_empty_snapshot_is_a_no_op(self):
+        parent = _registry({"queries": 2.0})
+        parent.merge_snapshot(MetricsRegistry().snapshot())
+        assert parent.total("queries") == 2.0
+        parent.merge_snapshot({})
+        assert parent.total("queries") == 2.0
+
+    def test_merge_is_commutative(self):
+        a1 = _registry({"x": 1.0, "y": 2.0}, observations=[1.0])
+        b1 = _registry({"x": 10.0, "z": 5.0}, observations=[3.0, 0.1])
+        a2 = _registry({"x": 10.0, "z": 5.0}, observations=[3.0, 0.1])
+        b2 = _registry({"x": 1.0, "y": 2.0}, observations=[1.0])
+        a1.merge(b1)
+        a2.merge(b2)
+        assert a1.snapshot() == a2.snapshot()
+
+    def test_merge_registry_helper(self):
+        parent = _registry({"queries": 1.0})
+        parent.merge(_registry({"queries": 4.0}))
+        assert parent.total("queries") == 5.0

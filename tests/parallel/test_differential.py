@@ -1,0 +1,148 @@
+"""Parallel and serial execution must be observably identical.
+
+The acceptance bar of the parallel engine: per-run result sets, work
+counts, message/volume accounting and merged metric counter totals all
+match a serial run exactly — only wall-clock fields may differ.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import VariantStats, run_queries
+from repro.data.workload import Query
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.runtime import install, uninstall
+from repro.p2p.network import SuperPeerNetwork
+from repro.parallel import preprocess_network_parallel, run_queries_parallel
+from repro.skypeer.executor import execute_query
+from repro.skypeer.variants import Variant
+
+DETERMINISTIC_RUN_FIELDS = (
+    "volume_bytes",
+    "message_count",
+    "comparisons",
+    "initial_threshold",
+    "local_result_points",
+    "critical_path_examined",
+)
+
+VARIANTS = [Variant.FTPM, Variant.RTFM]
+
+
+@pytest.fixture(scope="module")
+def network() -> SuperPeerNetwork:
+    return SuperPeerNetwork.build(
+        n_peers=24, points_per_peer=12, dimensionality=4, seed=5
+    )
+
+
+@pytest.fixture(scope="module")
+def queries(network) -> list[Query]:
+    sp = network.topology.superpeer_ids
+    return [
+        Query(subspace=(0, 2), initiator=sp[0]),
+        Query(subspace=(1, 3), initiator=sp[-1]),
+        Query(subspace=(0, 1, 2, 3), initiator=sp[0]),  # full space
+    ]
+
+
+@pytest.fixture(scope="module")
+def differential(network, queries):
+    """One pool spin shared by the assertions below (pools are slow)."""
+    serial = {
+        v: [execute_query(network, q, v) for q in queries] for v in VARIANTS
+    }
+    reg = MetricsRegistry()
+    install(None, reg)
+    try:
+        parallel = run_queries_parallel(network, queries, VARIANTS, workers=2)
+    finally:
+        uninstall()
+    return serial, parallel, reg
+
+
+def test_result_sets_identical(differential):
+    serial, parallel, _ = differential
+    for variant, runs in serial.items():
+        for s, p in zip(runs, parallel[variant]):
+            assert s.result_ids == p.result_ids
+            assert np.array_equal(s.result.points.values, p.result.points.values)
+            assert np.array_equal(s.result.f, p.result.f)
+
+
+def test_work_and_volume_accounting_identical(differential):
+    serial, parallel, _ = differential
+    for variant, runs in serial.items():
+        for s, p in zip(runs, parallel[variant]):
+            for field in DETERMINISTIC_RUN_FIELDS:
+                assert getattr(s, field) == getattr(p, field), (
+                    variant,
+                    s.query,
+                    field,
+                )
+
+
+def test_merged_counter_totals_match_serial(network, queries, differential):
+    _, _, parallel_reg = differential
+    serial_reg = MetricsRegistry()
+    install(None, serial_reg)
+    try:
+        for v in VARIANTS:
+            for q in queries:
+                execute_query(network, q, v)
+    finally:
+        uninstall()
+    serial_names = {n for n, _, _ in serial_reg.counters()}
+    assert serial_names  # the executor does emit counters
+    for name in serial_names:
+        assert parallel_reg.total(name) == serial_reg.total(name), name
+
+
+def test_run_queries_stats_identical(network, queries):
+    serial = run_queries(network, queries, VARIANTS, workers=1)
+    parallel = run_queries(network, queries, VARIANTS, workers=2)
+    for variant in VARIANTS:
+        s, p = serial[variant], parallel[variant]
+        assert isinstance(s, VariantStats)
+        assert s.queries == p.queries
+        assert s.mean_volume_kb == p.mean_volume_kb
+        assert s.mean_messages == p.mean_messages
+        assert s.mean_result_size == p.mean_result_size
+        assert s.mean_comparisons == p.mean_comparisons
+        assert s.mean_critical_path_examined == p.mean_critical_path_examined
+
+
+class TestPreprocessing:
+    def test_parallel_preprocess_builds_identical_stores(self):
+        kwargs = dict(n_peers=24, points_per_peer=12, dimensionality=4, seed=5)
+        serial = SuperPeerNetwork.build(**kwargs)
+        parallel = SuperPeerNetwork.build(**kwargs, workers=2)
+        for sp_id in serial.topology.superpeer_ids:
+            a = serial.superpeers[sp_id].store
+            b = parallel.superpeers[sp_id].store
+            assert np.array_equal(a.points.values, b.points.values)
+            assert np.array_equal(a.points.ids, b.points.ids)
+            assert np.array_equal(a.f, b.f)
+
+    def test_parallel_preprocess_report_identical(self):
+        kwargs = dict(n_peers=24, points_per_peer=12, dimensionality=4, seed=5)
+        serial = SuperPeerNetwork.build(**kwargs)
+        parallel = SuperPeerNetwork.build(**kwargs, workers=2)
+        r_s, r_p = serial.preprocessing, parallel.preprocessing
+        assert r_s.total_points == r_p.total_points
+        assert r_s.peer_skyline_points == r_p.peer_skyline_points
+        assert r_s.superpeer_store_points == r_p.superpeer_store_points
+        assert r_s.upload_bytes == r_p.upload_bytes
+        assert r_s.sel_p == r_p.sel_p
+        assert r_s.sel_sp == r_p.sel_sp
+
+    def test_preprocess_tasks_cover_topology_order(self, network):
+        results = preprocess_network_parallel(network, workers=2)
+        assert [r.superpeer_id for r in results] == list(
+            network.topology.superpeer_ids
+        )
+        for result in results:
+            attached = network.topology.peers_of[result.superpeer_id]
+            assert [pid for pid, _, _ in result.peer_results] == list(attached)

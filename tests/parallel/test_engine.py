@@ -1,0 +1,105 @@
+"""Unit tests for the pool-engine knobs (no processes spawned here)."""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+
+import pytest
+
+from repro.parallel import (
+    default_workers,
+    resolve_workers,
+    set_default_workers,
+    start_method,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_ambient(monkeypatch):
+    """Every test starts with no ambient worker count and a clean env."""
+    monkeypatch.delenv("REPRO_WORKERS", raising=False)
+    monkeypatch.delenv("REPRO_MP_START", raising=False)
+    set_default_workers(None)
+    yield
+    set_default_workers(None)
+
+
+class TestResolveWorkers:
+    def test_none_means_serial_without_ambient(self):
+        assert resolve_workers(None) == 1
+
+    def test_zero_and_one_mean_serial(self):
+        assert resolve_workers(0) == 1
+        assert resolve_workers(1) == 1
+
+    def test_explicit_count_passes_through(self):
+        assert resolve_workers(5) == 5
+
+    def test_negative_means_one_per_cpu(self):
+        assert resolve_workers(-1) == max(1, os.cpu_count() or 1)
+
+    def test_none_consults_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert resolve_workers(None) == 3
+
+    def test_none_consults_set_default(self):
+        set_default_workers(4)
+        assert resolve_workers(None) == 4
+
+    def test_set_default_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        set_default_workers(4)
+        assert resolve_workers(None) == 4
+
+    def test_use_default_off_ignores_ambient(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        set_default_workers(4)
+        assert resolve_workers(None, use_default=False) == 1
+
+    def test_explicit_beats_ambient(self):
+        set_default_workers(4)
+        assert resolve_workers(2) == 2
+
+
+class TestDefaultWorkers:
+    def test_unset_is_none(self):
+        assert default_workers() is None
+
+    def test_set_and_reset(self):
+        set_default_workers(6)
+        assert default_workers() == 6
+        set_default_workers(None)
+        assert default_workers() is None
+
+
+class TestStartMethod:
+    def test_default_is_available(self):
+        assert start_method() in multiprocessing.get_all_start_methods()
+
+    def test_env_override_honored(self, monkeypatch):
+        method = multiprocessing.get_all_start_methods()[0]
+        monkeypatch.setenv("REPRO_MP_START", method)
+        assert start_method() == method
+
+    def test_unknown_method_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MP_START", "teleport")
+        with pytest.raises(ValueError, match="teleport"):
+            start_method()
+
+
+class TestCliAmbientScope:
+    def test_context_manager_sets_and_restores(self):
+        from repro.cli import _ambient_workers
+
+        with _ambient_workers(3):
+            assert default_workers() == 3
+        assert default_workers() is None
+
+    def test_none_is_a_no_op(self):
+        from repro.cli import _ambient_workers
+
+        set_default_workers(7)
+        with _ambient_workers(None):
+            assert default_workers() == 7
+        assert default_workers() == 7
