@@ -1,18 +1,29 @@
 """Machine-readable performance baseline (``skypeer bench --smoke``).
 
-Runs the Figure 3(b) dimensionality sweep twice over pre-built
-networks — once serial, once through the :mod:`repro.parallel` pool —
-and emits one JSON document with the harness wall-clocks, the speedup,
-a field-by-field equality check of the deterministic statistics, and
-the per-variant means the paper's figures are drawn from.  CI uploads
-the document as an artifact; committed snapshots (``BENCH_*.json``)
-give successive revisions an honest, diffable perf baseline.
+Runs the Figure 3(b) dimensionality sweep over pre-built networks —
+once serial, then through persistent :class:`repro.parallel`
+engines — and emits one JSON document with the harness wall-clocks,
+the engine overhead breakdown (pool startup, per-task dispatch,
+shm-attach vs snapshot-rebuild worker startup), a field-by-field
+equality check of the deterministic statistics for every parallel
+run, and the per-variant means the paper's figures are drawn from.
+CI uploads the document as an artifact; committed snapshots
+(``BENCH_*.json``) give successive revisions an honest, diffable perf
+baseline.
+
+Three parallel configurations run when the platform allows:
+
+* the primary start method over the shared-memory data plane,
+* the primary start method over the ``.npz`` snapshot fallback
+  (isolating what shm buys), and
+* the *other* start method (fork vs spawn) over shm, so the
+  serial-vs-parallel equality verdict covers both lifecycles.
 
 Wall-clock fields are hardware-dependent by nature: on a single-core
 host the pool cannot beat the serial loop (the JSON records
 ``cpu_count`` so readers can tell).  Everything under ``"variants"``
 and ``"per_dimension"`` is deterministic and must be identical across
-machines, worker counts and start methods.
+machines, worker counts, start methods and data planes.
 """
 
 from __future__ import annotations
@@ -23,14 +34,14 @@ import platform
 import time
 from typing import Any, Iterable, Sequence
 
-from ..parallel import resolve_workers, start_method
+from ..parallel import ParallelEngine, resolve_workers, shm_supported, start_method
 from ..skypeer.variants import Variant
 from .config import ExperimentConfig, Scale, resolve_scale
 from .harness import VariantStats, build_network, make_queries, run_queries
 
 __all__ = ["SMOKE_SCHEMA", "bench_smoke", "write_bench_smoke"]
 
-SMOKE_SCHEMA = "repro-bench-smoke/1"
+SMOKE_SCHEMA = "repro-bench-smoke/2"
 
 #: VariantStats fields that do not depend on wall-clock measurement —
 #: these must match exactly between serial and parallel runs.
@@ -58,13 +69,16 @@ def _stats_dict(stats: VariantStats) -> dict[str, Any]:
 
 
 def _run_sweep(
-    prepared: Sequence[tuple[int, Any, Any]], variants: Sequence[Variant], workers: int
+    prepared: Sequence[tuple[int, Any, Any]],
+    variants: Sequence[Variant],
+    workers: int,
+    engine: ParallelEngine | None = None,
 ) -> tuple[float, dict[int, dict[Variant, VariantStats]]]:
     """Time one pass over the prepared (d, network, queries) list."""
     results: dict[int, dict[Variant, VariantStats]] = {}
     started = time.perf_counter()
     for d, network, queries in prepared:
-        results[d] = run_queries(network, queries, variants, workers=workers)
+        results[d] = run_queries(network, queries, variants, workers=workers, engine=engine)
     return time.perf_counter() - started, results
 
 
@@ -82,6 +96,17 @@ def _mismatches(
     return out
 
 
+def _other_start_method(primary: str) -> str | None:
+    """The fork/spawn counterpart of ``primary``, when available."""
+    import multiprocessing
+
+    available = multiprocessing.get_all_start_methods()
+    for candidate in ("fork", "spawn"):
+        if candidate != primary and candidate in available:
+            return candidate
+    return None
+
+
 def bench_smoke(
     scale: str | Scale | None = None,
     workers: int | None = None,
@@ -94,6 +119,8 @@ def bench_smoke(
     if n_workers <= 1:
         n_workers = 2  # the smoke exists to exercise the pool
     variant_list = [Variant.parse(v) if isinstance(v, str) else v for v in variants]
+    primary = start_method()
+    shm_ok = shm_supported()
 
     dims = list(dims)
     prepared = []
@@ -103,8 +130,42 @@ def bench_smoke(
         prepared.append((d, network, make_queries(network, config, scale.queries)))
 
     serial_wall, serial = _run_sweep(prepared, variant_list, workers=1)
-    parallel_wall, parallel = _run_sweep(prepared, variant_list, workers=n_workers)
-    mismatches = _mismatches(serial, parallel)
+
+    # (label, start method, shm?) — the primary configuration first; it
+    # supplies the legacy top-level parallel fields.
+    runs: list[tuple[str, str, bool]] = [(f"{primary}-shm", primary, True)] if shm_ok else []
+    runs.append((f"{primary}-snapshot", primary, False))
+    secondary = _other_start_method(primary)
+    if secondary is not None and shm_ok:
+        runs.append((f"{secondary}-shm", secondary, True))
+
+    engines: dict[str, dict[str, Any]] = {}
+    equality: dict[str, dict[str, Any]] = {}
+    walls: dict[str, float] = {}
+    for label, method, use_shm in runs:
+        with ParallelEngine(n_workers, use_shm=use_shm, mp_start=method) as engine:
+            wall, results = _run_sweep(prepared, variant_list, n_workers, engine=engine)
+            engines[label] = engine.stats.as_dict()
+        walls[label] = wall
+        mismatched = _mismatches(serial, results)
+        equality[label] = {"matches": not mismatched, "mismatched_fields": mismatched}
+
+    primary_label = runs[0][0]
+    primary_stats = engines[primary_label]
+    all_mismatches = [
+        f"{label}: {entry}" for label, eq in equality.items()
+        for entry in eq["mismatched_fields"]
+    ]
+
+    # shm-attach vs snapshot-rebuild worker startup: means across every
+    # engine of the run (each worker's first materialization reports).
+    def _mean_attach(mode: str) -> float | None:
+        key = "shm_attach_mean_seconds" if mode == "shm" else "snapshot_rebuild_mean_seconds"
+        samples = [e[key] for e in engines.values() if e[key] is not None]
+        return sum(samples) / len(samples) if samples else None
+
+    shm_attach = _mean_attach("shm")
+    snapshot_rebuild = _mean_attach("snapshot")
 
     # Per-variant means across the sweep, from the serial (reference) run.
     variant_means: dict[str, dict[str, float]] = {}
@@ -121,6 +182,7 @@ def bench_smoke(
             ) / len(rows),
         }
 
+    parallel_wall = walls[primary_label]
     return {
         "schema": SMOKE_SCHEMA,
         "sweep": "fig3b-dimensionality",
@@ -128,14 +190,29 @@ def bench_smoke(
         "dimensions": dims,
         "queries_per_config": scale.queries,
         "workers": n_workers,
-        "start_method": start_method(),
+        "start_method": primary,
+        "start_methods": list(dict.fromkeys(label.rsplit("-", 1)[0] for label in engines)),
+        "shm_supported": shm_ok,
         "cpu_count": os.cpu_count(),
         "python": platform.python_version(),
         "serial_wall_seconds": serial_wall,
         "parallel_wall_seconds": parallel_wall,
+        "parallel_wall_seconds_by_run": walls,
         "speedup": serial_wall / parallel_wall if parallel_wall else float("nan"),
-        "parallel_matches_serial": not mismatches,
-        "mismatched_fields": mismatches,
+        "pool_startup_seconds": primary_stats["pool_startup_seconds"],
+        "dispatch_overhead_per_task_seconds": primary_stats[
+            "dispatch_overhead_per_task_seconds"
+        ],
+        "shm_attach_mean_seconds": shm_attach,
+        "snapshot_rebuild_mean_seconds": snapshot_rebuild,
+        "attach_speedup": (
+            snapshot_rebuild / shm_attach
+            if shm_attach and snapshot_rebuild else None
+        ),
+        "engines": engines,
+        "equality": equality,
+        "parallel_matches_serial": all(eq["matches"] for eq in equality.values()),
+        "mismatched_fields": all_mismatches,
         "variants": variant_means,
         "per_dimension": {
             str(d): {v.value: _stats_dict(serial[d][v]) for v in variant_list}

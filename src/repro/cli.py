@@ -146,8 +146,15 @@ def main(argv: Sequence[str] | None = None) -> int:
 
 @contextmanager
 def _ambient_workers(workers: int | None):
-    """Scope the CLI ``--workers`` value as the ambient pool size."""
-    from .parallel import set_default_workers
+    """Scope the CLI ``--workers`` value as the ambient pool size.
+
+    The harness resolves the ambient value into one persistent
+    :class:`~repro.parallel.ParallelEngine` (shared worker pool +
+    published networks) that survives across every experiment of the
+    command; it is shut down — shm segments unlinked — when the
+    command's scope exits.
+    """
+    from .parallel import set_default_workers, shutdown_engines
 
     if workers is None:
         yield
@@ -157,6 +164,7 @@ def _ambient_workers(workers: int | None):
         yield
     finally:
         set_default_workers(None)
+        shutdown_engines()
 
 
 def _run_bench(args: argparse.Namespace) -> int:

@@ -63,6 +63,24 @@ class PointSet:
         return cls(np.empty((0, dimensionality), dtype=np.float64))
 
     @classmethod
+    def from_trusted(cls, values: np.ndarray, ids: np.ndarray) -> "PointSet":
+        """Wrap pre-validated arrays without copying or re-checking.
+
+        The caller guarantees the constructor invariants (float64
+        ``(n, d)`` values, non-negative, matching int64 ids).  This is
+        the attach path of the shared-memory data plane
+        (:mod:`repro.parallel.shm`), where the arrays are views over a
+        segment the parent already validated; the per-attach
+        ``O(n * d)`` scans of ``__init__`` would be pure overhead.
+        """
+        self = object.__new__(cls)
+        self._values = values
+        self._ids = ids
+        self._values.setflags(write=False)
+        self._ids.setflags(write=False)
+        return self
+
+    @classmethod
     def from_rows(
         cls, rows: Iterable[Sequence[float]], ids: Sequence[int] | None = None
     ) -> "PointSet":

@@ -29,6 +29,19 @@ __all__ = [
 ]
 
 
+def _as_f64(a: np.ndarray) -> np.ndarray:
+    """``np.asarray(a, dtype=float64)`` minus the call when it's a no-op.
+
+    The mask functions run once per point in the Algorithm 1 scans, and
+    their inputs are almost always the library's own C-contiguous
+    float64 arrays — for those, skip numpy's conversion machinery
+    entirely.
+    """
+    if type(a) is np.ndarray and a.dtype == np.float64 and a.flags.c_contiguous:
+        return a
+    return np.asarray(a, dtype=np.float64)
+
+
 def _proj(p: np.ndarray, subspace: Sequence[int] | None) -> np.ndarray:
     if subspace is None:
         return p
@@ -41,8 +54,8 @@ def dominates(p: np.ndarray, q: np.ndarray, subspace: Sequence[int] | None = Non
     ``subspace=None`` means the full space.  A point never dominates an
     identical point (the relation is irreflexive).
     """
-    pu = _proj(np.asarray(p, dtype=np.float64), subspace)
-    qu = _proj(np.asarray(q, dtype=np.float64), subspace)
+    pu = _proj(_as_f64(p), subspace)
+    qu = _proj(_as_f64(q), subspace)
     return bool(np.all(pu <= qu) and np.any(pu < qu))
 
 
@@ -52,8 +65,8 @@ def ext_dominates(p: np.ndarray, q: np.ndarray, subspace: Sequence[int] | None =
     Extended domination (paper, Definition 1) requires ``p`` strictly
     smaller on *every* dimension of the subspace.
     """
-    pu = _proj(np.asarray(p, dtype=np.float64), subspace)
-    qu = _proj(np.asarray(q, dtype=np.float64), subspace)
+    pu = _proj(_as_f64(p), subspace)
+    qu = _proj(_as_f64(q), subspace)
     return bool(np.all(pu < qu))
 
 
@@ -64,8 +77,8 @@ def dominators_mask(candidates: np.ndarray, q: np.ndarray, strict: bool = False)
     (shape ``(m, k)``), and ``q`` likewise (shape ``(k,)``).
     ``strict=True`` selects ext-domination.
     """
-    candidates = np.asarray(candidates, dtype=np.float64)
-    q = np.asarray(q, dtype=np.float64)
+    candidates = _as_f64(candidates)
+    q = _as_f64(q)
     if strict:
         return np.all(candidates < q, axis=1)
     return np.all(candidates <= q, axis=1) & np.any(candidates < q, axis=1)
@@ -76,8 +89,8 @@ def dominated_mask(candidates: np.ndarray, p: np.ndarray, strict: bool = False) 
 
     Mirror image of :func:`dominators_mask`; inputs are pre-projected.
     """
-    candidates = np.asarray(candidates, dtype=np.float64)
-    p = np.asarray(p, dtype=np.float64)
+    candidates = _as_f64(candidates)
+    p = _as_f64(p)
     if strict:
         return np.all(p < candidates, axis=1)
     return np.all(p <= candidates, axis=1) & np.any(p < candidates, axis=1)
@@ -113,7 +126,7 @@ def extended_skyline_mask(
 def _sorted_filter_mask(
     values: np.ndarray, subspace: Sequence[int] | None, strict: bool
 ) -> np.ndarray:
-    values = np.asarray(values, dtype=np.float64)
+    values = _as_f64(values)
     n = values.shape[0]
     if n == 0:
         return np.zeros(0, dtype=bool)

@@ -73,14 +73,22 @@ class ListDominanceIndex:
         return len(self._points)
 
     def is_dominated(self, point: np.ndarray) -> bool:
-        self.comparisons += len(self._points)
+        # Count only candidates actually examined: the scan stops at
+        # the first dominator, and charging the full candidate set
+        # would inflate the abstract-work metric the bench reports.
+        examined = 0
+        dominated = False
         for candidate in self._points:
+            examined += 1
             if self._strict:
                 if np.all(candidate < point):
-                    return True
+                    dominated = True
+                    break
             elif np.all(candidate <= point) and np.any(candidate < point):
-                return True
-        return False
+                dominated = True
+                break
+        self.comparisons += examined
+        return dominated
 
     def insert_and_prune(self, position: int, point: np.ndarray) -> None:
         self.comparisons += len(self._points)
@@ -215,13 +223,20 @@ class RTreeDominanceIndex:
         return len(self._tree)
 
     def is_dominated(self, point: np.ndarray) -> bool:
-        self.comparisons += len(self._tree)
-        return self._tree.exists_dominator(point, strict=self._strict)
+        # The tree counts one comparison per leaf entry examined, so
+        # subtrees pruned by their MBR are not charged (charging
+        # ``len(self._tree)`` would erase exactly the work the R-tree
+        # saves).
+        before = self._tree.comparisons
+        dominated = self._tree.exists_dominator(point, strict=self._strict)
+        self.comparisons += self._tree.comparisons - before
+        return dominated
 
     def insert_and_prune(self, position: int, point: np.ndarray) -> None:
-        self.comparisons += len(self._tree)
+        before = self._tree.comparisons
         for victim_pos, _coords in self._tree.pop_dominated(point, strict=self._strict):
             self._alive.discard(victim_pos)
+        self.comparisons += self._tree.comparisons - before
         self._tree.insert(position, np.asarray(point, dtype=np.float64))
         self._order.append(position)
         self._alive.add(position)

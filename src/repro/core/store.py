@@ -58,6 +58,22 @@ class SortedByF:
     def empty(cls, dimensionality: int) -> "SortedByF":
         return cls(PointSet.empty(dimensionality), np.zeros(0, dtype=np.float64))
 
+    @classmethod
+    def from_trusted(cls, points: PointSet, f: np.ndarray) -> "SortedByF":
+        """Wrap a pre-validated (points, f) pair without re-checking.
+
+        Used by the shared-memory attach path
+        (:mod:`repro.parallel.shm`): the arrays are byte-identical
+        views of a store the parent already validated, so the length
+        and sortedness scans of ``__init__`` are skipped.
+        """
+        self = object.__new__(cls)
+        self.points = points
+        self.f = f
+        self.f.setflags(write=False)
+        self._projections = None
+        return self
+
     def __len__(self) -> int:
         return len(self.points)
 

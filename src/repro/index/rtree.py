@@ -95,6 +95,10 @@ class RTree:
             raise ValueError("min_entries must be in [1, max_entries // 2]")
         self._root = _Node(leaf=True)
         self._size = 0
+        #: Point-level dominance tests performed by ``exists_dominator``
+        #: and ``pop_dominated`` (one per leaf entry examined; subtrees
+        #: pruned by their MBR charge nothing).
+        self.comparisons = 0
 
     # ------------------------------------------------------------------
     # construction
@@ -408,16 +412,20 @@ class RTree:
         stack = [self._root]
         while stack:
             node = stack.pop()
-            for e in node.entries:
-                if np.any(e.lo > probe):
-                    continue
-                if node.leaf:
+            if node.leaf:
+                for e in node.entries:
+                    self.comparisons += 1
+                    if np.any(e.lo > probe):
+                        continue
                     if strict:
                         if np.all(e.lo < probe):
                             return True
                     elif np.all(e.lo <= probe) and np.any(e.lo < probe):
                         return True
-                else:
+            else:
+                for e in node.entries:
+                    if np.any(e.lo > probe):
+                        continue
                     stack.append(e.child)
         return False
 
@@ -428,10 +436,11 @@ class RTree:
         stack = [self._root]
         while stack:
             node = stack.pop()
-            for e in node.entries:
-                if np.any(e.hi < probe):
-                    continue
-                if node.leaf:
+            if node.leaf:
+                for e in node.entries:
+                    self.comparisons += 1
+                    if np.any(e.hi < probe):
+                        continue
                     dominated = (
                         np.all(probe < e.lo)
                         if strict
@@ -439,7 +448,10 @@ class RTree:
                     )
                     if dominated:
                         victims.append((e.point_id, e.lo))
-                else:
+            else:
+                for e in node.entries:
+                    if np.any(e.hi < probe):
+                        continue
                     stack.append(e.child)
         for point_id, coords in victims:
             self.delete(point_id, coords)

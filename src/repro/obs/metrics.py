@@ -120,6 +120,14 @@ class MetricsRegistry:
             if name is None or n == name:
                 yield n, labels, c.value
 
+    def histograms(
+        self, name: str | None = None
+    ) -> Iterator[tuple[str, LabelKey, Histogram]]:
+        """Iterate histograms (the ``parallel.*`` engine timings live here)."""
+        for (n, labels), h in sorted(self._histograms.items()):
+            if name is None or n == name:
+                yield n, labels, h
+
     def __len__(self) -> int:
         return len(self._counters) + len(self._histograms)
 

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 import numpy as np
 
@@ -31,6 +31,9 @@ from ..obs.runtime import active_metrics, active_tracer
 from .cost import DEFAULT_COST_MODEL, CostModel
 from .node import Peer, SuperPeer
 from .topology import Topology
+
+if TYPE_CHECKING:
+    from ..parallel.engine import ParallelEngine
 
 __all__ = ["PreprocessingReport", "SuperPeerPreprocess", "SuperPeerNetwork"]
 
@@ -134,14 +137,15 @@ class SuperPeerNetwork:
         index_kind: str = "block",
         preprocess: bool = True,
         workers: int | None = None,
+        engine: "ParallelEngine | None" = None,
     ) -> "SuperPeerNetwork":
         """Generate topology and data, then (optionally) pre-process.
 
         ``dataset`` is one of the generator kinds; the clustered kind
         follows the paper: each super-peer draws its own centroid and
         all of its peers' points scatter around it.  ``workers > 1``
-        fans the pre-processing out over a process pool (see
-        :mod:`repro.parallel`).
+        (or an explicit ``engine``) fans the pre-processing out over
+        the persistent process pool (see :mod:`repro.parallel`).
         """
         rng = np.random.default_rng(seed)
         topology = Topology.generate(
@@ -158,7 +162,7 @@ class SuperPeerNetwork:
             index_kind=index_kind,
         )
         if preprocess:
-            network.preprocess(workers=workers)
+            network.preprocess(workers=workers, engine=engine)
         return network
 
     @staticmethod
@@ -197,6 +201,7 @@ class SuperPeerNetwork:
         index_kind: str = "block",
         preprocess: bool = True,
         workers: int | None = None,
+        engine: "ParallelEngine | None" = None,
     ) -> "SuperPeerNetwork":
         """Build a network over explicitly provided per-peer data."""
         expected = {p for peers in topology.peers_of.values() for p in peers}
@@ -214,25 +219,29 @@ class SuperPeerNetwork:
             index_kind=index_kind,
         )
         if preprocess:
-            network.preprocess(workers=workers)
+            network.preprocess(workers=workers, engine=engine)
         return network
 
     # ------------------------------------------------------------------
     # pre-processing (section 5.3)
     # ------------------------------------------------------------------
-    def preprocess(self, workers: int | None = None) -> PreprocessingReport:
+    def preprocess(
+        self, workers: int | None = None, engine: "ParallelEngine | None" = None
+    ) -> PreprocessingReport:
         """Run the full pre-processing phase and record its statistics.
 
         ``workers > 1`` fans the per-super-peer computations (peer
-        ext-skyline scans plus the Algorithm 2 merge) out over a
-        process pool; the aggregation below is identical either way, so
-        stores, selectivities and metric counters match the serial run
-        exactly (wall-clock ``compute_seconds`` aside).
+        ext-skyline scans plus the Algorithm 2 merge) out over the
+        persistent process-pool engine (an explicit ``engine`` pins the
+        pool, see :func:`repro.parallel.get_engine`); the aggregation
+        below is identical either way, so stores, selectivities and
+        metric counters match the serial run exactly (wall-clock
+        ``compute_seconds`` aside).
         """
-        if workers is not None and workers > 1:
+        if engine is not None or (workers is not None and workers > 1):
             from ..parallel.engine import preprocess_network_parallel
 
-            results = preprocess_network_parallel(self, workers)
+            results = preprocess_network_parallel(self, workers or 0, engine=engine)
         else:
             results = [self.compute_superpeer_preprocess(sp) for sp in self.superpeers]
         return self._ingest_preprocessing(results)

@@ -1,30 +1,59 @@
-"""Process-pool execution engine.
+"""Parallel execution: shared-memory data plane + persistent pool.
 
 The simulator's two embarrassingly parallel workloads — the bench
 harness's independent (query, variant) executions and pre-processing's
-independent per-super-peer computations — fan out over a
-``concurrent.futures`` process pool.  Workers are initialized once from
-an ``.npz`` snapshot of the network (:mod:`repro.io`), which makes the
-pool safe under both the ``fork`` and ``spawn`` start methods, and all
-aggregation happens in the parent in deterministic submission order, so
-parallel runs produce results, work counts and metric totals identical
-to serial ones (wall-clock fields aside).  See ``docs/PERFORMANCE.md``.
+independent per-super-peer computations — fan out over a persistent
+``concurrent.futures`` process pool (:class:`ParallelEngine`).  The
+network travels to workers over the shared-memory data plane
+(:mod:`repro.parallel.shm`): published once into a
+``multiprocessing.shared_memory`` segment and attached zero-copy by
+every worker, with a graceful fallback to an ``.npz`` snapshot where
+``/dev/shm`` is unavailable (or ``REPRO_SHM=0``).  Tasks are submitted
+in subspace-affine batches so per-subspace projection caches hit across
+queries, and all aggregation happens in the parent in deterministic
+task order, so parallel runs produce results, work counts and metric
+totals identical to serial ones (wall-clock fields aside).  See
+``docs/PERFORMANCE.md``.
 """
 
 from .engine import (
+    EngineStats,
+    ParallelEngine,
     default_workers,
+    get_engine,
     preprocess_network_parallel,
     resolve_workers,
     run_queries_parallel,
     set_default_workers,
+    shutdown_engines,
     start_method,
+)
+from .shm import (
+    SHM_ENV,
+    AttachedNetwork,
+    SharedNetwork,
+    attach_network,
+    publish_network,
+    shm_enabled,
+    shm_supported,
 )
 
 __all__ = [
+    "AttachedNetwork",
+    "EngineStats",
+    "ParallelEngine",
+    "SHM_ENV",
+    "SharedNetwork",
+    "attach_network",
     "default_workers",
+    "get_engine",
     "preprocess_network_parallel",
+    "publish_network",
     "resolve_workers",
     "run_queries_parallel",
     "set_default_workers",
+    "shm_enabled",
+    "shm_supported",
+    "shutdown_engines",
     "start_method",
 ]

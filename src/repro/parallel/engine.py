@@ -1,36 +1,55 @@
-"""The process pool: worker lifecycle, task functions, aggregation.
+"""The persistent process-pool engine: lifecycle, batching, affinity.
 
 Design notes
 ------------
-*Worker initialization.*  The parent saves the network's partitions to
-a temporary ``.npz`` (no pickle of live object graphs, no reliance on
-fork-inherited globals) and every worker rebuilds its own
-``SuperPeerNetwork`` from that file exactly once, in its initializer.
-Pre-processing is deterministic given the partitions, so every worker's
-stores are byte-identical to the parent's.  This works unchanged under
-``fork`` and ``spawn``; pick the method with ``REPRO_MP_START``.
+*Persistence.*  PR 2 spun a fresh ``ProcessPoolExecutor`` (and shipped
+a fresh ``.npz`` snapshot) for every ``run_queries`` call, so pool
+startup and per-task IPC dominated exactly the many-small-queries
+regimes the paper evaluates.  :class:`ParallelEngine` is created once
+and reused: workers stay warm across calls and whole bench sweeps, and
+each network is *published* once — preferably into a shared-memory
+segment (:mod:`repro.parallel.shm`) that workers attach zero-copy,
+falling back to the ``.npz`` snapshot where ``/dev/shm`` is
+unavailable or ``REPRO_SHM=0``.
 
-*Determinism.*  Tasks are submitted in the same order the serial loops
-iterate and their results are consumed in submission order, so the
-aggregated statistics and the parent-side metrics merges cannot depend
-on worker scheduling.
+*Batching and subspace affinity.*  Tasks are submitted as chunks, not
+one IPC round-trip per (query, variant) pair.  Chunks are formed by
+grouping tasks on the query subspace, so queries over the same
+subspace run on the same worker and the per-subspace projection/dist
+caches on :class:`~repro.core.store.SortedByF` hit across queries (and
+across variants, which share the projection).  Each worker caches a
+small number of attached networks, so sweeps alternating between
+configurations do not re-attach per batch.
+
+*Determinism.*  Every task carries its index in the serial loop's
+iteration order and the parent reassembles results by index, so the
+aggregated statistics cannot depend on chunking or worker scheduling.
+Metric snapshots ride back one per batch and merge commutatively.
 
 *Observability.*  Workers never install a tracer (spans model the
-simulated distributed schedule, which the parent already owns); when
-the parent has an active :class:`~repro.obs.metrics.MetricsRegistry`,
-each query task records into a fresh worker-local registry and ships
-its snapshot back for a commutative merge in the parent.
-Pre-processing tasks are pure compute — the parent emits all of their
-metrics and trace intervals while ingesting results.
+simulated distributed schedule, which the parent owns).  When the
+parent has an active :class:`~repro.obs.metrics.MetricsRegistry`, each
+batch records into a fresh worker-local registry and ships its
+snapshot back; the parent additionally emits ``parallel.*`` counters
+and histograms describing the engine itself (batches, tasks, attach
+timings) — see :class:`EngineStats`.
 """
 
 from __future__ import annotations
 
+import atexit
+import math
 import multiprocessing
 import os
 import tempfile
-from concurrent.futures import Future, ProcessPoolExecutor
+import time
+import weakref
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Sequence
+
+from .shm import attach_network, publish_network, shm_enabled
 
 if TYPE_CHECKING:  # imports deferred at runtime to keep workers lean
     from ..data.workload import Query
@@ -39,17 +58,33 @@ if TYPE_CHECKING:  # imports deferred at runtime to keep workers lean
     from ..skypeer.variants import Variant
 
 __all__ = [
+    "EngineStats",
+    "ParallelEngine",
     "default_workers",
+    "get_engine",
     "preprocess_network_parallel",
     "resolve_workers",
     "run_queries_parallel",
     "set_default_workers",
+    "shutdown_engines",
     "start_method",
 ]
 
 #: Ambient worker count (CLI ``--workers`` / ``REPRO_WORKERS``) applied
 #: when the bench harness is called without an explicit value.
 _DEFAULT_WORKERS: int | None = None
+
+#: Chunks per worker targeted by the batcher: small enough to amortize
+#: IPC, large enough to rebalance when chunk costs are uneven.
+_BATCH_OVERSUBSCRIBE = 4
+
+#: Networks kept attached per worker (sweeps alternate between a
+#: handful of configurations; the cap merely bounds memory).
+_WORKER_CACHE_CAP = 4
+
+#: Publications kept per engine before the least recently used one is
+#: withdrawn (shm unlinked / snapshot deleted).
+_PUBLICATION_CAP = 8
 
 
 def set_default_workers(workers: int | None) -> None:
@@ -86,7 +121,7 @@ def start_method() -> str:
     """The multiprocessing start method (``REPRO_MP_START`` or platform pick).
 
     ``fork`` is preferred where available: worker startup is cheap and
-    the one-shot ``.npz`` reload keeps it correct anyway.
+    workers attach (or reload) their data explicitly anyway.
     """
     raw = os.environ.get("REPRO_MP_START")
     available = multiprocessing.get_all_start_methods()
@@ -102,134 +137,515 @@ def start_method() -> str:
 # ----------------------------------------------------------------------
 # worker-side state and task functions
 # ----------------------------------------------------------------------
-_WORKER_NETWORK: Any = None
-_WORKER_COLLECT_METRICS = False
+#: token -> (network, AttachedNetwork | None); LRU, capped.
+_WORKER_NETWORKS: "OrderedDict[str, tuple[Any, Any]]" = OrderedDict()
 
 
-def _init_worker(path: str, preprocess: bool, collect_metrics: bool) -> None:
-    """One-shot worker setup: rebuild the network from the snapshot."""
-    global _WORKER_NETWORK, _WORKER_COLLECT_METRICS
-    from ..io import load_network
-
-    _WORKER_NETWORK = load_network(path, preprocess=preprocess)
-    _WORKER_COLLECT_METRICS = collect_metrics
+def _noop() -> None:
+    """Warm-up task: forces worker processes to start."""
 
 
-def _query_task(
-    query: "Query", variant_value: str, scan_chunk: int | None
-) -> tuple["QueryExecution", dict[str, Any] | None]:
-    """Execute one (query, variant) pair on the worker's network."""
+def _materialize(spec: dict[str, Any]) -> tuple[Any, dict[str, Any] | None]:
+    """Return the spec's network, attaching/loading it on first use.
+
+    The second element reports the first-use cost (``None`` on a cache
+    hit): ``{"mode": "shm" | "snapshot", "seconds": ...}`` — the
+    shm-attach vs snapshot-rebuild differential the bench records.
+    """
+    token = spec["token"]
+    hit = _WORKER_NETWORKS.get(token)
+    if hit is not None:
+        _WORKER_NETWORKS.move_to_end(token)
+        return hit[0], None
+    started = time.perf_counter()
+    if spec["kind"] == "shm":
+        attached = attach_network(spec["manifest"])
+        entry = (attached.network, attached)
+    else:
+        from ..io import load_network
+
+        entry = (load_network(spec["path"], preprocess=spec["preprocess"]), None)
+    seconds = time.perf_counter() - started
+    while len(_WORKER_NETWORKS) >= _WORKER_CACHE_CAP:
+        _, (network, attached) = _WORKER_NETWORKS.popitem(last=False)
+        del network
+        if attached is not None:
+            attached.close()
+    _WORKER_NETWORKS[token] = entry
+    return entry[0], {"mode": spec["kind"], "seconds": seconds}
+
+
+def _run_query_batch(
+    spec: dict[str, Any],
+    tasks: Sequence[tuple[int, "Query", str]],
+    collect_metrics: bool,
+    scan_chunk: int | None,
+) -> dict[str, Any]:
+    """Execute one chunk of (index, query, variant) tasks."""
     from ..obs.metrics import MetricsRegistry
     from ..obs.runtime import install, uninstall
     from ..skypeer.executor import execute_query
     from ..skypeer.variants import Variant
 
-    variant = Variant.parse(variant_value)
-    snapshot: dict[str, Any] | None = None
-    if _WORKER_COLLECT_METRICS:
-        registry = MetricsRegistry()
+    network, attach = _materialize(spec)
+    started = time.perf_counter()
+    runs: list[tuple[int, "QueryExecution"]] = []
+    registry = MetricsRegistry() if collect_metrics else None
+    if registry is not None:
         install(None, registry)
-        try:
-            run = execute_query(_WORKER_NETWORK, query, variant, scan_chunk=scan_chunk)
-        finally:
+    try:
+        for index, query, variant_value in tasks:
+            run = execute_query(
+                network, query, Variant.parse(variant_value), scan_chunk=scan_chunk
+            )
+            # Per-super-peer scan traces are debugging detail; dropping
+            # them keeps the result pickle small.
+            run.traces = {}
+            runs.append((index, run))
+    finally:
+        if registry is not None:
             uninstall()
-        snapshot = registry.snapshot()
-    else:
-        run = execute_query(_WORKER_NETWORK, query, variant, scan_chunk=scan_chunk)
-    # Per-super-peer scan traces are debugging detail; dropping them
-    # keeps the result pickle small.
-    run.traces = {}
-    return run, snapshot
+    return {
+        "runs": runs,
+        "snapshot": registry.snapshot() if registry is not None else None,
+        "attach": attach,
+        "compute_seconds": time.perf_counter() - started,
+    }
 
 
-def _preprocess_task(superpeer_id: int) -> "SuperPeerPreprocess":
-    """Pre-process one super-peer (pure compute, no obs side effects)."""
-    return _WORKER_NETWORK.compute_superpeer_preprocess(superpeer_id)
+def _run_preprocess_batch(
+    spec: dict[str, Any], superpeer_ids: Sequence[int]
+) -> dict[str, Any]:
+    """Pre-process a chunk of super-peers (pure compute, no obs)."""
+    network, attach = _materialize(spec)
+    started = time.perf_counter()
+    results = [network.compute_superpeer_preprocess(sp) for sp in superpeer_ids]
+    return {
+        "results": results,
+        "attach": attach,
+        "compute_seconds": time.perf_counter() - started,
+    }
 
 
 # ----------------------------------------------------------------------
-# parent-side fan-out
+# parent-side engine
 # ----------------------------------------------------------------------
-def _pool(
-    network: "SuperPeerNetwork", workers: int, tmpdir: str,
-    preprocess: bool, collect_metrics: bool,
-) -> ProcessPoolExecutor:
-    from ..io import save_network
+@dataclass
+class EngineStats:
+    """What one engine spent where (the bench's pool-overhead fields).
 
-    path = os.path.join(tmpdir, "network.npz")
-    save_network(path, network)
-    return ProcessPoolExecutor(
-        max_workers=workers,
-        mp_context=multiprocessing.get_context(start_method()),
-        initializer=_init_worker,
-        initargs=(path, preprocess, collect_metrics),
-    )
+    ``pool_startup_seconds`` covers executor creation plus the warm-up
+    barrier; ``publish_seconds`` is the parent-side cost of making
+    networks available (shm copy-in or snapshot write);
+    ``submit_seconds`` is parent time spent dispatching batches (the
+    per-task share is :meth:`dispatch_overhead_per_task`);
+    ``attach_events`` records every worker-side first-use of a
+    publication with its mode, the shm-attach vs snapshot-rebuild
+    differential.
+    """
+
+    workers: int
+    start_method: str
+    pool_startup_seconds: float = 0.0
+    publish_seconds: float = 0.0
+    publications: int = 0
+    publish_modes: list[str] = field(default_factory=list)
+    batches: int = 0
+    tasks: int = 0
+    submit_seconds: float = 0.0
+    worker_compute_seconds: float = 0.0
+    attach_events: list[dict[str, Any]] = field(default_factory=list)
+
+    def dispatch_overhead_per_task(self) -> float:
+        return self.submit_seconds / self.tasks if self.tasks else 0.0
+
+    def attach_seconds(self, mode: str | None = None) -> list[float]:
+        return [
+            event["seconds"]
+            for event in self.attach_events
+            if mode is None or event["mode"] == mode
+        ]
+
+    def mean_attach_seconds(self, mode: str | None = None) -> float | None:
+        samples = self.attach_seconds(mode)
+        return sum(samples) / len(samples) if samples else None
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-ready view (what ``skypeer bench --smoke`` embeds)."""
+        return {
+            "workers": self.workers,
+            "start_method": self.start_method,
+            "pool_startup_seconds": self.pool_startup_seconds,
+            "publish_seconds": self.publish_seconds,
+            "publications": self.publications,
+            "publish_modes": list(self.publish_modes),
+            "batches": self.batches,
+            "tasks": self.tasks,
+            "submit_seconds": self.submit_seconds,
+            "dispatch_overhead_per_task_seconds": self.dispatch_overhead_per_task(),
+            "worker_compute_seconds": self.worker_compute_seconds,
+            "attach_count": len(self.attach_events),
+            "shm_attach_mean_seconds": self.mean_attach_seconds("shm"),
+            "snapshot_rebuild_mean_seconds": self.mean_attach_seconds("snapshot"),
+        }
 
 
+class _Publication:
+    """One network made available to workers (shm segment or snapshot)."""
+
+    __slots__ = ("token", "kind", "spec", "shared", "path", "network_ref", "epoch")
+
+    def __init__(
+        self,
+        token: str,
+        kind: str,
+        spec: dict[str, Any],
+        shared: Any,
+        path: str | None,
+        network_ref: "weakref.ref[Any]",
+        epoch: int,
+    ):
+        self.token = token
+        self.kind = kind
+        self.spec = spec
+        self.shared = shared
+        self.path = path
+        self.network_ref = network_ref
+        self.epoch = epoch
+
+    def withdraw(self) -> None:
+        if self.shared is not None:
+            self.shared.close(unlink=True)
+            self.shared = None
+        if self.path is not None:
+            try:
+                os.unlink(self.path)
+            except OSError:
+                pass
+            self.path = None
+
+
+class ParallelEngine:
+    """A persistent worker pool with published-network bookkeeping.
+
+    Create once (or let :func:`get_engine` do it) and reuse across
+    ``run_queries`` calls, pre-processing and whole bench sweeps; the
+    pool, the worker-side network caches and the publications all
+    survive between calls.  Context-manager and ``close()`` tear
+    everything down — shm segments are unlinked, snapshots deleted —
+    and an ``atexit`` hook guarantees the same at interpreter exit.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        use_shm: bool | None = None,
+        mp_start: str | None = None,
+        warm: bool = True,
+    ):
+        self.workers = max(1, int(workers))
+        self.start_method = mp_start if mp_start is not None else start_method()
+        self.use_shm = shm_enabled() if use_shm is None else bool(use_shm)
+        self.stats = EngineStats(workers=self.workers, start_method=self.start_method)
+        self._tmpdir = tempfile.mkdtemp(prefix="repro-engine-")
+        self._publications: "OrderedDict[int, _Publication]" = OrderedDict()
+        self._token_counter = 0
+        self._closed = False
+        started = time.perf_counter()
+        self._pool = ProcessPoolExecutor(
+            max_workers=self.workers,
+            mp_context=multiprocessing.get_context(self.start_method),
+        )
+        if warm:
+            for future in [self._pool.submit(_noop) for _ in range(self.workers)]:
+                future.result()
+        self.stats.pool_startup_seconds = time.perf_counter() - started
+        atexit.register(self.close)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # ------------------------------------------------------------------
+    # publications
+    # ------------------------------------------------------------------
+    def _publish(self, network: "SuperPeerNetwork", for_query: bool) -> _Publication:
+        """Publish (or reuse) a network for worker consumption.
+
+        Publications are keyed on object identity + ``epoch`` (store
+        changes bump the epoch, so stale data can never be served) and
+        on whether the workers need pre-processed stores.  The snapshot
+        fallback encodes ``for_query`` as its load-time ``preprocess``
+        flag; the shm path simply carries whatever stores exist.
+        """
+        key = (id(network), for_query)
+        cached = self._publications.get(key)
+        if cached is not None:
+            alive = cached.network_ref()
+            if alive is network and cached.epoch == network.epoch and (
+                (cached.kind == "shm") == self.use_shm
+            ):
+                self._publications.move_to_end(key)
+                return cached
+            del self._publications[key]
+            cached.withdraw()
+        self._token_counter += 1
+        token = f"pub-{os.getpid():x}-{id(self):x}-{self._token_counter}"
+        started = time.perf_counter()
+        shared = None
+        path = None
+        if self.use_shm:
+            shared = publish_network(network)
+            spec = {"token": token, "kind": "shm", "manifest": shared.manifest}
+        else:
+            from ..io import save_network
+
+            path = os.path.join(self._tmpdir, f"{token}.npz")
+            save_network(path, network)
+            spec = {
+                "token": token,
+                "kind": "snapshot",
+                "path": path,
+                "preprocess": for_query,
+            }
+        self.stats.publish_seconds += time.perf_counter() - started
+        self.stats.publications += 1
+        self.stats.publish_modes.append(spec["kind"])
+        publication = _Publication(
+            token=token,
+            kind=spec["kind"],
+            spec=spec,
+            shared=shared,
+            path=path,
+            network_ref=weakref.ref(network),
+            epoch=network.epoch,
+        )
+        self._publications[key] = publication
+        while len(self._publications) > _PUBLICATION_CAP:
+            _, old = self._publications.popitem(last=False)
+            old.withdraw()
+        return publication
+
+    def published_segments(self) -> list[str]:
+        """Names of the live shm segments (tests assert cleanup)."""
+        return [
+            p.shared.name for p in self._publications.values() if p.shared is not None
+        ]
+
+    # ------------------------------------------------------------------
+    # query fan-out
+    # ------------------------------------------------------------------
+    def run_queries(
+        self,
+        network: "SuperPeerNetwork",
+        queries: Sequence["Query"],
+        variants: Sequence["Variant"],
+        scan_chunk: int | None = None,
+    ) -> dict["Variant", list["QueryExecution"]]:
+        """Fan independent (query, variant) executions out in batches.
+
+        Returns per-variant run lists in the serial loop's order;
+        worker metric snapshots merge into the parent's active
+        registry.  Results are placed by task index, so they are
+        independent of chunking and scheduling.
+        """
+        from ..obs.runtime import active_metrics
+        from ..skypeer.variants import Variant
+
+        if self._closed:
+            raise RuntimeError("engine is closed")
+        metrics = active_metrics()
+        spec = self._publish(network, for_query=True).spec
+        queries = list(queries)
+        variants = [Variant.parse(v) if isinstance(v, str) else v for v in variants]
+        chunks = _affinity_chunks(queries, variants, self.workers)
+        total = len(queries) * len(variants)
+        started = time.perf_counter()
+        futures = [
+            self._pool.submit(
+                _run_query_batch, spec, chunk, metrics is not None, scan_chunk
+            )
+            for chunk in chunks
+        ]
+        self.stats.submit_seconds += time.perf_counter() - started
+        self.stats.batches += len(chunks)
+        self.stats.tasks += total
+        flat: list["QueryExecution" | None] = [None] * total
+        for future in futures:
+            payload = future.result()
+            self._ingest_batch_stats(payload, metrics)
+            if payload["snapshot"] is not None and metrics is not None:
+                metrics.merge_snapshot(payload["snapshot"])
+            for index, run in payload["runs"]:
+                flat[index] = run
+        runs_by_variant: dict["Variant", list["QueryExecution"]] = {}
+        for v, variant in enumerate(variants):
+            runs_by_variant[variant] = flat[v * len(queries) : (v + 1) * len(queries)]
+        return runs_by_variant
+
+    # ------------------------------------------------------------------
+    # pre-processing fan-out
+    # ------------------------------------------------------------------
+    def preprocess_network(
+        self, network: "SuperPeerNetwork"
+    ) -> list["SuperPeerPreprocess"]:
+        """Fan per-super-peer pre-processing out in batches.
+
+        Workers see the network *without* stores (that is the work
+        being distributed); results come back in topology order for
+        the parent's deterministic ingest.
+        """
+        if self._closed:
+            raise RuntimeError("engine is closed")
+        spec = self._publish(network, for_query=False).spec
+        sp_ids = list(network.topology.superpeer_ids)
+        target = max(1, math.ceil(len(sp_ids) / (self.workers * _BATCH_OVERSUBSCRIBE)))
+        chunks = [sp_ids[i : i + target] for i in range(0, len(sp_ids), target)]
+        started = time.perf_counter()
+        futures = [
+            self._pool.submit(_run_preprocess_batch, spec, chunk) for chunk in chunks
+        ]
+        self.stats.submit_seconds += time.perf_counter() - started
+        self.stats.batches += len(chunks)
+        self.stats.tasks += len(sp_ids)
+        results: list["SuperPeerPreprocess"] = []
+        for future in futures:
+            payload = future.result()
+            self._ingest_batch_stats(payload, None)
+            results.extend(payload["results"])
+        return results
+
+    def _ingest_batch_stats(self, payload: dict[str, Any], metrics: Any) -> None:
+        self.stats.worker_compute_seconds += payload["compute_seconds"]
+        attach = payload["attach"]
+        if attach is not None:
+            self.stats.attach_events.append(attach)
+            if metrics is not None:
+                metrics.histogram(
+                    "parallel.attach_seconds", mode=attach["mode"]
+                ).observe(attach["seconds"])
+        if metrics is not None:
+            metrics.counter("parallel.batches").inc()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut the pool down and withdraw every publication.
+
+        Idempotent; also runs at interpreter exit, so shm segments are
+        provably unlinked even when the caller forgets.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        atexit.unregister(self.close)
+        self._pool.shutdown(wait=True)
+        while self._publications:
+            _, publication = self._publications.popitem(last=False)
+            publication.withdraw()
+        try:
+            os.rmdir(self._tmpdir)
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ParallelEngine":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        mode = "shm" if self.use_shm else "snapshot"
+        return (
+            f"ParallelEngine(workers={self.workers}, start={self.start_method}, "
+            f"mode={mode}, closed={self._closed})"
+        )
+
+
+def _affinity_chunks(
+    queries: Sequence["Query"], variants: Sequence["Variant"], workers: int
+) -> list[list[tuple[int, "Query", str]]]:
+    """Chunk (query, variant) tasks with subspace affinity.
+
+    Tasks are indexed in the serial loop's order (variant-major), then
+    grouped by query subspace so one chunk — hence one worker — serves
+    one subspace and the store's projection cache hits across the
+    chunk.  Groups larger than the load-balancing target split into
+    consecutive chunks; ordering is deterministic (first-appearance
+    groups, ascending indices within).
+    """
+    groups: "OrderedDict[tuple[int, ...], list[tuple[int, Query, str]]]" = OrderedDict()
+    index = 0
+    for variant in variants:
+        for query in queries:
+            groups.setdefault(tuple(query.subspace), []).append(
+                (index, query, variant.value)
+            )
+            index += 1
+    target = max(1, math.ceil(index / (max(1, workers) * _BATCH_OVERSUBSCRIBE)))
+    chunks: list[list[tuple[int, "Query", str]]] = []
+    for group in groups.values():
+        for start in range(0, len(group), target):
+            chunks.append(group[start : start + target])
+    return chunks
+
+
+# ----------------------------------------------------------------------
+# shared engines (one per configuration, reused process-wide)
+# ----------------------------------------------------------------------
+_ENGINES: dict[tuple, ParallelEngine] = {}
+
+
+def get_engine(workers: int | None = None) -> ParallelEngine:
+    """The process-wide persistent engine for the given worker count.
+
+    Keyed on (pool size, start method, shm toggle) so an env change
+    yields a fresh engine rather than a stale one; engines persist
+    across calls and are torn down by :func:`shutdown_engines` or at
+    interpreter exit.
+    """
+    n_workers = resolve_workers(workers)
+    key = (n_workers, start_method(), shm_enabled())
+    engine = _ENGINES.get(key)
+    if engine is None or engine.closed:
+        engine = ParallelEngine(n_workers)
+        _ENGINES[key] = engine
+    return engine
+
+
+def shutdown_engines() -> None:
+    """Close every shared engine (tests and long-lived hosts)."""
+    for engine in list(_ENGINES.values()):
+        engine.close()
+    _ENGINES.clear()
+
+
+# ----------------------------------------------------------------------
+# one-shot conveniences (the PR 2 entry points, now engine-backed)
+# ----------------------------------------------------------------------
 def run_queries_parallel(
     network: "SuperPeerNetwork",
     queries: Sequence["Query"],
     variants: Sequence["Variant"],
     workers: int,
     scan_chunk: int | None = None,
+    engine: ParallelEngine | None = None,
 ) -> dict["Variant", list["QueryExecution"]]:
-    """Fan independent (query, variant) executions out over a pool.
+    """Fan (query, variant) executions out over the shared engine.
 
-    Returns per-variant run lists in the serial loop's order.  Worker
-    metrics snapshots are merged into the parent's active registry (in
-    submission order; the merge is commutative regardless).
-
-    The snapshot/rebuild step assumes the super-peer stores are the
-    deterministic pre-processing of the current partitions — true for
-    any built or loaded network; a network whose stores were modified
-    incrementally (churn, updates) may order f-tied points differently.
+    Results, work counts and metric totals are identical to a serial
+    run; see :meth:`ParallelEngine.run_queries`.
     """
-    from ..obs.runtime import active_metrics
-
-    metrics = active_metrics()
-    with tempfile.TemporaryDirectory(prefix="repro-parallel-") as tmpdir:
-        with _pool(
-            network, workers, tmpdir,
-            preprocess=True, collect_metrics=metrics is not None,
-        ) as pool:
-            submitted: list[tuple["Variant", list[Future]]] = [
-                (
-                    variant,
-                    [
-                        pool.submit(_query_task, query, variant.value, scan_chunk)
-                        for query in queries
-                    ],
-                )
-                for variant in variants
-            ]
-            runs_by_variant: dict["Variant", list["QueryExecution"]] = {}
-            for variant, futures in submitted:
-                runs: list["QueryExecution"] = []
-                for future in futures:
-                    run, snapshot = future.result()
-                    if snapshot is not None and metrics is not None:
-                        metrics.merge_snapshot(snapshot)
-                    runs.append(run)
-                runs_by_variant[variant] = runs
-    return runs_by_variant
+    engine = engine if engine is not None else get_engine(workers)
+    return engine.run_queries(network, queries, variants, scan_chunk=scan_chunk)
 
 
 def preprocess_network_parallel(
-    network: "SuperPeerNetwork", workers: int
+    network: "SuperPeerNetwork",
+    workers: int,
+    engine: ParallelEngine | None = None,
 ) -> list["SuperPeerPreprocess"]:
-    """Fan per-super-peer pre-processing out over a pool.
-
-    Workers rebuild the network *without* pre-processing it (that is
-    the work being distributed) and each task covers one super-peer:
-    its peers' ext-skyline scans plus the store merge.  Results come
-    back in topology order for the parent's deterministic ingest.
-    """
-    with tempfile.TemporaryDirectory(prefix="repro-parallel-") as tmpdir:
-        with _pool(
-            network, workers, tmpdir, preprocess=False, collect_metrics=False
-        ) as pool:
-            futures = [
-                pool.submit(_preprocess_task, sp_id)
-                for sp_id in network.topology.superpeer_ids
-            ]
-            return [future.result() for future in futures]
+    """Fan per-super-peer pre-processing out over the shared engine."""
+    engine = engine if engine is not None else get_engine(workers)
+    return engine.preprocess_network(network)

@@ -1,0 +1,351 @@
+"""Shared-memory data plane: publish a network once, attach everywhere.
+
+The process-pool engine of PR 2 shipped every worker a compressed
+``.npz`` snapshot and had the worker re-run pre-processing from the raw
+partitions — decompression plus an Algorithm 1/2 rebuild per worker,
+paid again for every pool spin.  This module removes the data movement
+entirely on platforms with POSIX shared memory (``/dev/shm``):
+
+* :func:`publish_network` writes every peer partition and every
+  super-peer store (coordinate block, ``f`` values, id arrays) into one
+  ``multiprocessing.shared_memory`` segment and returns a
+  :class:`SharedNetwork` handle whose small picklable ``manifest``
+  describes the layout plus the non-array state (topology, cost model,
+  index kind).
+* :func:`attach_network` maps the segment read-only in a worker and
+  rebuilds a :class:`~repro.p2p.network.SuperPeerNetwork` whose
+  ``PointSet``/``SortedByF`` objects are zero-copy views over the
+  shared buffer — byte-identical to the parent's stores (no rebuild,
+  so even incrementally-updated stores attach exactly).
+
+Lifecycle: the parent owns the segment.  ``SharedNetwork`` is a context
+manager, registers an ``atexit`` unlink so an abandoned handle cannot
+leak a ``/dev/shm`` entry past interpreter exit, and ``close(unlink=
+True)`` is idempotent.  Workers only ever *attach* (never unlink) and
+de-register from the ``resource_tracker`` so a worker's exit cannot
+reap a segment the parent still serves.  Where shared memory is
+unavailable (or ``REPRO_SHM=0``), callers fall back to the snapshot
+path — see :mod:`repro.parallel.engine`.
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import os
+import secrets
+from multiprocessing import shared_memory
+from typing import TYPE_CHECKING, Any, Mapping
+
+import numpy as np
+
+if TYPE_CHECKING:
+    from ..p2p.network import SuperPeerNetwork
+
+__all__ = [
+    "AttachedNetwork",
+    "SHM_ENV",
+    "SharedNetwork",
+    "attach_network",
+    "publish_network",
+    "shm_enabled",
+    "shm_supported",
+]
+
+#: Environment toggle: ``0``/``off`` forces the snapshot fallback,
+#: ``1``/``on`` forces shared memory (surfacing errors), anything else
+#: auto-detects platform support.
+SHM_ENV = "REPRO_SHM"
+
+_SEGMENT_PREFIX = "repro-shm"
+_ALIGN = 64  # cache-line alignment for every array start
+
+_shm_probe: bool | None = None
+_segment_counter = itertools.count()
+
+
+def shm_supported() -> bool:
+    """True when the platform can create POSIX shared-memory segments."""
+    global _shm_probe
+    if _shm_probe is None:
+        try:
+            probe = shared_memory.SharedMemory(create=True, size=1)
+        except (OSError, ImportError):  # pragma: no cover - platform specific
+            _shm_probe = False
+        else:
+            probe.close()
+            probe.unlink()
+            _shm_probe = True
+    return _shm_probe
+
+
+def shm_enabled() -> bool:
+    """Shared-memory data plane switch (``REPRO_SHM`` or auto-detect)."""
+    raw = os.environ.get(SHM_ENV, "").strip().lower()
+    if raw in ("0", "off", "no", "false"):
+        return False
+    if raw in ("1", "on", "yes", "true"):
+        return True
+    return shm_supported()
+
+
+def _segment_name() -> str:
+    return f"{_SEGMENT_PREFIX}-{os.getpid():x}-{next(_segment_counter)}-{secrets.token_hex(4)}"
+
+
+def _align(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+class _Layout:
+    """Accumulates arrays into (offset, shape, dtype) slots."""
+
+    def __init__(self) -> None:
+        self.arrays: list[tuple[dict[str, Any], np.ndarray]] = []
+        self.nbytes = 0
+
+    def add(self, array: np.ndarray) -> dict[str, Any]:
+        array = np.ascontiguousarray(array)
+        offset = _align(self.nbytes)
+        slot = {
+            "offset": offset,
+            "shape": tuple(int(s) for s in array.shape),
+            "dtype": array.dtype.str,
+        }
+        self.arrays.append((slot, array))
+        self.nbytes = offset + array.nbytes
+        return slot
+
+
+class SharedNetwork:
+    """Parent-side handle of a published network (owns the segment)."""
+
+    def __init__(self, segment: shared_memory.SharedMemory, manifest: dict[str, Any]):
+        self._segment = segment
+        self.manifest = manifest
+        self._closed = False
+        atexit.register(self._atexit_close)
+
+    @property
+    def name(self) -> str:
+        """The segment name (the ``/dev/shm`` entry on Linux)."""
+        return self.manifest["segment"]
+
+    @property
+    def nbytes(self) -> int:
+        return self.manifest["nbytes"]
+
+    def close(self, unlink: bool = True) -> None:
+        """Release the mapping and (by default) remove the segment.
+
+        Idempotent; also de-registers the ``atexit`` hook so a closed
+        handle leaves no trace.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        atexit.unregister(self._atexit_close)
+        self._segment.close()
+        if unlink:
+            # A worker's attach/de-register dance (see ``_attach_segment``)
+            # may have dropped this segment from the shared resource
+            # tracker; re-register (idempotent) so the unregister inside
+            # ``unlink()`` finds its entry instead of logging a KeyError.
+            try:
+                from multiprocessing import resource_tracker
+
+                resource_tracker.register(self._segment._name, "shared_memory")  # type: ignore[attr-defined]
+            except Exception:  # pragma: no cover - tracker internals moved
+                pass
+            try:
+                self._segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already reaped
+                pass
+
+    def _atexit_close(self) -> None:
+        self.close(unlink=True)
+
+    def __enter__(self) -> "SharedNetwork":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close(unlink=True)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SharedNetwork(name={self.name!r}, nbytes={self.nbytes})"
+
+
+def publish_network(network: "SuperPeerNetwork") -> SharedNetwork:
+    """Copy a network's arrays into one shared-memory segment.
+
+    Peer partitions always travel (pre-processing workers need them);
+    super-peer stores travel when present, so a not-yet-preprocessed
+    network publishes partitions only and attached copies come back in
+    the same state.  Raises ``OSError`` where shared memory is
+    unavailable — callers are expected to fall back to the snapshot
+    path.
+    """
+    layout = _Layout()
+    partitions: dict[int, dict[str, Any]] = {}
+    for peer_id, peer in network.peers.items():
+        partitions[peer_id] = {
+            "values": layout.add(peer.data.values),
+            "ids": layout.add(peer.data.ids),
+        }
+    stores: dict[int, dict[str, Any]] = {}
+    for sp_id, superpeer in network.superpeers.items():
+        if superpeer.store is None:
+            continue
+        store = superpeer.store
+        stores[sp_id] = {
+            "values": layout.add(store.points.values),
+            "ids": layout.add(store.points.ids),
+            "f": layout.add(store.f),
+        }
+    segment = shared_memory.SharedMemory(
+        name=_segment_name(), create=True, size=max(1, layout.nbytes)
+    )
+    try:
+        for slot, array in layout.arrays:
+            view = np.ndarray(
+                slot["shape"], dtype=slot["dtype"],
+                buffer=segment.buf, offset=slot["offset"],
+            )
+            view[...] = array
+            del view  # release the buffer export so close() stays legal
+        cost = network.cost_model
+        manifest: dict[str, Any] = {
+            "segment": segment.name,
+            "nbytes": layout.nbytes,
+            "dimensionality": network.dimensionality,
+            "index_kind": network.index_kind,
+            "epoch": network.epoch,
+            "adjacency": {k: tuple(v) for k, v in network.topology.adjacency.items()},
+            "peers_of": {k: tuple(v) for k, v in network.topology.peers_of.items()},
+            "cost_model": {
+                "bandwidth_bytes_per_sec": cost.bandwidth_bytes_per_sec,
+                "message_header_bytes": cost.message_header_bytes,
+                "coordinate_bytes": cost.coordinate_bytes,
+                "id_bytes": cost.id_bytes,
+                "f_value_bytes": cost.f_value_bytes,
+                "threshold_bytes": cost.threshold_bytes,
+                "dimension_tag_bytes": cost.dimension_tag_bytes,
+            },
+            "partitions": partitions,
+            "stores": stores,
+        }
+    except BaseException:
+        segment.close()
+        segment.unlink()
+        raise
+    return SharedNetwork(segment, manifest)
+
+
+class AttachedNetwork:
+    """Worker-side view: a network plus the mapping keeping it alive."""
+
+    def __init__(self, network: "SuperPeerNetwork", segment: shared_memory.SharedMemory):
+        self.network = network
+        self._segment = segment
+        self._closed = False
+
+    def close(self) -> None:
+        """Drop the network and release the mapping (never unlinks).
+
+        The numpy views must be garbage before the buffer can be
+        released; a still-referenced view keeps the mapping alive and
+        the close degrades to a no-op rather than raising.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self.network = None
+        try:
+            self._segment.close()
+        except BufferError:  # pragma: no cover - a view outlived us
+            pass
+
+    def __enter__(self) -> "SuperPeerNetwork":
+        return self.network
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without resource-tracker tracking.
+
+    Before Python 3.13 every ``SharedMemory(name=...)`` attach also
+    registers with the ``resource_tracker``, whose cleanup would unlink
+    the parent's segment when a *worker* exits.  De-register right
+    away; the parent owns the lifecycle.
+    """
+    try:
+        segment = shared_memory.SharedMemory(name=name, create=False, track=False)  # type: ignore[call-arg]
+    except TypeError:  # Python < 3.13
+        segment = shared_memory.SharedMemory(name=name, create=False)
+        try:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(segment._name, "shared_memory")  # type: ignore[attr-defined]
+        except Exception:  # pragma: no cover - tracker internals moved
+            pass
+    return segment
+
+
+def _view(segment: shared_memory.SharedMemory, slot: Mapping[str, Any]) -> np.ndarray:
+    return np.ndarray(
+        tuple(slot["shape"]), dtype=slot["dtype"],
+        buffer=segment.buf, offset=slot["offset"],
+    )
+
+
+def attach_network(manifest: Mapping[str, Any]) -> AttachedNetwork:
+    """Rebuild a network as zero-copy views over a published segment.
+
+    The attached stores are the parent's exact arrays (same bytes, no
+    re-sort, no re-preprocessing), so validation is skipped via the
+    trusted constructors and the per-store invariants hold by
+    construction.
+    """
+    from ..core.dataset import PointSet
+    from ..core.store import SortedByF
+    from ..p2p.cost import CostModel
+    from ..p2p.network import SuperPeerNetwork
+    from ..p2p.node import Peer
+    from ..p2p.topology import Topology
+
+    segment = _attach_segment(manifest["segment"])
+    try:
+        topology = Topology(
+            adjacency={int(k): tuple(v) for k, v in manifest["adjacency"].items()},
+            peers_of={int(k): tuple(v) for k, v in manifest["peers_of"].items()},
+        )
+        peers = {
+            int(peer_id): Peer(
+                peer_id=int(peer_id),
+                data=PointSet.from_trusted(
+                    _view(segment, slots["values"]), _view(segment, slots["ids"])
+                ),
+            )
+            for peer_id, slots in manifest["partitions"].items()
+        }
+        network = SuperPeerNetwork(
+            topology=topology,
+            peers=peers,
+            dimensionality=manifest["dimensionality"],
+            cost_model=CostModel(**manifest["cost_model"]),
+            index_kind=manifest["index_kind"],
+        )
+        for sp_id, slots in manifest["stores"].items():
+            points = PointSet.from_trusted(
+                _view(segment, slots["values"]), _view(segment, slots["ids"])
+            )
+            network.superpeers[int(sp_id)].store = SortedByF.from_trusted(
+                points, _view(segment, slots["f"])
+            )
+        network.epoch = manifest["epoch"]
+    except BaseException:
+        segment.close()
+        raise
+    return AttachedNetwork(network, segment)

@@ -70,6 +70,70 @@ class TestSemantics:
         assert index.comparisons > before
 
 
+class TestComparisonsAccounting:
+    """`comparisons` must count work done, not candidates held."""
+
+    def test_list_early_exit_counts_one(self):
+        index = ListDominanceIndex(2)
+        # The first candidate dominates the probe: the scan must stop
+        # (and charge) after exactly one comparison despite 4 candidates.
+        index.insert_and_prune(0, np.array([0.1, 0.1]))
+        index.insert_and_prune(1, np.array([0.2, 0.9]))
+        index.insert_and_prune(2, np.array([0.9, 0.2]))
+        index.insert_and_prune(3, np.array([0.5, 0.6]))
+        before = index.comparisons
+        assert index.is_dominated(np.array([0.95, 0.95]))
+        assert index.comparisons - before == 1
+
+    def test_list_miss_counts_all(self):
+        index = ListDominanceIndex(2)
+        index.insert_and_prune(0, np.array([0.2, 0.9]))
+        index.insert_and_prune(1, np.array([0.9, 0.2]))
+        before = index.comparisons
+        assert not index.is_dominated(np.array([0.1, 0.1]))
+        assert index.comparisons - before == 2
+
+    def test_rtree_pruning_skips_subtrees(self):
+        # An anti-correlated diagonal (mutually incomparable, so all 64
+        # survive) and a probe below it: every subtree MBR exceeds the
+        # probe somewhere, so the window query prunes subtrees and
+        # charges (far) fewer than `len(tree)` point tests.
+        index = RTreeDominanceIndex(2, max_entries=4)
+        xs = np.linspace(0.1, 0.9, 64)
+        for pos, x in enumerate(xs):
+            index.insert_and_prune(pos, np.array([x, 1.0 - x]))
+        n = len(index)
+        assert n == 64
+        before = index.comparisons
+        assert not index.is_dominated(np.array([0.01, 0.01]))
+        assert index.comparisons - before < n
+
+    def test_rtree_and_list_agree_on_dominance_while_counting(self, rng):
+        """Accounting changes must not change verdicts."""
+        rtree = RTreeDominanceIndex(3)
+        ref = ListDominanceIndex(3)
+        for pos in range(100):
+            point = rng.random(3)
+            assert rtree.is_dominated(point) == ref.is_dominated(point)
+            if not ref.is_dominated(point):
+                rtree.insert_and_prune(pos, point)
+                ref.insert_and_prune(pos, point)
+        assert rtree.comparisons > 0
+
+    @pytest.mark.parametrize("kind", ALL_KINDS)
+    def test_counts_never_exceed_candidate_scan(self, kind, rng):
+        """Upper bound: no index charges more than a full linear scan."""
+        index = make_index(kind, 2)
+        worst_case = 0
+        for pos in range(80):
+            point = rng.random(2)
+            worst_case += len(index)
+            if not index.is_dominated(point):
+                worst_case += len(index)
+                index.insert_and_prune(pos, point)
+        assert index.comparisons <= worst_case
+
+
 class TestIndexAgreement:
     def test_random_stream_agreement(self, rng):
         """All three implementations track identical candidate sets."""

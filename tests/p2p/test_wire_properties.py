@@ -6,9 +6,21 @@ import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.p2p.cost import CostModel
 from repro.p2p.wire import QueryMessage, ResultMessage, WireError, decode
 
 finite_floats = st.floats(0, 1e9, allow_nan=False)
+
+# The wire frame is a 16-byte header (magic 2B, version 1B, kind 1B,
+# query id 8B, length 4B) followed by the body.  The cost model's
+# ``message_header_bytes`` is a single knob covering "everything that
+# is not payload", so anchoring the estimate to the concrete layout
+# needs one calibration per message kind: a query's non-payload bytes
+# are frame + threshold-count/initiator fields minus the threshold the
+# model charges separately (16 + 18 - 8 = 26), a result's are frame +
+# sender/count/dimensionality fields (16 + 14 = 30).
+QUERY_COST = CostModel(message_header_bytes=26)
+RESULT_COST = CostModel(message_header_bytes=30)
 
 
 @given(
@@ -74,3 +86,108 @@ def test_truncation_always_detected(data):
     except WireError:
         return
     raise AssertionError(f"truncated blob decoded to {decoded}")
+
+
+# ----------------------------------------------------------------------
+# encoded size matches the cost-model estimate
+# ----------------------------------------------------------------------
+@given(
+    st.lists(st.integers(0, 1000), min_size=1, max_size=16, unique=True),
+    st.floats(0, 1e12, allow_nan=False) | st.just(float("inf")),
+)
+@settings(max_examples=100, deadline=None)
+def test_query_size_matches_cost_model(dims, threshold):
+    msg = QueryMessage(
+        query_id=7, subspace=tuple(sorted(dims)), threshold=threshold, initiator=2
+    )
+    assert len(msg.encode()) == QUERY_COST.query_bytes(len(dims))
+
+
+@given(
+    st.integers(1, 8),
+    st.integers(0, 30),
+)
+@settings(max_examples=100, deadline=None)
+def test_result_size_matches_cost_model(k, n):
+    rng = np.random.default_rng(n * 31 + k)
+    msg = ResultMessage(
+        query_id=3,
+        sender=1,
+        ids=tuple(range(n)),
+        f=tuple(float(v) for v in rng.random(n)),
+        coords=tuple(tuple(float(v) for v in rng.random(k)) for _ in range(n)),
+    )
+    assert len(msg.encode()) == RESULT_COST.result_bytes(n, k)
+
+
+def test_empty_result_roundtrips_at_header_cost():
+    msg = ResultMessage(query_id=9, sender=4, ids=(), f=(), coords=())
+    blob = msg.encode()
+    assert decode(blob) == msg
+    assert len(blob) == RESULT_COST.result_bytes(0, 5)  # k is irrelevant at n=0
+
+
+def test_single_dimension_subspace_roundtrips():
+    msg = QueryMessage(query_id=11, subspace=(4,), threshold=0.25, initiator=0)
+    blob = msg.encode()
+    assert decode(blob) == msg
+    assert len(blob) == QUERY_COST.query_bytes(1)
+
+
+# ----------------------------------------------------------------------
+# header corruption is always detected
+# ----------------------------------------------------------------------
+def _sample_messages():
+    return [
+        QueryMessage(query_id=5, subspace=(1, 3), threshold=0.75, initiator=2),
+        ResultMessage(
+            query_id=6, sender=1, ids=(10, 11), f=(0.1, 0.2),
+            coords=((0.1, 0.5), (0.2, 0.4)),
+        ),
+    ]
+
+
+@given(st.integers(0, 1), st.integers(0, 2), st.integers(1, 255))
+@settings(max_examples=100, deadline=None)
+def test_magic_or_version_corruption_raises(msg_idx, byte_idx, delta):
+    """Flipping any magic/version byte must fail decoding."""
+    blob = bytearray(_sample_messages()[msg_idx].encode())
+    blob[byte_idx] = (blob[byte_idx] + delta) % 256
+    try:
+        decode(bytes(blob))
+    except WireError:
+        return
+    raise AssertionError("corrupted magic/version decoded")
+
+
+@given(st.integers(0, 1), st.integers(0, 255))
+@settings(max_examples=100, deadline=None)
+def test_unknown_kind_raises(msg_idx, kind):
+    """Any kind byte outside the two known kinds must fail decoding."""
+    if kind in (1, 2):
+        return
+    blob = bytearray(_sample_messages()[msg_idx].encode())
+    blob[3] = kind
+    try:
+        decode(bytes(blob))
+    except WireError:
+        return
+    raise AssertionError(f"unknown kind {kind} decoded")
+
+
+@given(st.integers(0, 1), st.integers(-16, 16).filter(lambda d: d != 0))
+@settings(max_examples=100, deadline=None)
+def test_length_field_corruption_raises(msg_idx, delta):
+    """A header length disagreeing with the body must fail decoding."""
+    import struct
+
+    blob = bytearray(_sample_messages()[msg_idx].encode())
+    (length,) = struct.unpack_from("<I", blob, 12)
+    if length + delta < 0:
+        return
+    struct.pack_into("<I", blob, 12, length + delta)
+    try:
+        decode(bytes(blob))
+    except WireError:
+        return
+    raise AssertionError("length-corrupted frame decoded")

@@ -103,3 +103,141 @@ class TestCliAmbientScope:
         with _ambient_workers(None):
             assert default_workers() == 7
         assert default_workers() == 7
+
+
+class TestAffinityChunks:
+    """Subspace-affine batching: deterministic, index-complete, grouped."""
+
+    @staticmethod
+    def _make(subspaces, variants):
+        from repro.data.workload import Query
+        from repro.parallel.engine import _affinity_chunks
+        from repro.skypeer.variants import Variant
+
+        queries = [Query(subspace=s, initiator=0) for s in subspaces]
+        return _affinity_chunks(queries, [Variant.parse(v) for v in variants], workers=2)
+
+    def test_covers_every_task_exactly_once(self):
+        chunks = self._make([(0, 1), (1, 2), (0, 1)], ["FTPM", "RTFM"])
+        indices = sorted(i for chunk in chunks for i, _, _ in chunk)
+        assert indices == list(range(6))
+
+    def test_same_subspace_lands_in_same_chunk(self):
+        # 3 tasks per subspace (across 2 queries x ... ) stay together
+        # while the target chunk size allows.
+        chunks = self._make([(0, 1), (1, 2)], ["FTPM"])
+        for chunk in chunks:
+            assert len({q.subspace for _, q, _ in chunk}) == 1
+
+    def test_variants_share_their_query_subspace_chunk(self):
+        # 16 tasks / 2 workers -> chunk target 2: the two variant-tasks
+        # of the lone (0, 2) query target the same projection cache and
+        # ride the same chunk (affinity groups span variants).
+        chunks = self._make([(0, 2)] + [(1, 2)] * 7, ["FTPM", "RTFM"])
+        lone = [c for c in chunks if any(q.subspace == (0, 2) for _, q, _ in c)]
+        assert len(lone) == 1
+        assert sorted(v for _, _, v in lone[0]) == ["FTPM", "RTFM"]
+
+    def test_indices_follow_serial_iteration_order(self):
+        from repro.data.workload import Query
+        from repro.parallel.engine import _affinity_chunks
+        from repro.skypeer.variants import Variant
+
+        queries = [Query(subspace=(0, 1), initiator=0), Query(subspace=(1, 2), initiator=0)]
+        variants = [Variant.FTPM, Variant.RTFM]
+        chunks = _affinity_chunks(queries, variants, workers=2)
+        expected = {}
+        index = 0
+        for v in variants:
+            for q in queries:
+                expected[index] = (q.subspace, v.value)
+                index += 1
+        for chunk in chunks:
+            for i, q, value in chunk:
+                assert expected[i] == (q.subspace, value)
+
+    def test_oversized_groups_split(self):
+        chunks = self._make([(0, 1)] * 40, ["FTPM"])
+        assert len(chunks) > 1
+        assert sum(len(c) for c in chunks) == 40
+
+
+class TestPersistentEngine:
+    def test_get_engine_reuses_instance(self):
+        from repro.parallel import get_engine, shutdown_engines
+
+        try:
+            a = get_engine(2)
+            b = get_engine(2)
+            assert a is b
+            assert not a.closed
+        finally:
+            shutdown_engines()
+
+    def test_get_engine_keyed_on_shm_toggle(self, monkeypatch):
+        from repro.parallel import get_engine, shutdown_engines
+        from repro.parallel.shm import shm_supported
+
+        if not shm_supported():
+            pytest.skip("no shared memory on this platform")
+        try:
+            monkeypatch.delenv("REPRO_SHM", raising=False)
+            a = get_engine(2)
+            monkeypatch.setenv("REPRO_SHM", "0")
+            b = get_engine(2)
+            assert a is not b
+            assert a.use_shm and not b.use_shm
+        finally:
+            monkeypatch.delenv("REPRO_SHM", raising=False)
+            shutdown_engines()
+
+    def test_shutdown_closes_engines(self):
+        from repro.parallel import get_engine, shutdown_engines
+
+        engine = get_engine(2)
+        shutdown_engines()
+        assert engine.closed
+
+    def test_closed_engine_rejects_work(self):
+        from repro.parallel import ParallelEngine
+
+        engine = ParallelEngine(workers=1)
+        engine.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            engine.run_queries(None, [], [])
+
+    def test_stats_fields_populate(self):
+        from repro.data.workload import Query
+        from repro.p2p.network import SuperPeerNetwork
+        from repro.parallel import ParallelEngine
+
+        network = SuperPeerNetwork.build(
+            n_peers=6, points_per_peer=10, dimensionality=3, seed=0
+        )
+        with ParallelEngine(workers=2) as engine:
+            query = Query(subspace=(0, 1), initiator=network.topology.superpeer_ids[0])
+            engine.run_queries(network, [query, query], ["FTPM", "RTFM"])
+            stats = engine.stats.as_dict()
+        assert stats["pool_startup_seconds"] > 0
+        assert stats["publications"] == 1
+        assert stats["tasks"] == 4
+        assert stats["batches"] >= 1
+        assert stats["submit_seconds"] > 0
+        assert stats["dispatch_overhead_per_task_seconds"] > 0
+        assert stats["attach_count"] >= 1
+
+    def test_publication_refreshes_on_epoch_bump(self):
+        from repro.data.workload import Query
+        from repro.p2p.network import SuperPeerNetwork
+        from repro.parallel import ParallelEngine
+
+        network = SuperPeerNetwork.build(
+            n_peers=6, points_per_peer=10, dimensionality=3, seed=0
+        )
+        with ParallelEngine(workers=2) as engine:
+            query = Query(subspace=(0, 1), initiator=network.topology.superpeer_ids[0])
+            engine.run_queries(network, [query], ["FTPM"])
+            assert engine.stats.publications == 1
+            network.preprocess()  # bumps the epoch: stores were rebuilt
+            engine.run_queries(network, [query], ["FTPM"])
+            assert engine.stats.publications == 2
