@@ -1,0 +1,133 @@
+"""Bench-regression gate: compare a fresh ``skypeer bench --smoke`` report
+against committed baselines.
+
+CI runs the smoke benchmark, then::
+
+    python benchmarks/check_regression.py BENCH_current.json \
+        --baseline BENCH_baseline.json --baseline BENCH_shm.json
+
+The *tracked* metrics are the deterministic work measures — comparisons,
+transferred volume, message count, critical-path points examined, result
+size — which are identical for the same code on any machine, so a >2x
+change is a real algorithmic regression, not scheduler noise.  Timing
+fields (wall seconds, computational time) vary with CI hardware and are
+reported informationally only.
+
+Exit status 1 when any tracked metric of any variant worsens by more
+than ``--max-ratio`` (default 2.0) against any baseline, or when the
+current run's parallel execution diverged from serial.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+#: Deterministic per-variant metrics: same code => same numbers, any host.
+#: "Worse" means larger for every one of these.
+TRACKED = (
+    "mean_comparisons",
+    "mean_volume_kb",
+    "mean_messages",
+    "mean_critical_path_examined",
+)
+
+#: Host-dependent metrics, printed for context but never gated on.
+INFORMATIONAL = (
+    "mean_computational_time",
+    "mean_total_time",
+)
+
+
+def compare(current: dict, baseline: dict, name: str, max_ratio: float) -> list[str]:
+    """Return a list of human-readable regression descriptions."""
+    problems: list[str] = []
+    baseline_variants = baseline.get("variants", {})
+    for variant, stats in sorted(current.get("variants", {}).items()):
+        base = baseline_variants.get(variant)
+        if base is None:
+            continue
+        for metric in TRACKED:
+            now, then = stats.get(metric), base.get(metric)
+            if now is None or then is None:
+                continue
+            if then <= 0:
+                continue
+            ratio = now / then
+            if ratio > max_ratio:
+                problems.append(
+                    f"{variant}.{metric}: {now:.4g} vs {then:.4g} in {name} "
+                    f"({ratio:.2f}x > {max_ratio:.1f}x limit)"
+                )
+    return problems
+
+
+def report_timing(current: dict, baseline: dict, name: str) -> None:
+    for variant, stats in sorted(current.get("variants", {}).items()):
+        base = baseline.get("variants", {}).get(variant)
+        if base is None:
+            continue
+        for metric in INFORMATIONAL:
+            now, then = stats.get(metric), base.get(metric)
+            if now and then:
+                print(
+                    f"  [info] {variant}.{metric}: {now:.4g} "
+                    f"(baseline {name}: {then:.4g}, {now / then:.2f}x)"
+                )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", help="fresh bench --smoke --json output")
+    parser.add_argument(
+        "--baseline", action="append", default=[], metavar="PATH",
+        help="committed baseline JSON (repeatable); missing files are skipped "
+             "with a warning so partial baselines do not brick CI",
+    )
+    parser.add_argument("--max-ratio", type=float, default=2.0,
+                        help="fail when current/baseline exceeds this (default 2.0)")
+    args = parser.parse_args(argv)
+
+    with open(args.current, encoding="utf-8") as handle:
+        current = json.load(handle)
+
+    failures: list[str] = []
+    if not current.get("parallel_matches_serial", True):
+        failures.append(
+            f"parallel run diverged from serial: {current.get('mismatched_fields')}"
+        )
+
+    compared = 0
+    for path in args.baseline:
+        try:
+            with open(path, encoding="utf-8") as handle:
+                baseline = json.load(handle)
+        except OSError as exc:
+            print(f"warning: skipping baseline {path}: {exc}", file=sys.stderr)
+            continue
+        if baseline.get("schema") != current.get("schema"):
+            print(
+                f"warning: {path} has schema {baseline.get('schema')!r}, "
+                f"current is {current.get('schema')!r}; comparing anyway",
+                file=sys.stderr,
+            )
+        compared += 1
+        print(f"comparing against {path}:")
+        failures.extend(compare(current, baseline, path, args.max_ratio))
+        report_timing(current, baseline, path)
+
+    if compared == 0:
+        print("error: no baseline could be read", file=sys.stderr)
+        return 2
+    if failures:
+        print(f"\n{len(failures)} tracked metric(s) regressed:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"\nOK: tracked metrics within {args.max_ratio:.1f}x of {compared} baseline(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,7 +7,6 @@ super-peer.  Pruning power falls as d grows relative to k — ``f`` is a
 min over *all* dimensions — which is visible in the examined fractions.
 """
 
-import math
 
 import numpy as np
 import pytest

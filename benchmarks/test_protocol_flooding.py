@@ -10,7 +10,7 @@ figures use — and both must return identical skylines.
 import numpy as np
 import pytest
 
-from repro.data.workload import Query, generate_workload
+from repro.data.workload import generate_workload
 from repro.p2p.network import SuperPeerNetwork
 from repro.skypeer.executor import execute_query
 from repro.skypeer.protocol import run_protocol

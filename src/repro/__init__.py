@@ -52,6 +52,7 @@ from .skypeer import (
     execute_constrained_query,
     execute_query,
     run_protocol,
+    run_socket_query,
 )
 
 __version__ = "1.0.0"
@@ -98,6 +99,7 @@ __all__ = [
     "QueryExecution",
     "execute_query",
     "run_protocol",
+    "run_socket_query",
     "ConstrainedQuery",
     "execute_constrained_query",
 ]

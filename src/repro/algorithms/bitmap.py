@@ -18,7 +18,7 @@ bitmaps of the original paper, with the same asymptotics per test.
 
 from __future__ import annotations
 
-from typing import Iterator, Sequence
+from typing import Sequence
 
 import numpy as np
 

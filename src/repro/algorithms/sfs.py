@@ -17,7 +17,6 @@ from __future__ import annotations
 
 from typing import Sequence
 
-import numpy as np
 
 from ..core.dataset import PointSet
 from ..core.dominance import sum_sorted_skyline_positions

@@ -7,7 +7,7 @@
     skypeer bench --smoke --json BENCH.json # machine-readable baseline
     skypeer export --scale default          # regenerate EXPERIMENTS.md
     skypeer query --peers 400 --dims 8 --subspace 0,3,6 --variant FTPM \
-            [--explain] [--json]
+            [--transport socket] [--explain] [--json]
     skypeer list                            # available experiments
 
 (Equivalently: ``python -m repro.cli ...``.)
@@ -41,6 +41,15 @@ def _build_parser() -> argparse.ArgumentParser:
     workers_help = (
         "process-pool size for query execution (default: serial, or "
         "REPRO_WORKERS; negative = one per CPU)"
+    )
+    transport_help = (
+        "execution carrier: 'sim' (discrete-event simulation, default, or "
+        "REPRO_TRANSPORT) or 'socket' (real TCP via asyncio)"
+    )
+    transport_mode_help = (
+        "socket deployment: 'task' (all endpoints in one asyncio loop, "
+        "default) or 'process' (one OS process per super-peer); "
+        "also REPRO_TRANSPORT_MODE"
     )
 
     fig = sub.add_parser("figure", help="run one paper experiment")
@@ -78,8 +87,13 @@ def _build_parser() -> argparse.ArgumentParser:
     q.add_argument("--dataset", choices=("uniform", "clustered", "correlated", "anticorrelated"),
                    default="uniform")
     q.add_argument("--seed", type=int, default=0)
+    q.add_argument("--transport", choices=("sim", "socket"), default=None,
+                   help=transport_help)
+    q.add_argument("--transport-mode", choices=("task", "process"), default=None,
+                   help=transport_mode_help)
     q.add_argument("--explain", action="store_true",
-                   help="print a per-super-peer execution breakdown")
+                   help="print a per-super-peer execution breakdown "
+                        "(sim transport only)")
     q.add_argument("--json", action="store_true",
                    help="emit the execution report as JSON")
 
@@ -97,6 +111,10 @@ def _build_parser() -> argparse.ArgumentParser:
     tr.add_argument("--dataset", choices=("uniform", "clustered", "correlated", "anticorrelated"),
                     default="uniform")
     tr.add_argument("--seed", type=int, default=0)
+    tr.add_argument("--transport", choices=("sim", "socket"), default=None,
+                    help=transport_help)
+    tr.add_argument("--transport-mode", choices=("task", "process"), default=None,
+                    help=transport_mode_help)
     tr.add_argument("--output", default="query-trace.json",
                     help="Chrome-trace JSON path (open in chrome://tracing or Perfetto)")
     tr.add_argument("--metrics-output", default=None,
@@ -187,9 +205,37 @@ def _run_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_transport(args: argparse.Namespace) -> str:
+    """``sim`` or ``socket`` — ``--transport``, else ``REPRO_TRANSPORT``."""
+    import os
+
+    transport = args.transport or os.environ.get("REPRO_TRANSPORT") or "sim"
+    if transport not in ("sim", "socket"):
+        raise SystemExit(f"unknown transport {transport!r} (sim|socket)")
+    return transport
+
+
+def _format_transport_report(report) -> str:
+    """Measured wire traffic next to the cost model's estimate."""
+    lines = [
+        f"transport          : socket ({report.mode} mode), "
+        f"{report.wall_seconds * 1e3:.1f} ms wall",
+        f"  messages         : {report.messages} "
+        f"({report.query_messages} query, {report.result_messages} result)",
+        f"  measured bytes   : {report.payload_bytes} payload, "
+        f"{report.frame_bytes} framed "
+        f"(+{report.framing_overhead_bytes} framing)",
+        f"  estimated bytes  : {report.estimated_bytes} "
+        f"(cost model; {report.estimate_delta_bytes:+d} vs measured = "
+        f"constant per-message envelope delta)",
+    ]
+    return "\n".join(lines)
+
+
 def _run_single_query(args: argparse.Namespace) -> int:
     subspace = tuple(int(x) for x in args.subspace.split(","))
     variant = Variant.parse(args.variant)
+    transport = _resolve_transport(args)
     print(
         f"building network: {args.peers} peers x {args.points_per_peer} points, "
         f"d={args.dims}, dataset={args.dataset}"
@@ -207,6 +253,8 @@ def _run_single_query(args: argparse.Namespace) -> int:
         f"SEL_sp={100 * report.sel_sp:.1f}%"
     )
     query = Query(subspace=subspace, initiator=network.topology.superpeer_ids[0])
+    if transport == "socket":
+        return _run_socket_cli_query(args, network, query, variant)
     execution = execute_query(network, query, variant)
     if args.json:
         from .skypeer.inspection import execution_report_json
@@ -226,6 +274,43 @@ def _run_single_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_socket_cli_query(args, network, query, variant) -> int:
+    """The ``--transport socket`` path of ``skypeer query``."""
+    from .skypeer.netexec import run_socket_query
+
+    outcome = run_socket_query(
+        network, query, variant, mode=args.transport_mode
+    )
+    if args.json:
+        import json
+
+        report = outcome.report
+        payload = {
+            "variant": variant.value,
+            "transport": "socket",
+            "mode": report.mode,
+            "result_size": len(outcome.result),
+            "result_ids": sorted(outcome.result_ids),
+            "wall_seconds": report.wall_seconds,
+            "messages": report.messages,
+            "query_messages": report.query_messages,
+            "result_messages": report.result_messages,
+            "payload_bytes": report.payload_bytes,
+            "frame_bytes": report.frame_bytes,
+            "framing_overhead_bytes": report.framing_overhead_bytes,
+            "estimated_bytes": report.estimated_bytes,
+            "estimate_delta_bytes": report.estimate_delta_bytes,
+            "per_superpeer": {
+                str(sp): stats for sp, stats in report.per_superpeer.items()
+            },
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(f"variant {variant.value}: |SKY_U| = {len(outcome.result)}")
+    print(_format_transport_report(outcome.report))
+    return 0
+
+
 def _run_trace(args: argparse.Namespace) -> int:
     """``skypeer trace``: one observed query, written as a Chrome trace."""
     import json
@@ -235,6 +320,8 @@ def _run_trace(args: argparse.Namespace) -> int:
 
     subspace = tuple(int(x) for x in args.subspace.split(","))
     variant = Variant.parse(args.variant)
+    transport = _resolve_transport(args)
+    outcome = None
     with observed() as (tracer, metrics):
         network = SuperPeerNetwork.build(
             n_peers=args.peers,
@@ -244,10 +331,21 @@ def _run_trace(args: argparse.Namespace) -> int:
             seed=args.seed,
         )
         query = Query(subspace=subspace, initiator=network.topology.superpeer_ids[0])
-        execution = execute_query(network, query, variant)
+        if transport == "socket":
+            from .skypeer.netexec import run_socket_query
+
+            outcome = run_socket_query(
+                network, query, variant, mode=args.transport_mode
+            )
+        else:
+            execution = execute_query(network, query, variant)
     write_chrome_trace(args.output, tracer, indent=None)
     trace = chrome_trace(tracer)
-    print(format_execution(execution))
+    if outcome is not None:
+        print(f"variant {variant.value}: |SKY_U| = {len(outcome.result)}")
+        print(_format_transport_report(outcome.report))
+    else:
+        print(format_execution(execution))
     print()
     print(
         f"trace: {len(tracer)} spans / {len(trace['traceEvents'])} events "

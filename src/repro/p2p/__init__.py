@@ -7,8 +7,16 @@ from .network import PreprocessingReport, SuperPeerNetwork
 from .node import Peer, SuperPeer
 from .simulation import TransferRequest, simulate_transfers
 from .topology import Topology, superpeer_count_rule
+from .transport import (
+    FrameDecoder,
+    SocketEndpoint,
+    TransportConfig,
+    TransportError,
+    encode_frame,
+    read_frame,
+)
 from .updates import UpdateOutcome, delete_points, insert_points
-from .wire import QueryMessage, ResultMessage, WireError, decode
+from .wire import QueryMessage, ResultMessage, WireError, cost_estimate, decode
 
 __all__ = [
     "Topology",
@@ -29,7 +37,14 @@ __all__ = [
     "QueryMessage",
     "ResultMessage",
     "WireError",
+    "cost_estimate",
     "decode",
+    "FrameDecoder",
+    "SocketEndpoint",
+    "TransportConfig",
+    "TransportError",
+    "encode_frame",
+    "read_frame",
     "UpdateOutcome",
     "insert_points",
     "delete_points",

@@ -30,14 +30,25 @@ import numpy as np
 
 from ..core.dataset import PointSet
 from ..core.store import SortedByF
+from .cost import CostModel
 
-__all__ = ["QueryMessage", "ResultMessage", "decode", "WireError"]
+__all__ = [
+    "HEADER_SIZE",
+    "QueryMessage",
+    "ResultMessage",
+    "WireError",
+    "cost_estimate",
+    "decode",
+    "decode_header",
+]
 
 _MAGIC = b"SP"
 _VERSION = 1
 _HEADER = struct.Struct("<2sBBqI")
 _KIND_QUERY = 1
 _KIND_RESULT = 2
+
+HEADER_SIZE = _HEADER.size
 
 
 class WireError(ValueError):
@@ -169,20 +180,71 @@ class ResultMessage:
         return SortedByF(points, np.asarray(self.f, dtype=np.float64))
 
 
-def decode(blob: bytes) -> QueryMessage | ResultMessage:
-    """Decode one framed message (the inverse of ``encode``)."""
+def decode_header(blob: bytes) -> tuple[int, int, int]:
+    """Validate a message header; returns ``(kind, query_id, body length)``.
+
+    Every check happens *before* any payload ``struct`` unpacking, so a
+    partial TCP read (header present, payload short) surfaces as a
+    :class:`WireError` — never a raw ``struct.error``.
+    """
     if len(blob) < _HEADER.size:
-        raise WireError("message shorter than header")
+        raise WireError(f"message shorter than header ({len(blob)} < {_HEADER.size} bytes)")
     magic, version, kind, query_id, length = _HEADER.unpack_from(blob, 0)
     if magic != _MAGIC:
         raise WireError(f"bad magic {magic!r}")
     if version != _VERSION:
         raise WireError(f"unsupported version {version}")
+    if kind not in (_KIND_QUERY, _KIND_RESULT):
+        raise WireError(f"unknown message kind {kind}")
+    return kind, query_id, length
+
+
+def decode(blob: bytes) -> QueryMessage | ResultMessage:
+    """Decode one framed message (the inverse of ``encode``)."""
+    kind, query_id, length = decode_header(blob)
     body = blob[_HEADER.size :]
-    if len(body) != length:
-        raise WireError(f"body has {len(body)} bytes, header promises {length}")
+    if len(body) < length:
+        # Truncated payload: the length field promises more bytes than
+        # arrived.  Hot on stream transports, where a short read can
+        # split any field boundary — reject before unpacking anything.
+        raise WireError(
+            f"truncated payload: body has {len(body)} bytes, "
+            f"header promises {length}"
+        )
+    if len(body) > length:
+        raise WireError(
+            f"trailing garbage: body has {len(body)} bytes, "
+            f"header promises {length}"
+        )
     if kind == _KIND_QUERY:
         return QueryMessage._decode_body(query_id, body)
-    if kind == _KIND_RESULT:
-        return ResultMessage._decode_body(query_id, body)
-    raise WireError(f"unknown message kind {kind}")
+    return ResultMessage._decode_body(query_id, body)
+
+
+def cost_estimate(blob: bytes, model: CostModel) -> int:
+    """The cost model's byte estimate for one encoded message.
+
+    Reads only the header and the fixed-size body head (guarded, like
+    :func:`decode`), so a transport can tally *estimated* bytes next to
+    the *measured* ``len(blob)`` it actually puts on the wire.  The two
+    differ by a constant per-message framing delta — see
+    ``docs/TRANSPORT.md`` — because the model charges an abstract
+    ``message_header_bytes`` envelope instead of this codec's packed
+    header.
+    """
+    kind, _, length = decode_header(blob)
+    body = blob[_HEADER.size :]
+    if len(body) < length:
+        raise WireError(
+            f"truncated payload: body has {len(body)} bytes, "
+            f"header promises {length}"
+        )
+    if kind == _KIND_QUERY:
+        if len(body) < QueryMessage._BODY_HEAD.size:
+            raise WireError("query body truncated")
+        k = QueryMessage._BODY_HEAD.unpack_from(body, 0)[0]
+        return model.query_bytes(k)
+    if len(body) < ResultMessage._BODY_HEAD.size:
+        raise WireError("result body truncated")
+    _, n, k = ResultMessage._BODY_HEAD.unpack_from(body, 0)
+    return model.result_bytes(n, k)

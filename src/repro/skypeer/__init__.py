@@ -6,7 +6,8 @@ from .constrained import (
     execute_constrained_query,
 )
 from .executor import Clock, QueryExecution, execute_query
-from .protocol import ProtocolOutcome, run_protocol
+from .netexec import SocketOutcome, TransportReport, run_socket_query
+from .protocol import ProtocolNode, ProtocolOutcome, run_protocol
 from .variants import Variant
 
 __all__ = [
@@ -14,8 +15,12 @@ __all__ = [
     "Clock",
     "QueryExecution",
     "execute_query",
+    "ProtocolNode",
     "ProtocolOutcome",
     "run_protocol",
+    "SocketOutcome",
+    "TransportReport",
+    "run_socket_query",
     "ConstrainedQuery",
     "ConstrainedExecution",
     "execute_constrained_query",

@@ -3,28 +3,31 @@
 Where :mod:`repro.skypeer.executor` *plans* a query's execution over
 the BFS tree (fast, two clocks), this module runs SKYPEER the way the
 paper's pseudo-code reads: every super-peer is a state machine that
-reacts to QUERY and RESULT messages delivered by a discrete-event
-engine over FIFO links.  The query genuinely *floods* the super-peer
-backbone — every super-peer forwards to all neighbours except the one
-it heard from, duplicate receipts are answered with an empty result —
-so message counts reflect a real unstructured overlay rather than an
-idealized spanning tree.
+reacts to QUERY and RESULT messages.  The query genuinely *floods* the
+super-peer backbone — every super-peer forwards to all neighbours
+except the one it heard from, duplicate receipts are answered with an
+empty result — so message counts reflect a real unstructured overlay
+rather than an idealized spanning tree.
 
-The protocol engine exists for three reasons:
+The state machine itself is :class:`ProtocolNode` — **sans-IO**: it
+consumes and produces :mod:`repro.p2p.wire` bytes through injected
+callbacks and never touches a clock, a socket or a simulated link.
+Two carriers drive it:
 
-1. it validates the plan-based executor (identical result sets on every
-   network/variant — asserted in the test-suite);
-2. it quantifies the flooding overhead the executor's tree abstraction
-   hides (duplicate-suppression replies cross every non-tree edge);
-3. it is the natural starting point for porting SKYPEER onto a real
-   transport: ``on_message`` consumes the wire format of
-   :mod:`repro.p2p.wire` byte-for-byte.
+1. :func:`run_protocol` delivers messages over the discrete-event
+   engine's FIFO links (:mod:`repro.p2p.engine`), which validates the
+   plan-based executor and quantifies flooding overhead on the
+   simulated clocks; and
+2. :mod:`repro.skypeer.netexec` runs one node per asyncio TCP endpoint
+   (or per OS process) over :mod:`repro.p2p.transport`, so the same
+   byte stream crosses real sockets.
 
-Termination relies on one FIFO property: under fixed merging a
-super-peer relays descendants' results upward *before* it completes and
-ships its own, so on any link the carrier's own result is always the
-last result message — the parent clears its bookkeeping exactly when
-the link peer's own (possibly empty) result arrives.
+Termination relies on one FIFO property per directed link: under fixed
+merging a super-peer relays descendants' results upward *before* it
+completes and ships its own, so on any link the carrier's own result is
+always the last result message — the parent clears its bookkeeping
+exactly when the link peer's own (possibly empty) result arrives.  TCP
+connections and the simulator's FIFO links both provide that ordering.
 """
 
 from __future__ import annotations
@@ -32,12 +35,13 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass, field
+from typing import Callable, Sequence
 
 from ..core.dataset import PointSet
 from ..core.local_skyline import local_subspace_skyline
 from ..core.merging import merge_sorted_skylines
 from ..core.store import SortedByF
-from ..core.subspace import normalize_subspace
+from ..core.subspace import Subspace, normalize_subspace
 from ..data.workload import Query
 from ..obs.runtime import active_metrics, active_tracer
 from ..p2p.engine import EventLoop, LinkLayer
@@ -45,7 +49,15 @@ from ..p2p.network import SuperPeerNetwork
 from ..p2p.wire import QueryMessage, ResultMessage, decode
 from .variants import Variant
 
-__all__ = ["ProtocolOutcome", "run_protocol"]
+__all__ = ["ProtocolNode", "ProtocolOutcome", "query_id_for", "run_protocol"]
+
+
+def query_id_for(query: Query) -> int:
+    """Deterministic wire-level query id (stable across processes)."""
+    digest = 0
+    for dim in query.subspace:
+        digest = (digest * 1000003 + int(dim) + 1) & 0x7FFFFFFF
+    return (digest ^ (int(query.initiator) << 8)) & 0x7FFFFFFF
 
 
 @dataclass
@@ -82,62 +94,82 @@ class _NodeState:
     refined_threshold: float = math.inf
 
 
-class _ProtocolRun:
-    """One query's flood over the backbone."""
+class ProtocolNode:
+    """Algorithm 3 for **one** super-peer, independent of the carrier.
+
+    Parameters
+    ----------
+    send:
+        ``send(dst, blob)`` hands one encoded wire message to the
+        carrier.  The carrier must preserve per-``(src, dst)`` order
+        (simulated FIFO links and per-connection TCP streams both do).
+    defer:
+        ``defer(seconds, fn)`` schedules a continuation after a local
+        computation that took ``seconds`` of wall-clock.  The simulator
+        maps the duration onto its virtual clock; a real transport
+        passes ``lambda _, fn: fn()`` — the computation already spent
+        the wall-clock time, so the continuation runs immediately.
+    now:
+        Clock read used only to place tracer intervals.
+    on_final:
+        Called with the final merged store when this node is the
+        query initiator and completes.
+
+    The node only ever reads its *own* store — a process-per-super-peer
+    deployment ships exactly ``store`` and ``neighbours`` to each
+    endpoint, nothing else.
+    """
 
     def __init__(
         self,
-        network: SuperPeerNetwork,
-        query: Query,
+        superpeer_id: int,
+        *,
+        store: SortedByF,
+        neighbours: Sequence[int],
+        subspace: Subspace,
+        query_id: int,
+        initiator: int,
         variant: Variant,
         index_kind: str,
+        send: Callable[[int, bytes], None],
+        defer: Callable[[float, Callable[[], None]], None],
+        now: Callable[[], float] | None = None,
+        on_final: Callable[[SortedByF], None] | None = None,
+        clock: str = "protocol",
     ):
-        self.network = network
-        self.query = query
+        self.superpeer_id = superpeer_id
+        self.store = store
+        self.neighbours = tuple(neighbours)
+        self.subspace = subspace
+        self.query_id = query_id
+        self.initiator = initiator
         self.variant = variant
         self.index_kind = index_kind
-        self.subspace = normalize_subspace(query.subspace, network.dimensionality)
-        self.loop = EventLoop()
-        self.links = LinkLayer(self.loop, network.cost_model)
-        self.states: dict[int, _NodeState] = {
-            sp: _NodeState() for sp in network.topology.superpeer_ids
-        }
+        self.state = _NodeState()
         self.final: SortedByF | None = None
         self.duplicate_replies = 0
-        self.query_messages = 0
-        self.query_id = (hash(query.subspace) ^ query.initiator) & 0x7FFFFFFF
-        self.tracer = active_tracer()
-        self.metrics = active_metrics()
+        self.query_messages_sent = 0
+        self._send = send
+        self._defer = defer
+        self._now = now if now is not None else (lambda: 0.0)
+        self._on_final = on_final
+        self._clock = clock
+        self._tracer = active_tracer()
+        self._metrics = active_metrics()
+
+    @property
+    def done(self) -> bool:
+        return self.state.done
 
     # ------------------------------------------------------------------
-    # plumbing
+    # local computations
     # ------------------------------------------------------------------
-    def _transmit(self, src: int, dst: int, blob: bytes) -> None:
-        start, end = self.links.send(
-            src, dst, len(blob), lambda: self.on_message(dst, src, blob)
-        )
-        if self.tracer is not None:
-            self.tracer.interval(
-                "transmit", category="transfer", track=f"link {src}->{dst}",
-                start=start, end=end, clock="protocol", bytes=len(blob),
-            )
-        if self.metrics is not None:
-            self.metrics.counter(
-                "protocol.messages", variant=self.variant.value
-            ).inc()
-            self.metrics.counter(
-                "protocol.volume_bytes", variant=self.variant.value
-            ).inc(len(blob))
-
-    def _neighbours(self, sp: int) -> tuple[int, ...]:
-        return self.network.topology.adjacency[sp]
-
-    def _compute_local(self, sp: int, threshold: float) -> float:
-        """Run Algorithm 1 at ``sp``; returns the wall-clock duration."""
-        state = self.states[sp]
+    def _compute_local(self, threshold: float) -> float:
+        """Run Algorithm 1 locally; returns the wall-clock duration."""
+        state = self.state
         started = time.perf_counter()
         computation = local_subspace_skyline(
-            self.network.store_of(sp),
+            self.store,
             self.subspace,
             initial_threshold=threshold,
             index_kind=self.index_kind,
@@ -146,24 +178,28 @@ class _ProtocolRun:
         state.local_done = True
         state.refined_threshold = computation.threshold
         duration = time.perf_counter() - started
-        if self.tracer is not None:
-            # The scan is modelled as occupying [now, now + duration] of
-            # simulated time (its completion event is scheduled there).
-            self.tracer.interval(
-                "algorithm1 scan", category="compute", track=f"sp{sp}",
-                start=self.loop.now, end=self.loop.now + duration,
-                clock="protocol", examined=computation.examined,
+        if self._tracer is not None:
+            # The scan occupies [now, now + duration] of carrier time
+            # (its completion continuation is deferred there).
+            moment = self._now()
+            self._tracer.interval(
+                "algorithm1 scan", category="compute",
+                track=f"sp{self.superpeer_id}",
+                start=moment, end=moment + duration,
+                clock=self._clock, examined=computation.examined,
                 kept=len(computation.result),
                 comparisons=computation.comparisons,
             )
-        if self.metrics is not None:
-            self.metrics.counter(
+        if self._metrics is not None:
+            self._metrics.counter(
                 "protocol.comparisons",
-                variant=self.variant.value, superpeer=sp, phase="scan",
+                variant=self.variant.value, superpeer=self.superpeer_id,
+                phase="scan",
             ).inc(computation.comparisons)
-            self.metrics.counter(
+            self._metrics.counter(
                 "protocol.points_examined",
-                variant=self.variant.value, superpeer=sp, phase="scan",
+                variant=self.variant.value, superpeer=self.superpeer_id,
+                phase="scan",
             ).inc(computation.examined)
         return duration
 
@@ -184,51 +220,55 @@ class _ProtocolRun:
     # ------------------------------------------------------------------
     def start(self) -> None:
         """P_init: local computation first (it yields t), then flood."""
-        initiator = self.query.initiator
-        state = self.states[initiator]
-        state.seen = True
-        duration = self._compute_local(initiator, math.inf)
-        self.loop.schedule(duration, lambda: self._forward(initiator))
+        if self.superpeer_id != self.initiator:
+            raise RuntimeError("only the initiator's node starts a query")
+        self.state.seen = True
+        duration = self._compute_local(math.inf)
+        self._defer(duration, self._forward)
 
-    def _forward(self, sp: int) -> None:
-        state = self.states[sp]
-        threshold = state.refined_threshold if self.variant.uses_threshold else math.inf
+    def on_message(self, sender: int, blob: bytes) -> None:
+        """React to one wire message heard from link peer ``sender``."""
+        message = decode(blob)
+        if isinstance(message, QueryMessage):
+            self._on_query(sender, message)
+        else:
+            self._on_result(sender, message)
+
+    def _forward(self) -> None:
+        state = self.state
+        threshold = (
+            state.refined_threshold if self.variant.uses_threshold else math.inf
+        )
         message = QueryMessage(
             query_id=self.query_id,
             subspace=self.subspace,
             threshold=threshold,
-            initiator=self.query.initiator,
+            initiator=self.initiator,
         ).encode()
-        targets = [nb for nb in self._neighbours(sp) if nb != state.parent]
+        targets = [nb for nb in self.neighbours if nb != state.parent]
         state.pending_children = set(targets)
         state.forwarded = True
-        self.query_messages += len(targets)
+        self.query_messages_sent += len(targets)
         for nb in targets:
-            self._transmit(sp, nb, message)
-        self._maybe_complete(sp)
+            self._send(nb, message)
+        self._maybe_complete()
 
-    def on_message(self, sp: int, sender: int, blob: bytes) -> None:
-        message = decode(blob)
-        if isinstance(message, QueryMessage):
-            self._on_query(sp, sender, message)
-        else:
-            self._on_result(sp, sender, message)
-
-    def _on_query(self, sp: int, sender: int, message: QueryMessage) -> None:
-        state = self.states[sp]
+    def _on_query(self, sender: int, message: QueryMessage) -> None:
+        state = self.state
         if state.seen:
             # Duplicate receipt: reply with an empty result immediately
             # so the sender's collection loop terminates (the paper
             # assumes routing handles this; flooding makes it explicit).
             self.duplicate_replies += 1
-            if self.metrics is not None:
-                self.metrics.counter(
+            if self._metrics is not None:
+                self._metrics.counter(
                     "protocol.duplicate_replies", variant=self.variant.value
                 ).inc()
             empty = ResultMessage(
-                query_id=self.query_id, sender=sp, ids=(), f=(), coords=()
+                query_id=self.query_id, sender=self.superpeer_id,
+                ids=(), f=(), coords=(),
             )
-            self._transmit(sp, sender, empty.encode())
+            self._send(sender, empty.encode())
             return
         state.seen = True
         state.parent = sender
@@ -236,39 +276,44 @@ class _ProtocolRun:
         if self.variant.refined_threshold:
             # RT*: compute first, refine t, then forward (the refined
             # threshold rides along with the forwarded query).
-            duration = self._compute_local(sp, incoming)
-            self.loop.schedule(duration, lambda: self._forward(sp))
+            duration = self._compute_local(incoming)
+            self._defer(duration, self._forward)
         else:
             # FT* / naive: forward at once, compute in parallel.
             state.refined_threshold = incoming
-            self._forward(sp)
-            duration = self._compute_local(sp, incoming)
+            self._forward()
+            duration = self._compute_local(incoming)
             # the computation's completion is an event `duration` later
             state.local_done = False
-            self.loop.schedule(duration, lambda: self._local_finished(sp))
+            self._defer(duration, self._local_finished)
 
-    def _local_finished(self, sp: int) -> None:
-        self.states[sp].local_done = True
-        self._maybe_complete(sp)
+    def _local_finished(self) -> None:
+        self.state.local_done = True
+        self._maybe_complete()
 
-    def _on_result(self, sp: int, sender: int, message: ResultMessage) -> None:
-        state = self.states[sp]
+    def _on_result(self, sender: int, message: ResultMessage) -> None:
+        state = self.state
         own_result_of_link_peer = message.sender == sender
         if len(message):
             if self.variant.progressive_merging or state.parent is None:
                 state.collected.append(message.to_store())
             else:
                 # Fixed merging at an intermediate node: relay unmerged.
-                self._transmit(sp, state.parent, message.encode())
+                self._send(state.parent, message.encode())
         if own_result_of_link_peer:
             # FIFO links make the peer's own result its last message, so
             # this clears the child exactly once, after all its relays.
             state.pending_children.discard(sender)
-            self._maybe_complete(sp)
+            self._maybe_complete()
 
-    def _maybe_complete(self, sp: int) -> None:
-        state = self.states[sp]
-        if state.done or not state.forwarded or state.pending_children or not state.local_done:
+    def _maybe_complete(self) -> None:
+        state = self.state
+        if (
+            state.done
+            or not state.forwarded
+            or state.pending_children
+            or not state.local_done
+        ):
             return
         state.done = True
         needs_merge = bool(state.collected) and (
@@ -282,33 +327,77 @@ class _ProtocolRun:
                 index_kind=self.index_kind,
             )
             duration = time.perf_counter() - started
-            if self.tracer is not None:
-                self.tracer.interval(
-                    "algorithm2 merge", category="compute", track=f"sp{sp}",
-                    start=self.loop.now, end=self.loop.now + duration,
-                    clock="protocol", inputs=len(state.collected) + 1,
+            if self._tracer is not None:
+                moment = self._now()
+                self._tracer.interval(
+                    "algorithm2 merge", category="compute",
+                    track=f"sp{self.superpeer_id}",
+                    start=moment, end=moment + duration,
+                    clock=self._clock, inputs=len(state.collected) + 1,
                     examined=merged.examined, kept=len(merged.result),
                     comparisons=merged.comparisons,
                 )
-            if self.metrics is not None:
-                self.metrics.counter(
+            if self._metrics is not None:
+                self._metrics.counter(
                     "protocol.comparisons",
-                    variant=self.variant.value, superpeer=sp, phase="merge",
+                    variant=self.variant.value, superpeer=self.superpeer_id,
+                    phase="merge",
                 ).inc(merged.comparisons)
             state.collected = []
-            self.loop.schedule(duration, lambda: self._ship(sp, merged.result))
+            self._defer(duration, lambda: self._ship(merged.result))
         else:
-            self._ship(sp, state.local_result)
+            self._ship(state.local_result)
 
-    def _ship(self, sp: int, outcome: SortedByF) -> None:
-        state = self.states[sp]
+    def _ship(self, outcome: SortedByF) -> None:
+        state = self.state
         if state.parent is None:
             self.final = outcome
+            if self._on_final is not None:
+                self._on_final(outcome)
             return
         message = ResultMessage.from_store(
-            self.query_id, sp, outcome, range(len(self.subspace))
+            self.query_id, self.superpeer_id, outcome, range(len(self.subspace))
         )
-        self._transmit(sp, state.parent, message.encode())
+        self._send(state.parent, message.encode())
+
+
+def build_nodes(
+    network: SuperPeerNetwork,
+    query: Query,
+    variant: Variant,
+    index_kind: str,
+    *,
+    send: Callable[[int, int, bytes], None],
+    defer: Callable[[float, Callable[[], None]], None],
+    now: Callable[[], float] | None = None,
+    on_final: Callable[[SortedByF], None] | None = None,
+    clock: str = "protocol",
+) -> dict[int, ProtocolNode]:
+    """One :class:`ProtocolNode` per super-peer, wired to one carrier.
+
+    ``send`` receives ``(src, dst, blob)`` — each node's ``send``
+    callback is curried with its own id.
+    """
+    subspace = normalize_subspace(query.subspace, network.dimensionality)
+    qid = query_id_for(query)
+    nodes: dict[int, ProtocolNode] = {}
+    for sp in network.topology.superpeer_ids:
+        nodes[sp] = ProtocolNode(
+            sp,
+            store=network.store_of(sp),
+            neighbours=network.topology.adjacency[sp],
+            subspace=subspace,
+            query_id=qid,
+            initiator=query.initiator,
+            variant=variant,
+            index_kind=index_kind,
+            send=(lambda dst, blob, src=sp: send(src, dst, blob)),
+            defer=defer,
+            now=now,
+            on_final=on_final if sp == query.initiator else None,
+            clock=clock,
+        )
+    return nodes
 
 
 def run_protocol(
@@ -319,29 +408,61 @@ def run_protocol(
 ) -> ProtocolOutcome:
     """Flood one query through the network and collect the outcome.
 
-    The returned result holds the *projected* skyline points (query
-    subspace coordinates) with the same point ids as the executor's —
-    compare via ``result_ids``.
+    This is the discrete-event carrier: messages cross the simulated
+    FIFO links of :class:`repro.p2p.engine.LinkLayer` at the cost
+    model's bandwidth.  The returned result holds the *projected*
+    skyline points (query subspace coordinates) with the same point ids
+    as the executor's — compare via ``result_ids``.
     """
     variant = Variant.parse(variant) if isinstance(variant, str) else variant
-    run = _ProtocolRun(network, query, variant, index_kind or network.index_kind)
-    run.start()
-    events = run.loop.run()
-    if run.final is None:
+    index_kind = index_kind or network.index_kind
+    loop = EventLoop()
+    links = LinkLayer(loop, network.cost_model)
+    tracer = active_tracer()
+    metrics = active_metrics()
+    nodes: dict[int, ProtocolNode] = {}
+
+    def transmit(src: int, dst: int, blob: bytes) -> None:
+        start, end = links.send(
+            src, dst, len(blob), lambda: nodes[dst].on_message(src, blob)
+        )
+        if tracer is not None:
+            tracer.interval(
+                "transmit", category="transfer", track=f"link {src}->{dst}",
+                start=start, end=end, clock="protocol", bytes=len(blob),
+            )
+        if metrics is not None:
+            metrics.counter("protocol.messages", variant=variant.value).inc()
+            metrics.counter(
+                "protocol.volume_bytes", variant=variant.value
+            ).inc(len(blob))
+
+    nodes.update(
+        build_nodes(
+            network, query, variant, index_kind,
+            send=transmit, defer=loop.schedule, now=lambda: loop.now,
+        )
+    )
+    nodes[query.initiator].start()
+    events = loop.run()
+    root = nodes[query.initiator]
+    if root.final is None:
         raise RuntimeError("protocol terminated without producing a result")
-    if run.metrics is not None:
-        run.metrics.counter("protocol.events", variant=variant.value).inc(events)
-        run.metrics.counter(
+    query_messages = sum(node.query_messages_sent for node in nodes.values())
+    duplicate_replies = sum(node.duplicate_replies for node in nodes.values())
+    if metrics is not None:
+        metrics.counter("protocol.events", variant=variant.value).inc(events)
+        metrics.counter(
             "protocol.query_messages", variant=variant.value
-        ).inc(run.query_messages)
+        ).inc(query_messages)
     return ProtocolOutcome(
         query=query,
         variant=variant,
-        result=run.final,
-        total_time=run.loop.now,
-        volume_bytes=run.links.bytes_sent,
-        message_count=run.links.messages_sent,
-        query_messages=run.query_messages,
-        duplicate_replies=run.duplicate_replies,
+        result=root.final,
+        total_time=loop.now,
+        volume_bytes=links.bytes_sent,
+        message_count=links.messages_sent,
+        query_messages=query_messages,
+        duplicate_replies=duplicate_replies,
         events=events,
     )

@@ -1,7 +1,6 @@
 """Unit tests for the Bitmap skyline."""
 
 import numpy as np
-import pytest
 
 from repro.algorithms.bitmap import BitmapIndex, bitmap_skyline
 from repro.core.dataset import PointSet

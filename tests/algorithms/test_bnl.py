@@ -1,7 +1,6 @@
 """Unit tests for Block Nested Loops."""
 
 import numpy as np
-import pytest
 
 from repro.algorithms.bnl import block_nested_loops
 from repro.core.dataset import PointSet

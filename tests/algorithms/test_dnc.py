@@ -1,7 +1,6 @@
 """Unit tests for Divide & Conquer."""
 
 import numpy as np
-import pytest
 
 from repro.algorithms.dnc import divide_and_conquer
 from repro.core.dataset import PointSet

@@ -1,7 +1,6 @@
 """Unit tests for the Index method."""
 
 import numpy as np
-import pytest
 
 from repro.algorithms.index_method import index_method_skyline
 from repro.core.dataset import PointSet

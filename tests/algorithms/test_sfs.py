@@ -1,7 +1,6 @@
 """Unit tests for Sort-Filter-Skyline."""
 
 import numpy as np
-import pytest
 
 from repro.algorithms.sfs import sort_filter_skyline
 from repro.core.dataset import PointSet

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.bench.config import SCALES, ExperimentConfig
+from repro.bench.config import ExperimentConfig
 from repro.bench.harness import (
     VariantStats,
     build_network,

@@ -1,7 +1,6 @@
 """Unit tests for repro.core.dominance (paper section 3.1, Definition 1)."""
 
 import numpy as np
-import pytest
 
 from repro.core.dataset import PointSet
 from repro.core.dominance import (

@@ -1,7 +1,6 @@
 """Unit tests for the extended skyline (paper section 4, Observations 1-4)."""
 
 import numpy as np
-import pytest
 
 from repro.core.dataset import PointSet
 from repro.core.extended_skyline import (

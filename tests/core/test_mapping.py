@@ -1,6 +1,5 @@
 """Unit tests for the f(p) mapping and dist_U (paper section 5.1)."""
 
-import math
 
 import numpy as np
 import pytest

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.core.dataset import PointSet
 from repro.core.dominance import skyline_mask
 from repro.core.statistics import asymptotic_skyline_size, expected_uniform_skyline_size
 

@@ -1,6 +1,5 @@
 """Unit tests for horizontal partitioning."""
 
-import numpy as np
 import pytest
 
 from repro.core.dataset import PointSet

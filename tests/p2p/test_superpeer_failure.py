@@ -1,6 +1,5 @@
 """Tests for super-peer failure and network re-organization."""
 
-import numpy as np
 import pytest
 
 from repro.core.dataset import PointSet

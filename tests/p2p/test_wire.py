@@ -7,7 +7,16 @@ import pytest
 
 from repro.core.dataset import PointSet
 from repro.core.store import SortedByF
-from repro.p2p.wire import QueryMessage, ResultMessage, WireError, decode
+from repro.p2p.cost import DEFAULT_COST_MODEL
+from repro.p2p.wire import (
+    HEADER_SIZE,
+    QueryMessage,
+    ResultMessage,
+    WireError,
+    cost_estimate,
+    decode,
+    decode_header,
+)
 
 
 class TestQueryMessage:
@@ -102,3 +111,81 @@ class TestFraming:
         blob[3] = 77
         with pytest.raises(WireError, match="kind"):
             decode(bytes(blob))
+
+
+class TestShortReads:
+    """Every possible TCP short read must raise WireError, never a raw
+    struct.error — the header length field is validated before any
+    payload unpacking (satellite of the socket-transport PR)."""
+
+    def _query_blob(self) -> bytes:
+        return QueryMessage(
+            query_id=5, subspace=(0, 2, 4), threshold=0.75, initiator=11
+        ).encode()
+
+    def _result_blob(self, rng) -> bytes:
+        points = PointSet(rng.random((3, 4)), np.arange(3))
+        store = SortedByF.from_points(points)
+        return ResultMessage.from_store(5, sender=2, result=store,
+                                        subspace=(0, 2)).encode()
+
+    def test_every_query_prefix_is_a_wire_error(self):
+        blob = self._query_blob()
+        for cut in range(len(blob)):
+            with pytest.raises(WireError):
+                decode(blob[:cut])
+
+    def test_every_result_prefix_is_a_wire_error(self, rng):
+        blob = self._result_blob(rng)
+        for cut in range(len(blob)):
+            with pytest.raises(WireError):
+                decode(blob[:cut])
+
+    def test_field_boundary_cuts(self, rng):
+        """Cuts landing exactly on each wire-field boundary."""
+        query, result = self._query_blob(), self._result_blob(rng)
+        boundaries = {
+            "magic": 2, "version": 3, "kind": 4, "query_id": 12,
+            "length": HEADER_SIZE,
+            "query_body_head": HEADER_SIZE + 18,  # k + threshold + initiator
+            "result_body_head": HEADER_SIZE + 14,  # sender + n + k
+        }
+        for name, cut in boundaries.items():
+            for blob in (query, result):
+                if cut >= len(blob):
+                    continue
+                with pytest.raises(WireError):
+                    decode(blob[:cut])
+
+    def test_truncation_reported_before_struct_unpack(self):
+        """A header promising more payload than arrived names the gap."""
+        blob = self._query_blob()
+        with pytest.raises(WireError, match="truncated payload"):
+            decode(blob[: HEADER_SIZE + 3])
+
+    def test_trailing_garbage_rejected(self):
+        blob = self._query_blob()
+        with pytest.raises(WireError, match="trailing garbage"):
+            decode(blob + b"\x00")
+
+    def test_decode_header_reads_only_the_header(self):
+        kind, query_id, length = decode_header(self._query_blob()[:HEADER_SIZE])
+        assert (kind, query_id) == (1, 5)
+        assert length > 0
+
+
+class TestCostEstimate:
+    def test_query_estimate_matches_model(self):
+        blob = QueryMessage(1, (0, 3, 6), 1.0, 0).encode()
+        assert cost_estimate(blob, DEFAULT_COST_MODEL) == DEFAULT_COST_MODEL.query_bytes(3)
+
+    def test_result_estimate_matches_model(self, rng):
+        points = PointSet(rng.random((7, 5)), np.arange(7))
+        store = SortedByF.from_points(points)
+        blob = ResultMessage.from_store(1, 0, store, (0, 1, 4)).encode()
+        assert cost_estimate(blob, DEFAULT_COST_MODEL) == DEFAULT_COST_MODEL.result_bytes(7, 3)
+
+    def test_truncated_blob_rejected(self):
+        blob = QueryMessage(1, (0,), 1.0, 0).encode()
+        with pytest.raises(WireError):
+            cost_estimate(blob[:-1], DEFAULT_COST_MODEL)

@@ -1,6 +1,5 @@
 """Tests for distributed constrained subspace skylines."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -8,7 +7,6 @@ from hypothesis import strategies as st
 from repro.core.constrained import RangeConstraint, constrained_subspace_skyline
 from repro.p2p.network import SuperPeerNetwork
 from repro.skypeer.constrained import (
-    ConstrainedExecution,
     ConstrainedQuery,
     execute_constrained_query,
 )

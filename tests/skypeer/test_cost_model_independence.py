@@ -6,8 +6,6 @@ property run over adversarial cost models guards the separation
 between the algorithmic layer and the cost layer.
 """
 
-import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

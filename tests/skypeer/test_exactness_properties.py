@@ -9,7 +9,6 @@ subspaces against the centralized oracle.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

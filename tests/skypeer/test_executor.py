@@ -43,7 +43,6 @@ class TestClock:
 class TestExactness:
     @pytest.mark.parametrize("variant", ALL)
     def test_matches_centralized_oracle(self, small_network, variant):
-        truth = {}
         for sub in [(0,), (1, 3), (0, 2, 4), (0, 1, 2, 3, 4)]:
             expected = subspace_skyline_points(small_network.all_points(), sub).id_set()
             for initiator in small_network.topology.superpeer_ids:

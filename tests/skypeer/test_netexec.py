@@ -1,0 +1,189 @@
+"""Socket-transport integration: sim-vs-socket equality and cost checks.
+
+The acceptance bar of the transport PR: all five variants must return
+bit-identical result sets over real TCP sockets, and the measured wire
+traffic must match the cost model's estimates within the documented
+constant per-message envelope delta (``docs/TRANSPORT.md``).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.extended_skyline import subspace_skyline_points
+from repro.data.workload import Query
+from repro.obs import observed
+from repro.p2p.cost import DEFAULT_COST_MODEL
+from repro.p2p.network import SuperPeerNetwork
+from repro.p2p.transport import TransportConfig
+from repro.p2p.wire import QueryMessage, ResultMessage
+from repro.skypeer.netexec import resolve_transport_mode, run_socket_query
+from repro.skypeer.protocol import run_protocol
+from repro.skypeer.variants import Variant
+
+ALL = tuple(Variant)
+
+
+@pytest.fixture(scope="module")
+def mesh_network() -> SuperPeerNetwork:
+    """Six super-peers so queries actually flood across links."""
+    return SuperPeerNetwork.build(
+        n_peers=36, points_per_peer=20, dimensionality=5,
+        n_superpeers=6, seed=7,
+    )
+
+
+def _query(network, subspace=(0, 2, 4), which=0) -> Query:
+    return Query(
+        subspace=subspace, initiator=network.topology.superpeer_ids[which]
+    )
+
+
+# Per-message envelope delta between the cost model's estimate and the
+# codec's actual bytes.  Computed, not hard-coded, so the assertion
+# tracks both sides; independence from k / n is checked explicitly.
+def _query_delta(k: int) -> int:
+    blob = QueryMessage(1, tuple(range(k)), 1.0, 0).encode()
+    return DEFAULT_COST_MODEL.query_bytes(k) - len(blob)
+
+
+def _result_delta(n: int, k: int) -> int:
+    msg = ResultMessage(
+        query_id=1, sender=0,
+        ids=tuple(range(n)), f=tuple(float(i) for i in range(n)),
+        coords=tuple((0.5,) * k for _ in range(n)),
+    )
+    return DEFAULT_COST_MODEL.result_bytes(n, k) - len(msg.encode())
+
+
+class TestEnvelopeDelta:
+    def test_query_delta_is_constant_in_k(self):
+        deltas = {_query_delta(k) for k in (1, 2, 3, 5, 8)}
+        assert len(deltas) == 1
+
+    def test_result_delta_is_constant_in_n_and_k(self):
+        deltas = {_result_delta(n, k) for n in (0, 1, 4, 9) for k in (1, 3, 5)}
+        assert len(deltas) == 1
+
+
+class TestTaskModeEquality:
+    @pytest.mark.parametrize("variant", ALL)
+    def test_socket_matches_sim_and_oracle(self, mesh_network, variant):
+        query = _query(mesh_network)
+        sim = run_protocol(mesh_network, query, variant)
+        outcome = run_socket_query(mesh_network, query, variant, mode="task")
+        expected = subspace_skyline_points(
+            mesh_network.all_points(), query.subspace
+        ).id_set()
+        assert outcome.result_ids == sim.result_ids == expected
+
+    def test_result_store_carries_f_and_projection(self, mesh_network):
+        query = _query(mesh_network, subspace=(1, 3))
+        outcome = run_socket_query(mesh_network, query, Variant.FTPM, mode="task")
+        assert outcome.result.points.dimensionality == 2
+        all_points = mesh_network.all_points()
+        for point_id, coords in outcome.result.points:
+            original = all_points.by_id(point_id)
+            np.testing.assert_allclose(coords, original[[1, 3]])
+
+    @pytest.mark.parametrize("variant", ALL)
+    def test_measured_bytes_match_cost_model(self, mesh_network, variant):
+        """estimate - measured == the constant envelope delta per message."""
+        query = _query(mesh_network, which=1)
+        report = run_socket_query(
+            mesh_network, query, variant, mode="task"
+        ).report
+        assert report.messages == report.query_messages + report.result_messages
+        assert report.messages > 0
+        expected_delta = (
+            _query_delta(3) * report.query_messages
+            + _result_delta(2, 3) * report.result_messages
+        )
+        assert report.estimate_delta_bytes == expected_delta
+
+    def test_per_superpeer_stats_sum_to_totals(self, mesh_network):
+        query = _query(mesh_network)
+        report = run_socket_query(mesh_network, query, Variant.RTPM).report
+        sent = sum(s["payload_bytes_sent"] for s in report.per_superpeer.values())
+        received = sum(
+            s["payload_bytes_received"] for s in report.per_superpeer.values()
+        )
+        assert sent == report.payload_bytes
+        assert received == report.payload_bytes  # loopback loses nothing
+        assert sum(
+            s["messages_sent"] for s in report.per_superpeer.values()
+        ) == report.messages
+        # framing adds the 4-byte prefixes and hello frames, nothing more
+        assert report.frame_bytes > report.payload_bytes
+
+    def test_records_obs_metrics(self, mesh_network):
+        query = _query(mesh_network)
+        with observed() as (tracer, metrics):
+            report = run_socket_query(mesh_network, query, Variant.FTFM).report
+        assert metrics.total("transport.bytes_sent") == report.payload_bytes
+        assert metrics.total("transport.estimated_bytes") == report.estimated_bytes
+        assert metrics.total("transport.messages") == report.messages
+        spans = [span for span in tracer.spans if span.name == "socket query"]
+        assert len(spans) == 1
+        assert dict(spans[0].args)["payload_bytes"] == report.payload_bytes
+
+
+class TestProcessMode:
+    @pytest.mark.parametrize("variant", (Variant.NAIVE, Variant.FTPM, Variant.RTPM))
+    def test_matches_sim(self, mesh_network, variant, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRANSPORT_RUNDIR", str(tmp_path))
+        query = _query(mesh_network)
+        sim = run_protocol(mesh_network, query, variant)
+        outcome = run_socket_query(mesh_network, query, variant, mode="process")
+        assert outcome.result_ids == sim.result_ids
+        assert outcome.report.mode == "process"
+        assert outcome.report.messages > 0
+        # every endpoint process removed its pid marker on exit
+        leftovers = [p for p in os.listdir(tmp_path) if p.endswith(".pid")]
+        assert leftovers == []
+
+    def test_cost_model_holds_across_processes(self, mesh_network, tmp_path,
+                                               monkeypatch):
+        monkeypatch.setenv("REPRO_TRANSPORT_RUNDIR", str(tmp_path))
+        query = _query(mesh_network, which=2)
+        report = run_socket_query(
+            mesh_network, query, Variant.FTFM, mode="process"
+        ).report
+        expected_delta = (
+            _query_delta(3) * report.query_messages
+            + _result_delta(2, 3) * report.result_messages
+        )
+        assert report.estimate_delta_bytes == expected_delta
+
+
+class TestModeResolution:
+    def test_default_is_task(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRANSPORT_MODE", raising=False)
+        assert resolve_transport_mode() == "task"
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRANSPORT_MODE", "process")
+        assert resolve_transport_mode() == "process"
+        assert resolve_transport_mode("task") == "task"  # argument wins
+
+    def test_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown transport mode"):
+            resolve_transport_mode("carrier-pigeon")
+
+    def test_unknown_initiator_rejected(self, mesh_network):
+        query = Query(subspace=(0, 1), initiator=999_999)
+        with pytest.raises(KeyError, match="unknown initiator"):
+            run_socket_query(mesh_network, query, Variant.FTPM, mode="task")
+
+
+class TestConfigPlumbing:
+    def test_explicit_config_is_used(self, mesh_network):
+        config = TransportConfig(io_timeout=20.0, retries=1)
+        query = _query(mesh_network)
+        outcome = run_socket_query(
+            mesh_network, query, Variant.FTPM, mode="task", config=config
+        )
+        assert len(outcome.result) > 0

@@ -1,6 +1,5 @@
 """Tests for the execution-scheduling helpers and timing structure."""
 
-import numpy as np
 import pytest
 
 from repro.data.workload import Query
@@ -21,7 +20,6 @@ class TestTreeHelpers:
                 assert position[parent] < position[kid]
 
     def test_paths_to_root(self):
-        children = {0: (1,), 1: (2,), 2: ()}
         parent = {0: None, 1: 0, 2: 1}
         paths = _paths_to_root([0, 1, 2], parent)
         assert paths[0] == ()

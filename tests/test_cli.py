@@ -126,3 +126,70 @@ class TestExport:
         assert code == 0
         assert target.exists()
         assert "fig3a" in target.read_text()
+
+
+class TestSocketTransport:
+    # 60 peers -> 3 super-peers, so queries really cross sockets
+    _NET = ["--peers", "60", "--points-per-peer", "8", "--dims", "4",
+            "--subspace", "0,2"]
+
+    @staticmethod
+    def _json_tail(out: str):
+        """Parse the JSON document after the build-progress preamble."""
+        import json
+
+        return json.loads(out[out.index("{"):])
+
+    def test_query_over_sockets_reports_measured_vs_estimated(self, capsys):
+        code = main(["query", *self._NET, "--variant", "FTPM",
+                     "--transport", "socket"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "|SKY_U|" in out
+        assert "socket (task mode)" in out
+        assert "measured bytes" in out
+        assert "estimated bytes" in out
+
+    def test_query_json_includes_transport_report(self, capsys):
+        code = main(["query", *self._NET, "--variant", "RTFM",
+                     "--transport", "socket", "--json"])
+        assert code == 0
+        payload = self._json_tail(capsys.readouterr().out)
+        assert payload["transport"] == "socket"
+        assert payload["payload_bytes"] > 0
+        assert payload["estimated_bytes"] > payload["payload_bytes"]
+        assert payload["result_ids"]
+
+    def test_socket_and_sim_agree_on_result_size(self, capsys):
+        sizes = {}
+        for transport in ("sim", "socket"):
+            code = main(["query", *self._NET, "--variant", "naive",
+                         "--transport", transport, "--json"])
+            assert code == 0
+            payload = self._json_tail(capsys.readouterr().out)
+            sizes[transport] = (
+                payload["result_size"]
+                if transport == "socket"
+                else payload["result_points"]
+            )
+        assert sizes["sim"] == sizes["socket"]
+
+    def test_env_selects_transport(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_TRANSPORT", "socket")
+        code = main(["query", *self._NET, "--variant", "FTFM"])
+        assert code == 0
+        assert "socket (task mode)" in capsys.readouterr().out
+
+    def test_trace_surfaces_byte_comparison(self, tmp_path, capsys):
+        import json
+
+        target = tmp_path / "trace.json"
+        code = main(["trace", *self._NET, "--variant", "FTPM",
+                     "--transport", "socket", "--output", str(target)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "measured bytes" in out
+        assert "estimated bytes" in out
+        trace = json.loads(target.read_text())
+        names = {event.get("name") for event in trace["traceEvents"]}
+        assert "socket query" in names

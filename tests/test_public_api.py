@@ -1,7 +1,6 @@
 """The public API surface: everything README/examples rely on."""
 
 import numpy as np
-import pytest
 
 import repro
 
