@@ -16,6 +16,14 @@ reported informationally only.
 Exit status 1 when any tracked metric of any variant worsens by more
 than ``--max-ratio`` (default 2.0) against any baseline, or when the
 current run's parallel execution diverged from serial.
+
+Schema-3 reports carry two correctness verdicts that are gated the same
+way (timings inside those sections stay informational): the block-cache
+``identical`` flag (cache hits must replay the exact deterministic
+statistics of the scans that published them) and the pipelined-merge
+``result_ids_match`` flag (streaming merge returns the same skyline as
+the buffered merge).  Both sections are optional so older reports still
+pass.
 """
 
 from __future__ import annotations
@@ -77,6 +85,48 @@ def report_timing(current: dict, baseline: dict, name: str) -> None:
                 )
 
 
+def check_current_verdicts(current: dict) -> list[str]:
+    """Correctness verdicts of the current run itself (schema 3+).
+
+    These do not need a baseline: a cache hit that is not byte-identical
+    to recomputation, or a pipelined merge that returns a different
+    skyline than the buffered one, is wrong on any machine.  Hit rates
+    and idle times are printed for context only.
+    """
+    problems: list[str] = []
+    cache = current.get("cache")
+    if cache is not None:
+        if not cache.get("identical", True):
+            problems.append(
+                f"cache replay diverged from serial: {cache.get('mismatched_fields')}"
+            )
+        hit_rate = cache.get("hit_rate")
+        if not hit_rate:
+            problems.append(
+                "cache hit rate is zero: repeated-subspace workload never hit"
+            )
+        else:
+            print(f"  [info] cache.hit_rate: {hit_rate:.3f} ({cache.get('kind')})")
+        warm = cache.get("warm", {})
+        if warm.get("hit_rate") is not None:
+            print(f"  [info] cache.warm.hit_rate: {warm['hit_rate']:.3f}")
+    merge = current.get("pipelined_merge")
+    if merge is not None:
+        if not merge.get("result_ids_match", True):
+            problems.append(
+                "pipelined merge returned a different skyline than buffered "
+                f"(variant {merge.get('variant')})"
+            )
+        buffered = merge.get("buffered_idle_seconds")
+        pipelined = merge.get("pipelined_idle_seconds")
+        if buffered is not None and pipelined is not None:
+            print(
+                f"  [info] initiator idle: buffered {buffered:.4g}s, "
+                f"pipelined {pipelined:.4g}s"
+            )
+    return problems
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("current", help="fresh bench --smoke --json output")
@@ -97,6 +147,7 @@ def main(argv: list[str] | None = None) -> int:
         failures.append(
             f"parallel run diverged from serial: {current.get('mismatched_fields')}"
         )
+    failures.extend(check_current_verdicts(current))
 
     compared = 0
     for path in args.baseline:

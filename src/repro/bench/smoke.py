@@ -24,6 +24,19 @@ host the pool cannot beat the serial loop (the JSON records
 ``cpu_count`` so readers can tell).  Everything under ``"variants"``
 and ``"per_dimension"`` is deterministic and must be identical across
 machines, worker counts, start methods and data planes.
+
+Schema 3 adds two sections:
+
+* ``"cache"`` — a repeated-subspace workload run twice through one
+  engine (cold pass publishes shared-memory block-cache entries, warm
+  pass replays them), with hit rates per pass and an ``identical``
+  verdict: every deterministic statistic of both passes must equal the
+  serial reference, which is how "cache hits are byte-identical to
+  recomputation" shows up at this level.  ``check_regression.py``
+  gates on the verdict.
+* ``"pipelined_merge"`` — one socket-transport query run buffered and
+  pipelined (best-of-N idle time each), with the frame accounting and
+  a gated ``result_ids_match`` verdict; idle timings are informational.
 """
 
 from __future__ import annotations
@@ -35,13 +48,14 @@ import time
 from typing import Any, Iterable, Sequence
 
 from ..parallel import ParallelEngine, resolve_workers, shm_supported, start_method
+from ..parallel.shmcache import cache_enabled
 from ..skypeer.variants import Variant
 from .config import ExperimentConfig, Scale, resolve_scale
 from .harness import VariantStats, build_network, make_queries, run_queries
 
 __all__ = ["SMOKE_SCHEMA", "bench_smoke", "write_bench_smoke"]
 
-SMOKE_SCHEMA = "repro-bench-smoke/2"
+SMOKE_SCHEMA = "repro-bench-smoke/3"
 
 #: VariantStats fields that do not depend on wall-clock measurement —
 #: these must match exactly between serial and parallel runs.
@@ -94,6 +108,117 @@ def _mismatches(
                 if getattr(stats, field) != getattr(other, field):
                     out.append(f"d={d} {variant.value} {field}")
     return out
+
+
+def _bench_cache(
+    prepared: Sequence[tuple[int, Any, Any]],
+    serial: dict[int, dict[Variant, VariantStats]],
+    variants: Sequence[Variant],
+    n_workers: int,
+    primary: str,
+    shm_ok: bool,
+) -> dict[str, Any]:
+    """Repeated-subspace workload through one engine: cold then warm pass.
+
+    The sweep queries repeat subspaces across variants and passes, so the
+    block cache (shared-memory when the platform allows, the worker-local
+    fallback otherwise) gets real hits.  ``identical`` asserts that both
+    passes reproduce every deterministic statistic of the serial
+    reference — cached scans replay the exact examined/comparison
+    counters of the scan that published them.
+    """
+    with ParallelEngine(n_workers, use_shm=shm_ok, mp_start=primary) as engine:
+        cold_wall, cold = _run_sweep(prepared, variants, n_workers, engine=engine)
+        cold_hits = engine.stats.cache_hits
+        cold_misses = engine.stats.cache_misses
+        warm_wall, warm = _run_sweep(prepared, variants, n_workers, engine=engine)
+        stats = engine.stats
+    warm_hits = stats.cache_hits - cold_hits
+    warm_misses = stats.cache_misses - cold_misses
+    mismatched = [f"cold: {m}" for m in _mismatches(serial, cold)]
+    mismatched += [f"warm: {m}" for m in _mismatches(serial, warm)]
+
+    def _rate(hits: int, misses: int) -> float | None:
+        return hits / (hits + misses) if hits + misses else None
+
+    return {
+        "enabled": cache_enabled(),
+        "kind": "shared" if shm_ok and cache_enabled() is not False else "local",
+        "kinds": sorted(stats.cache_kinds),
+        "cold": {
+            "wall_seconds": cold_wall,
+            "hits": cold_hits,
+            "misses": cold_misses,
+            "hit_rate": _rate(cold_hits, cold_misses),
+        },
+        "warm": {
+            "wall_seconds": warm_wall,
+            "hits": warm_hits,
+            "misses": warm_misses,
+            "hit_rate": _rate(warm_hits, warm_misses),
+        },
+        "hit_rate": stats.cache_hit_rate(),
+        "publishes": stats.cache_publishes,
+        "evictions": stats.cache_evictions,
+        "invalid": stats.cache_invalid,
+        "identical": not mismatched,
+        "mismatched_fields": mismatched,
+    }
+
+
+def _bench_pipelined_merge(
+    network: Any,
+    query: Any,
+    variant: Variant,
+    repeats: int = 3,
+) -> dict[str, Any]:
+    """Buffered vs pipelined socket merge on one query (best-of-N idle).
+
+    ``result_ids_match`` is the gated verdict; idle seconds are
+    hardware-dependent and informational, like every other wall-clock
+    in this report.
+    """
+    from ..skypeer.netexec import run_socket_query
+
+    idle: dict[str, float] = {}
+    walls: dict[str, float] = {}
+    ids: dict[str, frozenset[int]] = {}
+    last: dict[str, Any] = {}
+    match = True
+    for merge in ("buffered", "pipelined"):
+        best_idle = float("inf")
+        best_wall = float("inf")
+        for _ in range(repeats):
+            outcome = run_socket_query(network, query, variant, merge=merge)
+            best_idle = min(best_idle, outcome.report.initiator_idle_seconds)
+            best_wall = min(best_wall, outcome.report.wall_seconds)
+            if merge in ids and outcome.result_ids != ids[merge]:
+                match = False
+            ids[merge] = outcome.result_ids
+            last[merge] = outcome.report
+        idle[merge] = best_idle
+        walls[merge] = best_wall
+    if ids["buffered"] != ids["pipelined"]:
+        match = False
+    pipelined = last["pipelined"]
+    return {
+        "variant": variant.value,
+        "mode": pipelined.mode,
+        "repeats": repeats,
+        "buffered_idle_seconds": idle["buffered"],
+        "pipelined_idle_seconds": idle["pipelined"],
+        "idle_speedup": (
+            idle["buffered"] / idle["pipelined"] if idle["pipelined"] else None
+        ),
+        "buffered_wall_seconds": walls["buffered"],
+        "pipelined_wall_seconds": walls["pipelined"],
+        "frames_merged": pipelined.frames_merged,
+        "frames_pruned": pipelined.frames_pruned,
+        "merge_stall_seconds": pipelined.merge_stall_seconds,
+        "readers_cancelled": pipelined.readers_cancelled,
+        "result_size": len(ids["pipelined"]),
+        "result_ids_match": match,
+    }
 
 
 def _other_start_method(primary: str) -> str | None:
@@ -182,6 +307,13 @@ def bench_smoke(
             ) / len(rows),
         }
 
+    cache = _bench_cache(prepared, serial, variant_list, n_workers, primary, shm_ok)
+
+    merge_dim, merge_network, merge_queries = prepared[0]
+    merge_variant = Variant.FTPM if Variant.FTPM in variant_list else variant_list[0]
+    pipelined_merge = _bench_pipelined_merge(merge_network, merge_queries[0], merge_variant)
+    pipelined_merge["dimensionality"] = merge_dim
+
     parallel_wall = walls[primary_label]
     return {
         "schema": SMOKE_SCHEMA,
@@ -209,6 +341,8 @@ def bench_smoke(
             snapshot_rebuild / shm_attach
             if shm_attach and snapshot_rebuild else None
         ),
+        "cache": cache,
+        "pipelined_merge": pipelined_merge,
         "engines": engines,
         "equality": equality,
         "parallel_matches_serial": all(eq["matches"] for eq in equality.values()),

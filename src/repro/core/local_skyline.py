@@ -53,6 +53,13 @@ class SkylineComputation:
         Dominance comparisons performed (abstract work measure).
     duration:
         Wall-clock seconds spent inside the scan.
+    positions:
+        Store positions of the surviving points (``None`` for merges,
+        whose inputs are transient).  A scan outcome is a pure function
+        of the immutable store plus the scan parameters, so these
+        positions — together with the scalar stats — are all a cache
+        needs to replay the computation byte-identically; see
+        :meth:`replay` and :mod:`repro.parallel.shmcache`.
     """
 
     result: SortedByF
@@ -61,6 +68,7 @@ class SkylineComputation:
     comparisons: int
     duration: float
     input_size: int = 0
+    positions: np.ndarray | None = None
 
     @property
     def points(self) -> PointSet:
@@ -70,6 +78,40 @@ class SkylineComputation:
     def pruned_by_threshold(self) -> int:
         """Points never examined thanks to early termination."""
         return self.input_size - self.examined
+
+    @classmethod
+    def replay(
+        cls,
+        store: SortedByF,
+        positions: np.ndarray,
+        threshold: float,
+        examined: int,
+        comparisons: int,
+        input_size: int,
+        duration: float = 0.0,
+    ) -> "SkylineComputation":
+        """Reconstruct a cached scan outcome from its store positions.
+
+        The rebuilt result takes its coordinates, ids and ``f`` values
+        from the (shared, immutable) store itself, so it is
+        byte-identical to the original computation's result; the
+        deterministic work counters are replayed verbatim, keeping
+        serial-vs-parallel metric totals exact even on cache hits.
+        """
+        positions = np.asarray(positions, dtype=np.int64)
+        result = SortedByF(
+            store.points.take(positions),
+            store.f[positions] if len(positions) else np.zeros(0),
+        )
+        return cls(
+            result=result,
+            threshold=float(threshold),
+            examined=int(examined),
+            comparisons=int(comparisons),
+            duration=duration,
+            input_size=int(input_size),
+            positions=positions,
+        )
 
 
 def local_subspace_skyline(
@@ -132,6 +174,7 @@ def local_subspace_skyline(
         comparisons=index.comparisons,
         duration=time.perf_counter() - started,
         input_size=n,
+        positions=np.asarray(positions, dtype=np.int64),
     )
 
 
@@ -183,6 +226,7 @@ def _chunked_scan(
     strict: bool,
     full_space: bool = False,
     chunk: int = _SCAN_CHUNK,
+    base: int = 0,
 ) -> tuple[int, float]:
     """Vectorized variant of the scan, identical semantics.
 
@@ -194,6 +238,11 @@ def _chunked_scan(
     the threshold known at batch start; points a tighter mid-batch
     threshold would have pruned are merely examined and discarded, so
     exactness is unaffected (they are dominated by the threshold point).
+
+    ``base`` offsets the positions handed to the index without moving
+    the local ``proj``/``f``/``dists`` arrays — the incremental merge
+    (:class:`repro.core.merging.IncrementalMerger`) feeds one run at a
+    time into a shared index and needs run-global candidate positions.
 
     ``full_space=True`` asserts the scanned columns are the full space
     the stored ``f = min_i p[i]`` is computed over.  Then a dominator
@@ -252,7 +301,11 @@ def _chunked_scan(
                 can_evict = not full_space or (
                     not strict and float(f[positions[0]]) <= last_inserted_f
                 )
-                index.bulk_insert(positions, chunk_rows[winners], can_evict=can_evict)
+                index.bulk_insert(
+                    base + positions if base else positions,
+                    chunk_rows[winners],
+                    can_evict=can_evict,
+                )
                 last_inserted_f = float(f[positions[-1]])
                 batch_min = float(dists[positions].min())
                 if batch_min < threshold:

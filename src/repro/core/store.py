@@ -109,6 +109,39 @@ class SortedByF:
             hit = cache[key] = (proj, dists)
         return hit
 
+    def has_projection(self, subspace: Sequence[int]) -> bool:
+        """True when :meth:`projection` would hit the instance cache."""
+        cache = self._projections
+        return cache is not None and tuple(subspace) in cache
+
+    def seed_projection(
+        self, subspace: Sequence[int], proj: np.ndarray, dists: np.ndarray
+    ) -> None:
+        """Install an externally computed ``(proj, dists)`` pair.
+
+        The shared-memory block cache (:mod:`repro.parallel.shmcache`)
+        uses this to hand a worker a projection another worker already
+        derived; shapes are validated so a corrupt cache entry cannot
+        poison the scan, and the arrays are frozen like locally derived
+        ones.
+        """
+        key = tuple(subspace)
+        if proj.shape != (len(self), len(key)) or dists.shape != (len(self),):
+            raise ValueError(
+                f"seeded projection shape mismatch for subspace {key}: "
+                f"proj {proj.shape}, dists {dists.shape}, store {len(self)}"
+            )
+        proj = np.asarray(proj, dtype=np.float64)
+        dists = np.asarray(dists, dtype=np.float64)
+        proj.setflags(write=False)
+        dists.setflags(write=False)
+        cache = self._projections
+        if cache is None:
+            cache = self._projections = {}
+        if len(cache) >= self.MAX_CACHED_SUBSPACES and key not in cache:
+            cache.pop(next(iter(cache)))
+        cache[key] = (proj, dists)
+
     # Slots would otherwise pickle the projection cache alongside the
     # data; rebuild lean on the far side (the parallel engine ships
     # stores between processes).

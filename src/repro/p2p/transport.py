@@ -205,6 +205,7 @@ class EndpointStats:
     connects: int = 0
     retries: int = 0
     reconnects: int = 0
+    readers_cancelled: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return dict(self.__dict__)
@@ -309,6 +310,27 @@ class SocketEndpoint:
                     # Close must not mask the first failure: sender-task
                     # errors were already surfaced by flush()/send().
                     pass
+
+    def cancel_readers(self) -> int:
+        """Cancel every in-flight inbound reader task immediately.
+
+        The pipelined initiator calls this the moment its final result
+        exists: the protocol guarantees that each link peer's last
+        frame to the initiator (its own result, or the duplicate-query
+        empty reply) has already been received by then, so the readers
+        are only waiting on EOFs that teardown would deliver later —
+        cancelling them trades that wait for nothing.  Byte accounting
+        is unaffected (every initiator-bound frame was already
+        counted).  Returns the number of readers cancelled; they are
+        awaited by :meth:`close`.
+        """
+        cancelled = 0
+        for task in list(self._serving):
+            if not task.done():
+                task.cancel()
+                cancelled += 1
+        self.stats.readers_cancelled += cancelled
+        return cancelled
 
     async def close(self) -> None:
         """Graceful shutdown: flush queues, close connections, stop

@@ -50,6 +50,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Sequence
 
 from .shm import attach_network, publish_network, shm_enabled
+from .shmcache import LocalBlockCache, cache_enabled, make_key
 
 if TYPE_CHECKING:  # imports deferred at runtime to keep workers lean
     from ..data.workload import Query
@@ -59,9 +60,11 @@ if TYPE_CHECKING:  # imports deferred at runtime to keep workers lean
 
 __all__ = [
     "EngineStats",
+    "PIN_ENV",
     "ParallelEngine",
     "default_workers",
     "get_engine",
+    "pin_cpus_enabled",
     "preprocess_network_parallel",
     "resolve_workers",
     "run_queries_parallel",
@@ -69,6 +72,16 @@ __all__ = [
     "shutdown_engines",
     "start_method",
 ]
+
+#: ``REPRO_PIN_CPUS=1`` pins each pool worker to one CPU via
+#: ``os.sched_setaffinity`` (round-robin over the parent's affinity
+#: mask); default off, and a silent no-op on platforms without it.
+PIN_ENV = "REPRO_PIN_CPUS"
+
+
+def pin_cpus_enabled() -> bool:
+    return os.environ.get(PIN_ENV, "").strip().lower() in ("1", "on", "yes", "true")
+
 
 #: Ambient worker count (CLI ``--workers`` / ``REPRO_WORKERS``) applied
 #: when the bench harness is called without an explicit value.
@@ -137,18 +150,50 @@ def start_method() -> str:
 # ----------------------------------------------------------------------
 # worker-side state and task functions
 # ----------------------------------------------------------------------
-#: token -> (network, AttachedNetwork | None); LRU, capped.
-_WORKER_NETWORKS: "OrderedDict[str, tuple[Any, Any]]" = OrderedDict()
+#: token -> (network, AttachedNetwork | None, block cache); LRU, capped.
+_WORKER_NETWORKS: "OrderedDict[str, tuple[Any, Any, Any]]" = OrderedDict()
 
 
 def _noop() -> None:
     """Warm-up task: forces worker processes to start."""
 
 
-def _materialize(spec: dict[str, Any]) -> tuple[Any, dict[str, Any] | None]:
-    """Return the spec's network, attaching/loading it on first use.
+def _worker_init(counter: Any, pin: bool) -> None:
+    """Pool initializer: claim an ordinal, optionally pin to one CPU."""
+    if not pin:
+        return
+    with counter.get_lock():
+        ordinal = counter.value
+        counter.value += 1
+    _apply_pinning(ordinal)
 
-    The second element reports the first-use cost (``None`` on a cache
+
+def _apply_pinning(ordinal: int) -> int | None:
+    """Pin the current process to one CPU; returns it (None = no-op).
+
+    Round-robins over the inherited affinity mask so co-scheduled
+    engines interleave rather than pile onto CPU 0.  Platforms without
+    ``sched_setaffinity`` (macOS, Windows) fall through silently.
+    """
+    if not hasattr(os, "sched_setaffinity"):  # pragma: no cover - non-Linux
+        return None
+    try:
+        cpus = sorted(os.sched_getaffinity(0))
+        if not cpus:  # pragma: no cover - defensive
+            return None
+        cpu = cpus[ordinal % len(cpus)]
+        os.sched_setaffinity(0, {cpu})
+    except OSError:  # pragma: no cover - containers may forbid it
+        return None
+    return cpu
+
+
+def _materialize(spec: dict[str, Any]) -> tuple[Any, Any, dict[str, Any] | None]:
+    """Return the spec's (network, cache), attaching/loading on first use.
+
+    The cache is the segment's shared block cache when the publication
+    carries one, else a worker-local fallback with the same interface.
+    The third element reports the first-use cost (``None`` on a cache
     hit): ``{"mode": "shm" | "snapshot", "seconds": ...}`` — the
     shm-attach vs snapshot-rebuild differential the bench records.
     """
@@ -156,23 +201,168 @@ def _materialize(spec: dict[str, Any]) -> tuple[Any, dict[str, Any] | None]:
     hit = _WORKER_NETWORKS.get(token)
     if hit is not None:
         _WORKER_NETWORKS.move_to_end(token)
-        return hit[0], None
+        return hit[0], hit[2], None
     started = time.perf_counter()
     if spec["kind"] == "shm":
         attached = attach_network(spec["manifest"])
-        entry = (attached.network, attached)
+        cache = attached.cache
+        if cache is None or cache_enabled() is False:
+            cache = LocalBlockCache()
+        entry = (attached.network, attached, cache)
     else:
         from ..io import load_network
 
-        entry = (load_network(spec["path"], preprocess=spec["preprocess"]), None)
+        entry = (
+            load_network(spec["path"], preprocess=spec["preprocess"]),
+            None,
+            LocalBlockCache(),
+        )
     seconds = time.perf_counter() - started
     while len(_WORKER_NETWORKS) >= _WORKER_CACHE_CAP:
-        _, (network, attached) = _WORKER_NETWORKS.popitem(last=False)
+        _, (network, attached, _cache) = _WORKER_NETWORKS.popitem(last=False)
         del network
         if attached is not None:
             attached.close()
     _WORKER_NETWORKS[token] = entry
-    return entry[0], {"mode": spec["kind"], "seconds": seconds}
+    return entry[0], entry[2], {"mode": spec["kind"], "seconds": seconds}
+
+
+def _cached_local_compute(network: Any, cache: Any, scan_chunk: int):
+    """Algorithm 1 with a block-cache probe in front of every scan.
+
+    Hits *replay* the cached scan — result rebuilt from store positions
+    (byte-identical, the store arrays are shared), work counters
+    restored verbatim — so serial-vs-parallel determinism holds even
+    when the scan never runs.  The key carries everything the counters
+    depend on (store, subspace, threshold bits, index kind, chunk);
+    FT-variant siblings share thresholds, so their scans hit across
+    variants.  Payload views are copied before validation and a failed
+    validation falls through to the real scan.
+    """
+    import numpy as np
+
+    from ..core.local_skyline import SkylineComputation, local_subspace_skyline
+
+    index_kind = network.index_kind
+
+    def local_compute(sp: int, subspace: Any, threshold: float) -> SkylineComputation:
+        cols = tuple(int(c) for c in subspace)
+        store = network.store_of(sp)
+        scan_key = make_key("scan", sp, cols, float(threshold), index_kind, scan_chunk)
+        hit = cache.get(scan_key)
+        if hit is not None:
+            meta, arrays, token = hit
+            positions = np.array(arrays["positions"], dtype=np.int64, copy=True)
+            if cache.still_valid(token):
+                try:
+                    return SkylineComputation.replay(
+                        store, positions,
+                        threshold=meta["threshold"], examined=meta["examined"],
+                        comparisons=meta["comparisons"],
+                        input_size=meta["input_size"],
+                    )
+                except (IndexError, ValueError):
+                    cache.stats.invalid += 1
+            else:
+                cache.stats.invalid += 1
+        proj_key = make_key("proj", sp, cols)
+        seeded = store.has_projection(cols)
+        if not seeded:
+            proj_hit = cache.get(proj_key)
+            if proj_hit is not None:
+                _meta, proj_arrays, token = proj_hit
+                proj = np.array(proj_arrays["proj"], dtype=np.float64, copy=True)
+                dists = np.array(proj_arrays["dists"], dtype=np.float64, copy=True)
+                if cache.still_valid(token):
+                    try:
+                        store.seed_projection(cols, proj, dists)
+                        seeded = True
+                    except ValueError:
+                        cache.stats.invalid += 1
+                else:
+                    cache.stats.invalid += 1
+        computation = local_subspace_skyline(
+            store, cols, initial_threshold=threshold,
+            index_kind=index_kind, scan_chunk=scan_chunk,
+        )
+        if not seeded:
+            proj, dists = store.projection(cols)
+            cache.put(proj_key, {}, {"proj": proj, "dists": dists})
+        if computation.positions is not None:
+            cache.put(
+                scan_key,
+                {
+                    "threshold": computation.threshold,
+                    "examined": computation.examined,
+                    "comparisons": computation.comparisons,
+                    "input_size": computation.input_size,
+                },
+                {"positions": computation.positions},
+            )
+        return computation
+
+    return local_compute
+
+
+def _cached_peer_compute(network: Any, cache: Any):
+    """Peer ext-skyline computation behind an ``"ext"``-kind probe.
+
+    The payload is the ext-skyline itself (values/ids/f): positions
+    would index the peer's *f-sorted* order, which is exactly the work
+    being cached, so the arrays travel whole.  Reconstruction
+    re-validates sortedness, making a torn entry a miss, not a wrong
+    store.
+    """
+    import numpy as np
+
+    from ..core.dataset import PointSet
+    from ..core.local_skyline import SkylineComputation
+    from ..core.store import SortedByF
+
+    index_kind = network.index_kind
+
+    def peer_compute(peer: Any) -> SkylineComputation:
+        key = make_key("ext", peer.peer_id, index_kind)
+        hit = cache.get(key)
+        if hit is not None:
+            meta, arrays, token = hit
+            values = np.array(arrays["values"], dtype=np.float64, copy=True)
+            ids = np.array(arrays["ids"], dtype=np.int64, copy=True)
+            f = np.array(arrays["f"], dtype=np.float64, copy=True)
+            if cache.still_valid(token):
+                try:
+                    result = SortedByF(PointSet(values, ids), f)
+                except ValueError:
+                    cache.stats.invalid += 1
+                else:
+                    return SkylineComputation(
+                        result=result,
+                        threshold=meta["threshold"],
+                        examined=meta["examined"],
+                        comparisons=meta["comparisons"],
+                        duration=0.0,
+                        input_size=meta["input_size"],
+                    )
+            else:
+                cache.stats.invalid += 1
+        computation = peer.compute_extended_skyline(index_kind=index_kind)
+        cache.put(
+            key,
+            {
+                "threshold": computation.threshold,
+                "examined": computation.examined,
+                "comparisons": computation.comparisons,
+                "input_size": computation.input_size,
+            },
+            {
+                "values": computation.result.points.values,
+                "ids": computation.result.points.ids,
+                "f": computation.result.f,
+            },
+        )
+        return computation
+
+    return peer_compute
 
 
 def _run_query_batch(
@@ -187,8 +377,13 @@ def _run_query_batch(
     from ..skypeer.executor import execute_query
     from ..skypeer.variants import Variant
 
-    network, attach = _materialize(spec)
+    from ..core.local_skyline import resolve_scan_chunk
+
+    network, cache, attach = _materialize(spec)
     started = time.perf_counter()
+    local_compute = _cached_local_compute(
+        network, cache, resolve_scan_chunk(scan_chunk)
+    )
     runs: list[tuple[int, "QueryExecution"]] = []
     registry = MetricsRegistry() if collect_metrics else None
     if registry is not None:
@@ -196,7 +391,11 @@ def _run_query_batch(
     try:
         for index, query, variant_value in tasks:
             run = execute_query(
-                network, query, Variant.parse(variant_value), scan_chunk=scan_chunk
+                network,
+                query,
+                Variant.parse(variant_value),
+                local_compute=local_compute,
+                scan_chunk=scan_chunk,
             )
             # Per-super-peer scan traces are debugging detail; dropping
             # them keeps the result pickle small.
@@ -210,6 +409,10 @@ def _run_query_batch(
         "snapshot": registry.snapshot() if registry is not None else None,
         "attach": attach,
         "compute_seconds": time.perf_counter() - started,
+        "cache": {
+            "kind": "local" if isinstance(cache, LocalBlockCache) else "shared",
+            **cache.stats.delta(),
+        },
     }
 
 
@@ -217,13 +420,21 @@ def _run_preprocess_batch(
     spec: dict[str, Any], superpeer_ids: Sequence[int]
 ) -> dict[str, Any]:
     """Pre-process a chunk of super-peers (pure compute, no obs)."""
-    network, attach = _materialize(spec)
+    network, cache, attach = _materialize(spec)
     started = time.perf_counter()
-    results = [network.compute_superpeer_preprocess(sp) for sp in superpeer_ids]
+    peer_compute = _cached_peer_compute(network, cache)
+    results = [
+        network.compute_superpeer_preprocess(sp, peer_compute=peer_compute)
+        for sp in superpeer_ids
+    ]
     return {
         "results": results,
         "attach": attach,
         "compute_seconds": time.perf_counter() - started,
+        "cache": {
+            "kind": "local" if isinstance(cache, LocalBlockCache) else "shared",
+            **cache.stats.delta(),
+        },
     }
 
 
@@ -241,7 +452,10 @@ class EngineStats:
     per-task share is :meth:`dispatch_overhead_per_task`);
     ``attach_events`` records every worker-side first-use of a
     publication with its mode, the shm-attach vs snapshot-rebuild
-    differential.
+    differential.  The ``cache_*`` fields aggregate the per-batch
+    block-cache deltas the workers ship back
+    (:mod:`repro.parallel.shmcache`); ``cpu_pinning`` records whether
+    the pool was started with per-worker CPU affinity.
     """
 
     workers: int
@@ -255,9 +469,21 @@ class EngineStats:
     submit_seconds: float = 0.0
     worker_compute_seconds: float = 0.0
     attach_events: list[dict[str, Any]] = field(default_factory=list)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_publishes: int = 0
+    cache_evictions: int = 0
+    cache_oversize: int = 0
+    cache_invalid: int = 0
+    cache_kinds: set[str] = field(default_factory=set)
+    cpu_pinning: bool = False
 
     def dispatch_overhead_per_task(self) -> float:
         return self.submit_seconds / self.tasks if self.tasks else 0.0
+
+    def cache_hit_rate(self) -> float | None:
+        probes = self.cache_hits + self.cache_misses
+        return self.cache_hits / probes if probes else None
 
     def attach_seconds(self, mode: str | None = None) -> list[float]:
         return [
@@ -287,13 +513,24 @@ class EngineStats:
             "attach_count": len(self.attach_events),
             "shm_attach_mean_seconds": self.mean_attach_seconds("shm"),
             "snapshot_rebuild_mean_seconds": self.mean_attach_seconds("snapshot"),
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": self.cache_hit_rate(),
+            "cache_publishes": self.cache_publishes,
+            "cache_evictions": self.cache_evictions,
+            "cache_oversize": self.cache_oversize,
+            "cache_invalid": self.cache_invalid,
+            "cache_kinds": sorted(self.cache_kinds),
+            "cpu_pinning": self.cpu_pinning,
         }
 
 
 class _Publication:
     """One network made available to workers (shm segment or snapshot)."""
 
-    __slots__ = ("token", "kind", "spec", "shared", "path", "network_ref", "epoch")
+    __slots__ = (
+        "token", "kind", "spec", "shared", "path", "network_ref", "epoch", "warm",
+    )
 
     def __init__(
         self,
@@ -312,6 +549,11 @@ class _Publication:
         self.path = path
         self.network_ref = network_ref
         self.epoch = epoch
+        #: Subspaces whose scans this publication has already served —
+        #: their block-cache entries are likely present, so the
+        #: scheduler runs cold subspaces first (they do the publishing)
+        #: and warm ones last (they mostly replay).
+        self.warm: set[tuple[int, ...]] = set()
 
     def withdraw(self) -> None:
         if self.shared is not None:
@@ -352,9 +594,18 @@ class ParallelEngine:
         self._token_counter = 0
         self._closed = False
         started = time.perf_counter()
+        ctx = multiprocessing.get_context(self.start_method)
+        pool_kwargs: dict[str, Any] = {}
+        if pin_cpus_enabled():
+            # Workers claim ordinals from a shared counter at startup
+            # and pin themselves round-robin over the parent's affinity
+            # mask; replacement workers keep incrementing the counter,
+            # which round-robin absorbs.
+            pool_kwargs["initializer"] = _worker_init
+            pool_kwargs["initargs"] = (ctx.Value("i", 0), True)
+            self.stats.cpu_pinning = True
         self._pool = ProcessPoolExecutor(
-            max_workers=self.workers,
-            mp_context=multiprocessing.get_context(self.start_method),
+            max_workers=self.workers, mp_context=ctx, **pool_kwargs
         )
         if warm:
             for future in [self._pool.submit(_noop) for _ in range(self.workers)]:
@@ -455,10 +706,18 @@ class ParallelEngine:
         if self._closed:
             raise RuntimeError("engine is closed")
         metrics = active_metrics()
-        spec = self._publish(network, for_query=True).spec
+        publication = self._publish(network, for_query=True)
+        spec = publication.spec
         queries = list(queries)
         variants = [Variant.parse(v) if isinstance(v, str) else v for v in variants]
         chunks = _affinity_chunks(queries, variants, self.workers)
+        # Cache-aware submission order: cold subspaces first so their
+        # scans publish block-cache entries while warm subspaces (which
+        # will mostly replay) queue behind them.  Python's sort is
+        # stable, so within each class the affinity order is preserved
+        # and result placement (by task index) is unaffected.
+        chunks.sort(key=lambda chunk: tuple(chunk[0][1].subspace) in publication.warm)
+        publication.warm.update(tuple(chunk[0][1].subspace) for chunk in chunks)
         total = len(queries) * len(variants)
         started = time.perf_counter()
         futures = [
@@ -524,6 +783,22 @@ class ParallelEngine:
                 metrics.histogram(
                     "parallel.attach_seconds", mode=attach["mode"]
                 ).observe(attach["seconds"])
+        cache = payload.get("cache")
+        if cache is not None:
+            self.stats.cache_kinds.add(cache["kind"])
+            for name in (
+                "hits", "misses", "publishes", "evictions", "oversize", "invalid",
+            ):
+                count = int(cache.get(name, 0))
+                setattr(
+                    self.stats,
+                    f"cache_{name}",
+                    getattr(self.stats, f"cache_{name}") + count,
+                )
+                if metrics is not None and count:
+                    metrics.counter(
+                        f"parallel.cache.{name}", kind=cache["kind"]
+                    ).inc(count)
         if metrics is not None:
             metrics.counter("parallel.batches").inc()
 
@@ -600,13 +875,16 @@ _ENGINES: dict[tuple, ParallelEngine] = {}
 def get_engine(workers: int | None = None) -> ParallelEngine:
     """The process-wide persistent engine for the given worker count.
 
-    Keyed on (pool size, start method, shm toggle) so an env change
-    yields a fresh engine rather than a stale one; engines persist
-    across calls and are torn down by :func:`shutdown_engines` or at
-    interpreter exit.
+    Keyed on (pool size, start method, shm / cache / pinning toggles)
+    so an env change yields a fresh engine rather than a stale one;
+    engines persist across calls and are torn down by
+    :func:`shutdown_engines` or at interpreter exit.
     """
     n_workers = resolve_workers(workers)
-    key = (n_workers, start_method(), shm_enabled())
+    key = (
+        n_workers, start_method(), shm_enabled(), cache_enabled(),
+        pin_cpus_enabled(),
+    )
     engine = _ENGINES.get(key)
     if engine is None or engine.closed:
         engine = ParallelEngine(n_workers)

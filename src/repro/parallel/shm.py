@@ -34,10 +34,18 @@ import atexit
 import itertools
 import os
 import secrets
+import tempfile
 from multiprocessing import shared_memory
 from typing import TYPE_CHECKING, Any, Mapping
 
 import numpy as np
+
+from .shmcache import (
+    SharedBlockCache,
+    cache_enabled,
+    cache_geometry,
+    cache_region_nbytes,
+)
 
 if TYPE_CHECKING:
     from ..p2p.network import SuperPeerNetwork
@@ -124,7 +132,19 @@ class SharedNetwork:
         self._segment = segment
         self.manifest = manifest
         self._closed = False
+        self._cache: SharedBlockCache | None = None
         atexit.register(self._atexit_close)
+
+    @property
+    def cache(self) -> SharedBlockCache | None:
+        """Parent-side view of the cache region (``None`` when absent)."""
+        if self._cache is None and not self._closed:
+            spec = self.manifest.get("cache")
+            if spec is not None:
+                self._cache = SharedBlockCache(
+                    self._segment.buf, spec["offset"], spec["lockfile"]
+                )
+        return self._cache
 
     @property
     def name(self) -> str:
@@ -145,7 +165,17 @@ class SharedNetwork:
             return
         self._closed = True
         atexit.unregister(self._atexit_close)
-        self._segment.close()
+        self._cache = None
+        try:
+            self._segment.close()
+        except BufferError:  # pragma: no cover - a cache view outlived us
+            pass
+        cache_spec = self.manifest.get("cache")
+        if unlink and cache_spec is not None:
+            try:
+                os.unlink(cache_spec["lockfile"])
+            except OSError:
+                pass
         if unlink:
             # A worker's attach/de-register dance (see ``_attach_segment``)
             # may have dropped this segment from the shared resource
@@ -202,8 +232,19 @@ def publish_network(network: "SuperPeerNetwork") -> SharedNetwork:
             "ids": layout.add(store.points.ids),
             "f": layout.add(store.f),
         }
+    cache_spec: dict[str, Any] | None = None
+    nbytes = layout.nbytes
+    if cache_enabled() is not False:
+        slots, slot_bytes = cache_geometry()
+        cache_offset = _align(nbytes)
+        nbytes = cache_offset + cache_region_nbytes(slots, slot_bytes)
+        cache_spec = {
+            "offset": cache_offset,
+            "slots": slots,
+            "slot_bytes": slot_bytes,
+        }
     segment = shared_memory.SharedMemory(
-        name=_segment_name(), create=True, size=max(1, layout.nbytes)
+        name=_segment_name(), create=True, size=max(1, nbytes)
     )
     try:
         for slot, array in layout.arrays:
@@ -213,6 +254,17 @@ def publish_network(network: "SuperPeerNetwork") -> SharedNetwork:
             )
             view[...] = array
             del view  # release the buffer export so close() stays legal
+        if cache_spec is not None:
+            cache_spec["lockfile"] = os.path.join(
+                tempfile.gettempdir(), f"{segment.name}.cachelock"
+            )
+            SharedBlockCache.format(
+                segment.buf,
+                cache_spec["offset"],
+                cache_spec["slots"],
+                cache_spec["slot_bytes"],
+                network.epoch,
+            )
         cost = network.cost_model
         manifest: dict[str, Any] = {
             "segment": segment.name,
@@ -234,6 +286,8 @@ def publish_network(network: "SuperPeerNetwork") -> SharedNetwork:
             "partitions": partitions,
             "stores": stores,
         }
+        if cache_spec is not None:
+            manifest["cache"] = cache_spec
     except BaseException:
         segment.close()
         segment.unlink()
@@ -244,10 +298,28 @@ def publish_network(network: "SuperPeerNetwork") -> SharedNetwork:
 class AttachedNetwork:
     """Worker-side view: a network plus the mapping keeping it alive."""
 
-    def __init__(self, network: "SuperPeerNetwork", segment: shared_memory.SharedMemory):
+    def __init__(
+        self,
+        network: "SuperPeerNetwork",
+        segment: shared_memory.SharedMemory,
+        manifest: Mapping[str, Any] | None = None,
+    ):
         self.network = network
         self._segment = segment
+        self._manifest = manifest
         self._closed = False
+        self._cache: SharedBlockCache | None = None
+
+    @property
+    def cache(self) -> SharedBlockCache | None:
+        """Worker-side view of the segment's cache region, if present."""
+        if self._cache is None and not self._closed and self._manifest is not None:
+            spec = self._manifest.get("cache")
+            if spec is not None:
+                self._cache = SharedBlockCache(
+                    self._segment.buf, spec["offset"], spec["lockfile"]
+                )
+        return self._cache
 
     def close(self) -> None:
         """Drop the network and release the mapping (never unlinks).
@@ -260,6 +332,7 @@ class AttachedNetwork:
             return
         self._closed = True
         self.network = None
+        self._cache = None
         try:
             self._segment.close()
         except BufferError:  # pragma: no cover - a view outlived us
@@ -348,4 +421,4 @@ def attach_network(manifest: Mapping[str, Any]) -> AttachedNetwork:
     except BaseException:
         segment.close()
         raise
-    return AttachedNetwork(network, segment)
+    return AttachedNetwork(network, segment, manifest)

@@ -31,6 +31,7 @@ reproduction's communication-cost claims falsifiable.
 from __future__ import annotations
 
 import asyncio
+import math
 import multiprocessing
 import os
 import pickle
@@ -44,6 +45,7 @@ from typing import Any, Mapping
 import numpy as np
 
 from ..core.dataset import PointSet
+from ..core.merging import IncrementalMerger
 from ..core.store import SortedByF
 from ..core.subspace import normalize_subspace
 from ..data.workload import Query
@@ -57,7 +59,9 @@ from .variants import Variant
 
 __all__ = [
     "SocketOutcome",
+    "StreamingInitiatorNode",
     "TransportReport",
+    "resolve_merge_mode",
     "resolve_transport_mode",
     "run_socket_query",
 ]
@@ -67,6 +71,11 @@ _KIND_QUERY = 1
 #: Directory for the child-endpoint pid markers the CI leak check scans.
 RUNDIR_ENV = "REPRO_TRANSPORT_RUNDIR"
 MODE_ENV = "REPRO_TRANSPORT_MODE"
+#: ``REPRO_STREAM_MERGE=0`` forces the buffered initiator merge,
+#: ``=1`` forces the pipelined one; unset picks pipelined whenever the
+#: block dominance index is in play (the incremental merger is built on
+#: it) and buffered otherwise.
+MERGE_ENV = "REPRO_STREAM_MERGE"
 
 
 def resolve_transport_mode(mode: str | None = None) -> str:
@@ -75,6 +84,132 @@ def resolve_transport_mode(mode: str | None = None) -> str:
     if resolved not in ("task", "process"):
         raise ValueError(f"unknown transport mode {resolved!r} (task|process)")
     return resolved
+
+
+def resolve_merge_mode(merge: str | None = None, index_kind: str = "block") -> str:
+    """``pipelined`` or ``buffered`` — argument, env, then index kind.
+
+    The pipelined merge dominance-filters result frames as they arrive
+    at the initiator (overlapping merge work with socket waits) and is
+    the default for the block index it is built on; other index kinds
+    keep the buffered merge so their merge semantics stay exactly the
+    reference :func:`repro.core.merging.merge_sorted_skylines` path.
+    """
+    resolved = merge or os.environ.get(MERGE_ENV) or ""
+    resolved = {"0": "buffered", "1": "pipelined"}.get(resolved, resolved)
+    if not resolved:
+        resolved = "pipelined" if index_kind == "block" else "buffered"
+    if resolved not in ("pipelined", "buffered"):
+        raise ValueError(
+            f"unknown merge mode {resolved!r} (pipelined|buffered)"
+        )
+    return resolved
+
+
+class StreamingInitiatorNode(ProtocolNode):
+    """Initiator node that merges result frames the moment they arrive.
+
+    The reference :class:`~repro.skypeer.protocol.ProtocolNode` buffers
+    every collected result and runs Algorithm 2 once, after the last
+    child reports — leaving the initiator idle while frames are in
+    flight.  This subclass feeds each frame into an
+    :class:`~repro.core.merging.IncrementalMerger` from inside the
+    receive handler, so dominance filtering overlaps the wait for later
+    frames; whole frames beyond the running threshold are discarded
+    without a scan (``frames_pruned``).  The final result *set* is
+    identical to the buffered merge's (see the merging module's
+    exactness argument), which is what the streaming-vs-buffered
+    equality tests pin down.
+    """
+
+    def __init__(self, *args: Any, **kwargs: Any):
+        super().__init__(*args, **kwargs)
+        self._merger: IncrementalMerger | None = None
+        self.frames_merged = 0
+        self.stall_seconds = 0.0
+        self._idle_since: float | None = None
+
+    @property
+    def frames_pruned(self) -> int:
+        return self._merger.runs_pruned if self._merger is not None else 0
+
+    def start(self) -> None:
+        super().start()
+        self._idle_since = time.perf_counter()
+
+    def _on_result(self, sender: int, message: Any) -> None:
+        state = self.state
+        if len(message):
+            # The initiator is every frame's final destination (its
+            # parent is None), so nothing is relayed: merge in place.
+            arrived = time.perf_counter()
+            if self._idle_since is not None:
+                stall = arrived - self._idle_since
+                self.stall_seconds += stall
+                if self._metrics is not None:
+                    self._metrics.histogram(
+                        "netexec.merge_stall_seconds",
+                        variant=self.variant.value,
+                    ).observe(stall)
+            if self._merger is None:
+                self._merger = IncrementalMerger(
+                    range(len(self.subspace)), initial_threshold=math.inf
+                )
+                if state.local_result is not None:
+                    self._merger.feed(state.local_result)
+            self._merger.feed(message.to_store())
+            self.frames_merged += 1
+            self._idle_since = time.perf_counter()
+        if message.sender == sender:
+            # FIFO links: the peer's own (possibly empty) result is its
+            # last message, exactly as in the base class.
+            state.pending_children.discard(sender)
+            self._maybe_complete()
+
+    def _maybe_complete(self) -> None:
+        state = self.state
+        if (
+            state.done
+            or not state.forwarded
+            or state.pending_children
+            or not state.local_done
+        ):
+            return
+        if self._merger is None:
+            # No frame ever arrived (single super-peer or all empty):
+            # the reference path ships the local result as-is.
+            super()._maybe_complete()
+            return
+        state.done = True
+        started = time.perf_counter()
+        merged = self._merger.result()
+        duration = time.perf_counter() - started
+        self.compute_seconds += self._merger.compute_seconds
+        if self._tracer is not None:
+            moment = self._now()
+            self._tracer.interval(
+                "algorithm2 merge (pipelined)", category="compute",
+                track=f"sp{self.superpeer_id}",
+                start=moment, end=moment + duration,
+                clock=self._clock, inputs=self.frames_merged + 1,
+                examined=self._merger.examined, kept=len(merged.result),
+                comparisons=self._merger.comparisons,
+            )
+        if self._metrics is not None:
+            self._metrics.counter(
+                "protocol.comparisons",
+                variant=self.variant.value, superpeer=self.superpeer_id,
+                phase="merge",
+            ).inc(self._merger.comparisons)
+        self._defer(duration, lambda: self._ship(merged.result))
+
+    def merge_info(self) -> dict[str, Any]:
+        """The pipelined-merge accounting the transport report embeds."""
+        return {
+            "frames_merged": self.frames_merged,
+            "frames_pruned": self.frames_pruned,
+            "merge_stall_seconds": self.stall_seconds,
+        }
 
 
 class WireAccounting:
@@ -113,7 +248,17 @@ class WireAccounting:
 
 @dataclass
 class TransportReport:
-    """What one socket-transport query actually put on the wire."""
+    """What one socket-transport query actually put on the wire.
+
+    ``merge_mode`` records how the initiator combined result frames:
+    ``buffered`` (collect everything, merge once) or ``pipelined``
+    (dominance-filter frames on arrival).  ``initiator_idle_seconds``
+    is the query wall time minus the initiator's compute time — the
+    window the pipelined merge exists to shrink; ``frames_merged`` /
+    ``frames_pruned`` count frames scanned vs discarded whole by the
+    running threshold, and ``readers_cancelled`` the initiator's
+    inbound readers cancelled early once the result was final.
+    """
 
     mode: str
     wall_seconds: float
@@ -124,6 +269,17 @@ class TransportReport:
     frame_bytes: int
     estimated_bytes: int
     per_superpeer: dict[int, dict[str, int]] = field(default_factory=dict)
+    merge_mode: str = "buffered"
+    initiator_compute_seconds: float = 0.0
+    frames_merged: int = 0
+    frames_pruned: int = 0
+    merge_stall_seconds: float = 0.0
+    readers_cancelled: int = 0
+
+    @property
+    def initiator_idle_seconds(self) -> float:
+        """Wall time the initiator spent not computing (waiting on IO)."""
+        return max(0.0, self.wall_seconds - self.initiator_compute_seconds)
 
     @property
     def framing_overhead_bytes(self) -> int:
@@ -158,6 +314,7 @@ def run_socket_query(
     index_kind: str | None = None,
     *,
     mode: str | None = None,
+    merge: str | None = None,
     config: TransportConfig | None = None,
 ) -> SocketOutcome:
     """Execute one query over the asyncio socket transport.
@@ -165,22 +322,25 @@ def run_socket_query(
     Results carry the same point ids as :func:`execute_query` and
     :func:`run_protocol` (compare via ``result_ids``); the report holds
     the measured per-super-peer wire traffic next to the cost model's
-    estimate for the very same messages.
+    estimate for the very same messages.  ``merge`` selects the
+    initiator's merge strategy (see :func:`resolve_merge_mode`); the
+    result set is the same either way.
     """
     variant = Variant.parse(variant) if isinstance(variant, str) else variant
     index_kind = index_kind or network.index_kind
     mode = resolve_transport_mode(mode)
+    merge_mode = resolve_merge_mode(merge, index_kind)
     config = config if config is not None else TransportConfig.from_env()
     if query.initiator not in network.superpeers:
         raise KeyError(f"unknown initiator super-peer {query.initiator}")
     started = time.perf_counter()
     if mode == "task":
-        result, stats, accounting = asyncio.run(
-            _run_task_mode(network, query, variant, index_kind, config)
+        result, stats, accounting, merge_info = asyncio.run(
+            _run_task_mode(network, query, variant, index_kind, config, merge_mode)
         )
     else:
-        result, stats, accounting = _run_process_mode(
-            network, query, variant, index_kind, config
+        result, stats, accounting, merge_info = _run_process_mode(
+            network, query, variant, index_kind, config, merge_mode
         )
     wall = time.perf_counter() - started
     report = TransportReport(
@@ -193,6 +353,12 @@ def run_socket_query(
         frame_bytes=sum(s["frame_bytes_sent"] for s in stats.values()),
         estimated_bytes=accounting.estimated_bytes,
         per_superpeer=stats,
+        merge_mode=merge_mode,
+        initiator_compute_seconds=merge_info.get("compute_seconds", 0.0),
+        frames_merged=merge_info.get("frames_merged", 0),
+        frames_pruned=merge_info.get("frames_pruned", 0),
+        merge_stall_seconds=merge_info.get("merge_stall_seconds", 0.0),
+        readers_cancelled=merge_info.get("readers_cancelled", 0),
     )
     _record_observability(report, variant, query)
     return SocketOutcome(query=query, variant=variant, result=result, report=report)
@@ -227,15 +393,26 @@ def _record_observability(
         metrics.histogram(
             "transport.query_seconds", variant=variant.value, mode=report.mode
         ).observe(report.wall_seconds)
+        metrics.histogram(
+            "netexec.initiator_idle_seconds",
+            variant=variant.value, mode=report.mode, merge=report.merge_mode,
+        ).observe(report.initiator_idle_seconds)
+        if report.readers_cancelled:
+            metrics.counter(
+                "netexec.readers_cancelled", variant=variant.value,
+                mode=report.mode,
+            ).inc(report.readers_cancelled)
     if tracer is not None:
         tracer.interval(
             "socket query", category="transport", track="transport",
             start=0.0, end=report.wall_seconds, clock="wall",
             variant=variant.value, mode=report.mode,
+            merge=report.merge_mode,
             subspace=str(tuple(query.subspace)),
             payload_bytes=report.payload_bytes,
             estimated_bytes=report.estimated_bytes,
             messages=report.messages,
+            idle_seconds=report.initiator_idle_seconds,
         )
 
 
@@ -248,12 +425,15 @@ async def _run_task_mode(
     variant: Variant,
     index_kind: str,
     config: TransportConfig,
-) -> tuple[SortedByF, dict[int, dict[str, int]], WireAccounting]:
+    merge_mode: str,
+) -> tuple[SortedByF, dict[int, dict[str, int]], WireAccounting, dict[str, Any]]:
     accounting = WireAccounting(network.cost_model)
     endpoints: dict[int, SocketEndpoint] = {}
     nodes: dict[int, ProtocolNode] = {}
     done = asyncio.Event()
     final: list[SortedByF] = []
+    pipelined = merge_mode == "pipelined"
+    readers_cancelled = 0
 
     def make_handler(sp: int):
         return lambda src, blob: nodes[sp].on_message(src, blob)
@@ -278,6 +458,7 @@ async def _run_task_mode(
                 network, query, variant, index_kind,
                 send=send, defer=lambda _seconds, fn: fn(),
                 now=time.perf_counter, on_final=on_final, clock="transport",
+                initiator_cls=StreamingInitiatorNode if pipelined else None,
             )
         )
         nodes[query.initiator].start()
@@ -287,6 +468,11 @@ async def _run_task_mode(
             raise TransportError(
                 f"query did not complete within {config.io_timeout}s"
             ) from None
+        if pipelined:
+            # The final result exists, so every initiator-bound frame
+            # has been received (see SocketEndpoint.cancel_readers);
+            # the initiator stops reading instead of waiting on EOFs.
+            readers_cancelled = endpoints[query.initiator].cancel_readers()
         for ep in endpoints.values():
             await ep.flush()
     finally:
@@ -297,7 +483,14 @@ async def _run_task_mode(
         for ep in endpoints.values():
             await ep.close()
     stats = {sp: ep.stats.as_dict() for sp, ep in endpoints.items()}
-    return final[0], stats, accounting
+    root = nodes[query.initiator]
+    merge_info: dict[str, Any] = {
+        "compute_seconds": root.compute_seconds,
+        "readers_cancelled": readers_cancelled,
+    }
+    if isinstance(root, StreamingInitiatorNode):
+        merge_info.update(root.merge_info())
+    return final[0], stats, accounting, merge_info
 
 
 # ----------------------------------------------------------------------
@@ -386,8 +579,10 @@ async def _endpoint_child_async(conn, spec: dict, sock, peers) -> None:
         done.set()
 
     is_initiator = spec["superpeer_id"] == spec["initiator"]
+    pipelined = is_initiator and spec["merge_mode"] == "pipelined"
+    node_cls = StreamingInitiatorNode if pipelined else ProtocolNode
     node_ref.append(
-        ProtocolNode(
+        node_cls(
             spec["superpeer_id"],
             store=store,
             neighbours=spec["neighbours"],
@@ -407,13 +602,23 @@ async def _endpoint_child_async(conn, spec: dict, sock, peers) -> None:
     conn.send(("ready",))
     try:
         if is_initiator:
+            node = node_ref[0]
             await asyncio.wait_for(go.wait(), config.io_timeout)
-            node_ref[0].start()
+            node.start()
             await asyncio.wait_for(done.wait(), config.io_timeout)
+            readers_cancelled = endpoint.cancel_readers() if pipelined else 0
             result = final[0]
+            merge_info: dict[str, Any] = {
+                "compute_seconds": node.compute_seconds,
+                "readers_cancelled": readers_cancelled,
+            }
+            if isinstance(node, StreamingInitiatorNode):
+                merge_info.update(node.merge_info())
             conn.send(
-                ("result", *(np.ascontiguousarray(a) for a in
-                             (result.points.values, result.points.ids, result.f)))
+                ("result",
+                 *(np.ascontiguousarray(a) for a in
+                   (result.points.values, result.points.ids, result.f)),
+                 merge_info)
             )
         await asyncio.wait_for(stop.wait(), config.io_timeout)
         await endpoint.flush()
@@ -428,7 +633,8 @@ def _run_process_mode(
     variant: Variant,
     index_kind: str,
     config: TransportConfig,
-) -> tuple[SortedByF, dict[int, dict[str, int]], WireAccounting]:
+    merge_mode: str,
+) -> tuple[SortedByF, dict[int, dict[str, int]], WireAccounting, dict[str, Any]]:
     from ..parallel import start_method
 
     ctx = multiprocessing.get_context(start_method())
@@ -458,6 +664,7 @@ def _run_process_mode(
                 "index_kind": index_kind,
                 "config": config_fields,
                 "cost_model": cost_fields,
+                "merge_mode": merge_mode,
             }
             parent_conn, child_conn = ctx.Pipe()
             process = ctx.Process(
@@ -483,6 +690,7 @@ def _run_process_mode(
         result = SortedByF(
             PointSet(result_msg[1], result_msg[2]), result_msg[3]
         )
+        merge_info = dict(result_msg[4])
         for sp in children:
             pipes[sp].send(("stop",))
         stats: dict[int, dict[str, int]] = {}
@@ -493,7 +701,7 @@ def _run_process_mode(
             accounting.add_dict(message[2])
         for sp, process in children.items():
             process.join(timeout=deadline)
-        return result, stats, accounting
+        return result, stats, accounting, merge_info
     finally:
         for process in children.values():
             if process.is_alive():

@@ -149,6 +149,10 @@ class ProtocolNode:
         self.final: SortedByF | None = None
         self.duplicate_replies = 0
         self.query_messages_sent = 0
+        #: Wall-clock seconds this node spent computing (scan + merges);
+        #: the socket executor subtracts it from the query wall time to
+        #: report the initiator's idle time.
+        self.compute_seconds = 0.0
         self._send = send
         self._defer = defer
         self._now = now if now is not None else (lambda: 0.0)
@@ -178,6 +182,7 @@ class ProtocolNode:
         state.local_done = True
         state.refined_threshold = computation.threshold
         duration = time.perf_counter() - started
+        self.compute_seconds += duration
         if self._tracer is not None:
             # The scan occupies [now, now + duration] of carrier time
             # (its completion continuation is deferred there).
@@ -327,6 +332,7 @@ class ProtocolNode:
                 index_kind=self.index_kind,
             )
             duration = time.perf_counter() - started
+            self.compute_seconds += duration
             if self._tracer is not None:
                 moment = self._now()
                 self._tracer.interval(
@@ -372,17 +378,24 @@ def build_nodes(
     now: Callable[[], float] | None = None,
     on_final: Callable[[SortedByF], None] | None = None,
     clock: str = "protocol",
+    initiator_cls: type[ProtocolNode] | None = None,
 ) -> dict[int, ProtocolNode]:
     """One :class:`ProtocolNode` per super-peer, wired to one carrier.
 
     ``send`` receives ``(src, dst, blob)`` — each node's ``send``
-    callback is curried with its own id.
+    callback is curried with its own id.  ``initiator_cls`` optionally
+    substitutes a subclass at the initiator only (the socket executor's
+    pipelined-merge node); every other super-peer stays a plain
+    :class:`ProtocolNode`.
     """
     subspace = normalize_subspace(query.subspace, network.dimensionality)
     qid = query_id_for(query)
     nodes: dict[int, ProtocolNode] = {}
     for sp in network.topology.superpeer_ids:
-        nodes[sp] = ProtocolNode(
+        cls = initiator_cls if (
+            initiator_cls is not None and sp == query.initiator
+        ) else ProtocolNode
+        nodes[sp] = cls(
             sp,
             store=network.store_of(sp),
             neighbours=network.topology.adjacency[sp],

@@ -1,0 +1,200 @@
+"""Cached-vs-uncached differential: cache hits are byte-identical replays.
+
+A cached Algorithm 1 scan must reproduce the exact result *and* the
+exact deterministic accounting (comparisons, examined counts, message
+volume) of the scan that published it — the cache stores the scan's
+positions and counters and replays them, so nothing downstream can tell
+a hit from a recomputation.  Every test runs the same workload with the
+cache forced on (two passes, so the second is all hits) and forced off,
+and demands equality against the serial reference and the centralized
+``skyline_mask`` oracle for all five variants.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.dataset import PointSet
+from repro.core.dominance import skyline_mask
+from repro.data.workload import Query
+from repro.p2p.network import SuperPeerNetwork
+from repro.p2p.topology import Topology
+from repro.parallel import ParallelEngine, shm_supported
+from repro.skypeer.executor import execute_query
+from repro.skypeer.variants import Variant
+
+DETERMINISTIC = (
+    "comparisons",
+    "message_count",
+    "volume_bytes",
+    "critical_path_examined",
+)
+
+
+def _network(seed: int = 11, d: int = 4) -> SuperPeerNetwork:
+    rng = np.random.default_rng(seed)
+    topo = Topology.generate(n_peers=9, n_superpeers=3, degree=3.0, seed=seed)
+    partitions = {}
+    next_id = 0
+    for peers in topo.peers_of.values():
+        for pid in peers:
+            partitions[pid] = PointSet(
+                rng.random((12, d)), np.arange(next_id, next_id + 12)
+            )
+            next_id += 12
+    return SuperPeerNetwork.from_partitions(topo, partitions)
+
+
+def _queries(network: SuperPeerNetwork) -> list[Query]:
+    initiators = sorted(network.superpeers)
+    subspaces = [(0, 1), (0, 1), (1, 3), (0, 2, 3), (1, 3)]
+    return [
+        Query(subspace=sp, initiator=initiators[i % len(initiators)])
+        for i, sp in enumerate(subspaces)
+    ]
+
+
+def _assert_matches(serial, cached, label: str) -> None:
+    for variant, executions in serial.items():
+        for s, c in zip(executions, cached[variant]):
+            assert s.result_ids == c.result_ids, (label, variant)
+            assert np.array_equal(s.result.points.values, c.result.points.values)
+            for field in DETERMINISTIC:
+                assert getattr(s, field) == getattr(c, field), (label, variant, field)
+
+
+class TestCachedMatchesUncached:
+    def test_two_cached_passes_match_serial_and_oracle(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHM_CACHE", "1")
+        network = _network()
+        queries = _queries(network)
+        variants = list(Variant)
+        serial = {v: [execute_query(network, q, v) for q in queries] for v in variants}
+
+        with ParallelEngine(2, use_shm=shm_supported()) as engine:
+            cold = engine.run_queries(network, queries, variants)
+            warm = engine.run_queries(network, queries, variants)
+            assert engine.stats.cache_hits > 0, "repeated subspaces never hit"
+            assert engine.stats.cache_invalid == 0
+
+        _assert_matches(serial, cold, "cold")
+        _assert_matches(serial, warm, "warm")
+
+        everything = network.all_points()
+        for query in queries:
+            mask = skyline_mask(everything.values, list(query.subspace))
+            expected = frozenset(int(i) for i in everything.ids[mask])
+            for variant in variants:
+                idx = queries.index(query)
+                assert warm[variant][idx].result_ids == expected
+
+    def test_cache_off_matches_cache_on(self, monkeypatch):
+        network = _network(seed=23)
+        queries = _queries(network)
+        variants = list(Variant)
+
+        monkeypatch.setenv("REPRO_SHM_CACHE", "0")
+        with ParallelEngine(2, use_shm=shm_supported()) as engine:
+            off = engine.run_queries(network, queries, variants)
+
+        monkeypatch.setenv("REPRO_SHM_CACHE", "1")
+        with ParallelEngine(2, use_shm=shm_supported()) as engine:
+            engine.run_queries(network, queries, variants)
+            on = engine.run_queries(network, queries, variants)
+
+        _assert_matches(off, on, "on-vs-off")
+
+    def test_snapshot_plane_falls_back_to_local_cache(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHM_CACHE", "1")
+        network = _network(seed=31)
+        queries = _queries(network)
+        serial = {
+            v: [execute_query(network, q, v) for q in queries] for v in Variant
+        }
+        with ParallelEngine(2, use_shm=False) as engine:
+            engine.run_queries(network, queries, list(Variant))
+            warm = engine.run_queries(network, queries, list(Variant))
+            assert engine.stats.cache_kinds == {"local"}
+            assert engine.stats.cache_hits > 0
+        _assert_matches(serial, warm, "snapshot")
+
+
+@pytest.mark.skipif(
+    not hasattr(__import__("os"), "sched_setaffinity"),
+    reason="no sched_setaffinity on this platform",
+)
+class TestCpuPinning:
+    def test_pinned_pool_matches_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PIN_CPUS", "1")
+        network = _network(seed=41)
+        queries = _queries(network)[:2]
+        serial = {
+            v: [execute_query(network, q, v) for q in queries] for v in Variant
+        }
+        with ParallelEngine(2, use_shm=shm_supported()) as engine:
+            parallel = engine.run_queries(network, queries, list(Variant))
+            assert engine.stats.cpu_pinning is True
+        _assert_matches(serial, parallel, "pinned")
+
+    def test_pinning_off_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PIN_CPUS", raising=False)
+        with ParallelEngine(2, use_shm=False) as engine:
+            assert engine.stats.cpu_pinning is False
+
+
+@st.composite
+def cache_cases(draw):
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    d = draw(st.integers(2, 4))
+    topo = Topology.generate(n_peers=4, n_superpeers=2, degree=3.0, seed=seed)
+    partitions = {}
+    next_id = 0
+    for peers in topo.peers_of.values():
+        for pid in peers:
+            n = draw(st.integers(2, 8))
+            partitions[pid] = PointSet(
+                rng.random((n, d)), np.arange(next_id, next_id + n)
+            )
+            next_id += n
+    net = SuperPeerNetwork.from_partitions(topo, partitions)
+    k = draw(st.integers(1, d))
+    dims = draw(st.lists(st.integers(0, d - 1), min_size=k, max_size=k, unique=True))
+    initiator = draw(st.sampled_from(sorted(topo.superpeer_ids)))
+    # The same query twice: the second execution replays cached blocks.
+    query = Query(subspace=tuple(sorted(dims)), initiator=initiator)
+    return net, [query, query]
+
+
+@given(cache_cases())
+@settings(
+    max_examples=4,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+def test_cached_replay_is_indistinguishable_property(case):
+    net, queries = case
+    variants = list(Variant)
+    previous = os.environ.get("REPRO_SHM_CACHE")
+    os.environ["REPRO_SHM_CACHE"] = "1"
+    try:
+        serial = {v: [execute_query(net, q, v) for q in queries] for v in variants}
+        with ParallelEngine(2, use_shm=shm_supported()) as engine:
+            parallel = engine.run_queries(net, queries, variants)
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_SHM_CACHE", None)
+        else:
+            os.environ["REPRO_SHM_CACHE"] = previous
+    _assert_matches(serial, parallel, "property")
+    everything = net.all_points()
+    mask = skyline_mask(everything.values, list(queries[0].subspace))
+    expected = frozenset(int(i) for i in everything.ids[mask])
+    for variant in variants:
+        for execution in parallel[variant]:
+            assert execution.result_ids == expected

@@ -1,0 +1,204 @@
+"""Unit tests for the shared-memory block cache (``repro.parallel.shmcache``).
+
+The cache is a plain region protocol over any buffer, so these tests
+exercise the seqlock, eviction and invalidation machinery over an
+ordinary ``bytearray`` — no actual shared-memory segment needed; the
+cross-process path is covered by the engine differential tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.parallel.shmcache import (
+    LocalBlockCache,
+    SharedBlockCache,
+    cache_enabled,
+    cache_geometry,
+    cache_region_nbytes,
+    make_key,
+)
+from repro.parallel.shmcache import _DIR, _HEADER  # type: ignore[attr-defined]
+
+SLOTS = 4
+SLOT_BYTES = 1024
+
+
+@pytest.fixture
+def cache(tmp_path):
+    buf = memoryview(bytearray(cache_region_nbytes(SLOTS, SLOT_BYTES)))
+    SharedBlockCache.format(buf, 0, SLOTS, SLOT_BYTES, epoch=7)
+    return SharedBlockCache(buf, 0, str(tmp_path / "writer.lock"))
+
+
+def _payload(seed: int = 0) -> tuple[dict, dict]:
+    rng = np.random.default_rng(seed)
+    meta = {"threshold": 0.25, "examined": 12 + seed}
+    arrays = {
+        "positions": rng.integers(0, 100, size=8, dtype=np.int64),
+        "proj": rng.random((8, 3)),
+    }
+    return meta, arrays
+
+
+class TestRoundTrip:
+    def test_put_get_returns_identical_payload(self, cache):
+        key = make_key("scan", (0, 2), 0.5)
+        meta, arrays = _payload()
+        assert cache.put(key, meta, arrays)
+        hit = cache.get(key)
+        assert hit is not None
+        got_meta, got_arrays, token = hit
+        assert got_meta["threshold"] == meta["threshold"]
+        assert got_meta["examined"] == meta["examined"]
+        for name, array in arrays.items():
+            assert np.array_equal(got_arrays[name], array)
+            assert not got_arrays[name].flags.writeable
+        assert cache.still_valid(token)
+        assert cache.stats.hits == 1 and cache.stats.publishes == 1
+
+    def test_absent_key_misses(self, cache):
+        assert cache.get(make_key("scan", (1,))) is None
+        assert cache.stats.misses == 1
+
+    def test_duplicate_publish_is_success_without_second_slot(self, cache):
+        key = make_key("proj", (0, 1))
+        meta, arrays = _payload()
+        assert cache.put(key, meta, arrays)
+        assert cache.put(key, meta, arrays)
+        assert cache.stats.publishes == 2
+        assert cache.as_dict()["live_entries"] == 1
+
+    def test_make_key_distinguishes_thresholds_and_subspaces(self):
+        assert make_key("scan", (0, 1), 0.5) != make_key("scan", (0, 1), 0.5000001)
+        assert make_key("scan", (0, 1), 0.5) != make_key("scan", (0, 2), 0.5)
+        assert make_key("scan", (0, 1), 0.5) != make_key("proj", (0, 1), 0.5)
+
+
+class TestSeqlock:
+    def test_odd_generation_entry_is_skipped(self, cache):
+        key = make_key("scan", (0,))
+        cache.put(key, *_payload())
+        # Simulate a writer caught mid-publication: flip gen odd.
+        gen, digest, epoch, stamp, used = _DIR.unpack_from(cache._buf, cache._dir_base)
+        _DIR.pack_into(cache._buf, cache._dir_base, gen + 1, digest, epoch, stamp, used)
+        assert cache.get(key) is None
+        assert cache.stats.misses == 1
+
+    def test_token_invalidates_when_slot_is_overwritten(self, cache):
+        key = make_key("scan", (0,))
+        cache.put(key, *_payload())
+        _meta, _arrays, token = cache.get(key)
+        assert cache.still_valid(token)
+        # Fill every slot so a further publish evicts the one we read.
+        for i in range(SLOTS):
+            cache.put(make_key("scan", (9, i)), *_payload(i))
+        assert not cache.still_valid(token)
+
+    def test_second_handle_over_same_buffer_sees_publication(self, cache, tmp_path):
+        key = make_key("ext", 3, "block")
+        meta, arrays = _payload(5)
+        cache.put(key, meta, arrays)
+        other = SharedBlockCache(cache._buf, 0, str(tmp_path / "writer.lock"))
+        hit = other.get(key)
+        assert hit is not None
+        assert np.array_equal(hit[1]["positions"], arrays["positions"])
+
+
+class TestInvalidation:
+    def test_epoch_bump_invalidates_wholesale(self, cache):
+        key = make_key("scan", (0, 1))
+        cache.put(key, *_payload())
+        assert cache.get(key) is not None
+        cache.bump_epoch(8)
+        assert cache.get(key) is None
+        assert cache.as_dict()["live_entries"] == 0
+
+    def test_new_epoch_publications_hit_again(self, cache):
+        key = make_key("scan", (0, 1))
+        cache.put(key, *_payload())
+        cache.bump_epoch(8)
+        cache.put(key, *_payload(1))
+        hit = cache.get(key)
+        assert hit is not None
+        assert hit[0]["examined"] == 13
+
+
+class TestEviction:
+    def test_lru_evicts_least_recently_stamped(self, cache):
+        keys = [make_key("scan", (i,)) for i in range(SLOTS + 1)]
+        for key in keys[:SLOTS]:
+            cache.put(key, *_payload())
+        cache.get(keys[0])  # refresh slot 0's stamp
+        cache.put(keys[SLOTS], *_payload())
+        assert cache.stats.evictions == 1
+        assert cache.get(keys[0]) is not None
+        assert cache.get(keys[SLOTS]) is not None
+        # Exactly one of the untouched middle entries was evicted.
+        survivors = sum(cache.get(k) is not None for k in keys[1:SLOTS])
+        assert survivors == SLOTS - 2
+
+    def test_stale_epoch_entries_evicted_first(self, cache):
+        old = make_key("scan", (0,))
+        cache.put(old, *_payload())
+        cache.bump_epoch(8)
+        for i in range(SLOTS - 1):
+            cache.put(make_key("scan", (1, i)), *_payload(i))
+        # All slots now used; the next publish must pick the stale-epoch
+        # slot over any current-epoch entry.
+        cache.put(make_key("scan", (2,)), *_payload())
+        assert cache.stats.evictions == 1
+        assert cache.get(make_key("scan", (2,))) is not None
+        for i in range(SLOTS - 1):
+            assert cache.get(make_key("scan", (1, i))) is not None
+
+    def test_oversize_payload_is_rejected(self, cache):
+        huge = {"blob": np.zeros(SLOT_BYTES, dtype=np.float64)}
+        assert not cache.put(make_key("scan", (0,)), {}, huge)
+        assert cache.stats.oversize == 1
+        assert cache.get(make_key("scan", (0,))) is None
+
+
+class TestLocalFallback:
+    def test_same_interface_and_always_valid_tokens(self):
+        local = LocalBlockCache(slots=2)
+        key = make_key("scan", (0,), 0.5)
+        meta, arrays = _payload()
+        assert local.put(key, meta, arrays)
+        got_meta, got_arrays, token = local.get(key)
+        assert got_meta["examined"] == meta["examined"]
+        assert np.array_equal(got_arrays["proj"], arrays["proj"])
+        assert local.still_valid(token)
+        assert local.get(make_key("scan", (1,))) is None
+        assert local.stats.hits == 1 and local.stats.misses == 1
+
+    def test_bounded_by_slot_count(self):
+        local = LocalBlockCache(slots=2)
+        for i in range(3):
+            local.put(make_key("scan", (i,)), *_payload(i))
+        assert local.stats.evictions == 1
+        assert local.as_dict()["live_entries"] == 2
+
+
+class TestKnobs:
+    def test_cache_enabled_tri_state(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SHM_CACHE", raising=False)
+        assert cache_enabled() is None
+        monkeypatch.setenv("REPRO_SHM_CACHE", "0")
+        assert cache_enabled() is False
+        monkeypatch.setenv("REPRO_SHM_CACHE", "on")
+        assert cache_enabled() is True
+
+    def test_geometry_aligns_and_validates(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHM_CACHE_SLOTS", "3")
+        monkeypatch.setenv("REPRO_SHM_CACHE_SLOT_BYTES", "100")
+        slots, slot_bytes = cache_geometry()
+        assert slots == 3 and slot_bytes == 128
+        monkeypatch.setenv("REPRO_SHM_CACHE_SLOTS", "0")
+        with pytest.raises(ValueError):
+            cache_geometry()
+
+    def test_header_region_sizing(self):
+        assert cache_region_nbytes(SLOTS, SLOT_BYTES) == 64 + SLOTS * 64 + SLOTS * SLOT_BYTES
+        assert _HEADER.size <= 64 and _DIR.size <= 64

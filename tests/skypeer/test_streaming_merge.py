@@ -1,0 +1,149 @@
+"""Pipelined (streaming) initiator merge vs the buffered merge.
+
+The streaming initiator dominance-filters result frames the moment they
+arrive and cancels its reader tasks once the final merge ships.  These
+tests pin the exactness claim (identical result set to the buffered
+merge and the centralized oracle, all five variants), the cancellation
+accounting (readers cancelled only in pipelined mode, with byte
+conservation intact), and the mode-resolution precedence.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.extended_skyline import subspace_skyline_points
+from repro.data.workload import Query
+from repro.obs import observed
+from repro.p2p.network import SuperPeerNetwork
+from repro.skypeer.netexec import resolve_merge_mode, run_socket_query
+from repro.skypeer.variants import Variant
+
+ALL = tuple(Variant)
+
+
+@pytest.fixture(scope="module")
+def mesh_network() -> SuperPeerNetwork:
+    """Six super-peers so result frames actually stream in over links."""
+    return SuperPeerNetwork.build(
+        n_peers=36, points_per_peer=20, dimensionality=5,
+        n_superpeers=6, seed=7,
+    )
+
+
+def _query(network, subspace=(0, 2, 4), which=0) -> Query:
+    return Query(
+        subspace=subspace, initiator=network.topology.superpeer_ids[which]
+    )
+
+
+class TestExactness:
+    @pytest.mark.parametrize("variant", ALL)
+    def test_pipelined_matches_buffered_and_oracle(self, mesh_network, variant):
+        query = _query(mesh_network)
+        buffered = run_socket_query(
+            mesh_network, query, variant, mode="task", merge="buffered"
+        )
+        pipelined = run_socket_query(
+            mesh_network, query, variant, mode="task", merge="pipelined"
+        )
+        expected = subspace_skyline_points(
+            mesh_network.all_points(), query.subspace
+        ).id_set()
+        assert pipelined.result_ids == buffered.result_ids == expected
+        assert buffered.report.merge_mode == "buffered"
+        assert pipelined.report.merge_mode == "pipelined"
+
+    def test_result_store_matches_buffered_projection(self, mesh_network):
+        query = _query(mesh_network, subspace=(1, 3), which=2)
+        buffered = run_socket_query(
+            mesh_network, query, Variant.FTPM, merge="buffered"
+        ).result
+        pipelined = run_socket_query(
+            mesh_network, query, Variant.FTPM, merge="pipelined"
+        ).result
+        assert pipelined.points.dimensionality == 2
+        assert pipelined.points.id_set() == buffered.points.id_set()
+
+
+class TestCancellation:
+    def test_pipelined_cancels_readers_and_conserves_bytes(self, mesh_network):
+        query = _query(mesh_network, which=1)
+        report = run_socket_query(
+            mesh_network, query, Variant.RTPM, mode="task", merge="pipelined"
+        ).report
+        assert report.readers_cancelled > 0
+        assert report.frames_merged > 0
+        # Cancellation must not drop in-flight bytes: every payload byte
+        # sent on the loopback mesh was received and accounted.
+        sent = sum(s["payload_bytes_sent"] for s in report.per_superpeer.values())
+        received = sum(
+            s["payload_bytes_received"] for s in report.per_superpeer.values()
+        )
+        assert sent == received == report.payload_bytes
+
+    def test_buffered_cancels_nothing(self, mesh_network):
+        query = _query(mesh_network, which=1)
+        report = run_socket_query(
+            mesh_network, query, Variant.RTPM, mode="task", merge="buffered"
+        ).report
+        assert report.readers_cancelled == 0
+        assert report.frames_merged == 0
+
+    def test_idle_accounting_is_sane(self, mesh_network):
+        query = _query(mesh_network)
+        report = run_socket_query(
+            mesh_network, query, Variant.FTPM, merge="pipelined"
+        ).report
+        assert 0.0 <= report.initiator_idle_seconds <= report.wall_seconds
+        assert report.merge_stall_seconds >= 0.0
+
+    def test_records_merge_observability(self, mesh_network):
+        query = _query(mesh_network)
+        with observed() as (tracer, metrics):
+            report = run_socket_query(
+                mesh_network, query, Variant.FTFM, merge="pipelined"
+            ).report
+        assert metrics.total("netexec.readers_cancelled") == report.readers_cancelled
+        spans = [span for span in tracer.spans if span.name == "socket query"]
+        assert dict(spans[0].args)["merge"] == "pipelined"
+
+
+class TestProcessMode:
+    def test_merge_info_round_trips(self, mesh_network, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRANSPORT_RUNDIR", str(tmp_path))
+        query = _query(mesh_network)
+        buffered = run_socket_query(
+            mesh_network, query, Variant.FTPM, mode="process", merge="buffered"
+        )
+        pipelined = run_socket_query(
+            mesh_network, query, Variant.FTPM, mode="process", merge="pipelined"
+        )
+        assert pipelined.result_ids == buffered.result_ids
+        assert pipelined.report.frames_merged > 0
+        assert pipelined.report.readers_cancelled > 0
+        assert buffered.report.readers_cancelled == 0
+
+
+class TestMergeModeResolution:
+    def test_default_pipelined_only_for_block_index(self, monkeypatch):
+        monkeypatch.delenv("REPRO_STREAM_MERGE", raising=False)
+        assert resolve_merge_mode(None, "block") == "pipelined"
+        assert resolve_merge_mode(None, "list") == "buffered"
+        assert resolve_merge_mode(None, "rtree") == "buffered"
+
+    def test_env_toggle(self, monkeypatch):
+        monkeypatch.setenv("REPRO_STREAM_MERGE", "0")
+        assert resolve_merge_mode(None, "block") == "buffered"
+        monkeypatch.setenv("REPRO_STREAM_MERGE", "1")
+        assert resolve_merge_mode(None, "block") == "pipelined"
+
+    def test_explicit_argument_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_STREAM_MERGE", "0")
+        assert resolve_merge_mode("pipelined", "block") == "pipelined"
+        monkeypatch.delenv("REPRO_STREAM_MERGE", raising=False)
+        assert resolve_merge_mode("buffered", "block") == "buffered"
+
+    def test_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown merge mode"):
+            resolve_merge_mode("psychic", "block")
