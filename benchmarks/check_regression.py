@@ -24,6 +24,14 @@ statistics of the scans that published them) and the pipelined-merge
 ``result_ids_match`` flag (streaming merge returns the same skyline as
 the buffered merge).  Both sections are optional so older reports still
 pass.
+
+Schema-4 reports add a ``serving`` section (``bench --smoke`` embeds
+it; ``bench --serve`` emits it standalone).  Its gated verdicts are
+``results_match`` (gateway responses byte-identical to serial
+re-execution) and ``coalesce_hits > 0`` (the skewed open-loop workload
+must exercise coalescing); p50/p99 latency and the shed rate are
+printed informationally — they move with CI hardware, correctness does
+not.
 """
 
 from __future__ import annotations
@@ -124,6 +132,30 @@ def check_current_verdicts(current: dict) -> list[str]:
                 f"  [info] initiator idle: buffered {buffered:.4g}s, "
                 f"pipelined {pipelined:.4g}s"
             )
+    serving = current.get("serving")
+    if serving is not None:
+        if not serving.get("results_match", True):
+            problems.append(
+                "gateway responses diverged from serial re-execution: "
+                f"{serving.get('mismatched_subspaces')}"
+            )
+        if not serving.get("coalesce_hits", 0):
+            problems.append(
+                "gateway coalesce hits are zero: the skewed open-loop "
+                "workload never coalesced"
+            )
+        load = serving.get("load", {})
+        latency = load.get("latency_seconds", {})
+        if latency:
+            print(
+                f"  [info] serving latency: p50 {latency.get('p50', 0):.4g}s, "
+                f"p90 {latency.get('p90', 0):.4g}s, p99 {latency.get('p99', 0):.4g}s"
+            )
+        print(
+            f"  [info] serving: {load.get('offered', 0)} offered, "
+            f"{load.get('ok', 0)} ok, shed rate {load.get('shed_rate', 0):.3f}, "
+            f"coalesce hit rate {serving.get('coalesce_hit_rate', 0):.3f}"
+        )
     return problems
 
 

@@ -37,6 +37,18 @@ Schema 3 adds two sections:
 * ``"pipelined_merge"`` — one socket-transport query run buffered and
   pipelined (best-of-N idle time each), with the frame accounting and
   a gated ``result_ids_match`` verdict; idle timings are informational.
+
+Schema 4 adds ``"serving"``: an open-loop load run against the asyncio
+query gateway (:mod:`repro.serving`) — a Zipf-skewed workload offered
+at a fixed arrival rate over ≥ 32 pipelined connections, dispatched
+onto a warm engine.  The section reports p50/p90/p99 latency, shed
+counts and the gateway's coalescing counters, plus two gated verdicts:
+``results_match`` (every gateway response byte-identical to serial
+re-execution of its subspace) and ``coalesce_hits > 0`` (the skewed
+workload must actually exercise coalescing).  ``skypeer bench
+--serve`` emits the same section standalone via
+:func:`bench_serving`.  Latency percentiles are hardware-dependent and
+informational, like every wall-clock here.
 """
 
 from __future__ import annotations
@@ -53,9 +65,9 @@ from ..skypeer.variants import Variant
 from .config import ExperimentConfig, Scale, resolve_scale
 from .harness import VariantStats, build_network, make_queries, run_queries
 
-__all__ = ["SMOKE_SCHEMA", "bench_smoke", "write_bench_smoke"]
+__all__ = ["SMOKE_SCHEMA", "bench_serving", "bench_smoke", "write_bench_smoke"]
 
-SMOKE_SCHEMA = "repro-bench-smoke/3"
+SMOKE_SCHEMA = "repro-bench-smoke/4"
 
 #: VariantStats fields that do not depend on wall-clock measurement —
 #: these must match exactly between serial and parallel runs.
@@ -221,6 +233,106 @@ def _bench_pipelined_merge(
     }
 
 
+def _bench_serving(
+    network: Any,
+    *,
+    n_workers: int,
+    primary: str,
+    shm_ok: bool,
+    concurrency: int = 32,
+    requests: int = 96,
+    distinct_subspaces: int = 4,
+    rate: float = 400.0,
+    variant: Variant = Variant.FTPM,
+) -> dict[str, Any]:
+    """Open-loop skewed load through the gateway onto a warm engine.
+
+    The Zipf workload concentrates arrivals on a few subspaces, so with
+    ``concurrency`` pipelined connections and a fixed arrival rate the
+    gateway's in-flight table must coalesce (``coalesce_hits > 0`` is a
+    gated verdict).  Every distinct subspace the gateway answered is
+    then re-executed serially and compared **byte-for-byte** against
+    the canonical result encoding the clients received
+    (``results_match``, also gated).  Percentiles and shed counts are
+    informational.
+    """
+    import asyncio
+
+    import numpy as np
+
+    from ..data.workload import Query, generate_skewed_workload
+    from ..serving.gateway import GatewayConfig, QueryGateway
+    from ..serving.loadgen import run_open_loop
+    from ..serving.proto import encode_payload, result_payload
+    from ..skypeer.executor import execute_query
+
+    rng = np.random.default_rng(17)
+    queries = generate_skewed_workload(
+        requests,
+        network.dimensionality,
+        min(3, network.dimensionality),
+        list(network.topology.superpeer_ids),
+        rng,
+        distinct_subspaces=distinct_subspaces,
+    )
+    config = GatewayConfig(
+        max_pending=max(64, concurrency),
+        dispatchers=4,
+        request_timeout=60.0,
+        shutdown_timeout=10.0,
+    )
+    with ParallelEngine(n_workers, use_shm=shm_ok, mp_start=primary) as engine:
+
+        async def scenario():
+            gateway = QueryGateway(
+                network, engine=engine, backend="engine", config=config
+            )
+            host, port = await gateway.start()
+            try:
+                load = await run_open_loop(
+                    host, port, queries,
+                    rate=rate, connections=concurrency, variant=variant.value,
+                )
+            finally:
+                await gateway.close()
+            return load, gateway.stats
+
+        load, stats = asyncio.run(scenario())
+        engine_stats = engine.stats.as_dict()
+
+    initiator = network.topology.superpeer_ids[0]
+    mismatched: list[str] = []
+    for subspace, blob in sorted(load.result_bytes.items()):
+        run = execute_query(
+            network, Query(subspace=subspace, initiator=initiator), variant
+        )
+        if encode_payload(result_payload(run.result)) != blob:
+            mismatched.append(str(subspace))
+    return {
+        "backend": "engine",
+        "variant": variant.value,
+        "concurrency": concurrency,
+        "rate_per_second": rate,
+        "distinct_subspaces": len({tuple(q.subspace) for q in queries}),
+        "load": load.as_dict(),
+        "gateway": stats.as_dict(),
+        "engine": {
+            key: engine_stats[key]
+            for key in (
+                "serve_coalesce_hits", "serve_shed", "serve_queue_depth_peak",
+                "tasks", "batches", "cache_hit_rate",
+            )
+        },
+        "coalesce_hits": stats.coalesce_hits,
+        "coalesce_hit_rate": stats.coalesce_hit_rate(),
+        "shed_total": stats.shed_total,
+        "results_match": not mismatched and load.inconsistent == 0 and bool(
+            load.result_bytes
+        ),
+        "mismatched_subspaces": mismatched,
+    }
+
+
 def _other_start_method(primary: str) -> str | None:
     """The fork/spawn counterpart of ``primary``, when available."""
     import multiprocessing
@@ -314,6 +426,15 @@ def bench_smoke(
     pipelined_merge = _bench_pipelined_merge(merge_network, merge_queries[0], merge_variant)
     pipelined_merge["dimensionality"] = merge_dim
 
+    serving = _bench_serving(
+        merge_network,
+        n_workers=n_workers,
+        primary=primary,
+        shm_ok=shm_ok,
+        variant=merge_variant,
+    )
+    serving["dimensionality"] = merge_dim
+
     parallel_wall = walls[primary_label]
     return {
         "schema": SMOKE_SCHEMA,
@@ -343,6 +464,7 @@ def bench_smoke(
         ),
         "cache": cache,
         "pipelined_merge": pipelined_merge,
+        "serving": serving,
         "engines": engines,
         "equality": equality,
         "parallel_matches_serial": all(eq["matches"] for eq in equality.values()),
@@ -352,6 +474,56 @@ def bench_smoke(
             str(d): {v.value: _stats_dict(serial[d][v]) for v in variant_list}
             for d in dims
         },
+    }
+
+
+def bench_serving(
+    scale: str | Scale | None = None,
+    workers: int | None = None,
+    dim: int = 5,
+    concurrency: int = 32,
+    requests: int = 96,
+    rate: float = 400.0,
+    variant: Variant | str = Variant.FTPM,
+) -> dict[str, Any]:
+    """Standalone open-loop gateway bench (``skypeer bench --serve``).
+
+    Emits a schema-4 document whose only measurement section is
+    ``"serving"`` — the same section :func:`bench_smoke` embeds — so
+    ``benchmarks/check_regression.py`` applies the same gated verdicts
+    (``results_match``, ``coalesce_hits > 0``) to either report kind.
+    """
+    scale = resolve_scale(scale)
+    n_workers = resolve_workers(workers)
+    if n_workers <= 1:
+        n_workers = 2
+    variant = Variant.parse(variant) if isinstance(variant, str) else variant
+    primary = start_method()
+    shm_ok = shm_supported()
+    config = ExperimentConfig(dimensionality=dim).scaled(scale)
+    network = build_network(config)
+    serving = _bench_serving(
+        network,
+        n_workers=n_workers,
+        primary=primary,
+        shm_ok=shm_ok,
+        concurrency=concurrency,
+        requests=requests,
+        rate=rate,
+        variant=variant,
+    )
+    serving["dimensionality"] = dim
+    return {
+        "schema": SMOKE_SCHEMA,
+        "sweep": "serving-open-loop",
+        "scale": scale.name,
+        "dimensions": [dim],
+        "workers": n_workers,
+        "start_method": primary,
+        "shm_supported": shm_ok,
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "serving": serving,
     }
 
 

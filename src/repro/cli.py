@@ -5,6 +5,8 @@
     skypeer figure fig3b --scale tiny       # one experiment
     skypeer all --scale default --workers 4 # every table/figure, 4 procs
     skypeer bench --smoke --json BENCH.json # machine-readable baseline
+    skypeer bench --serve --json BENCH.json # open-loop gateway load
+    skypeer serve --peers 60 --dims 5       # asyncio query gateway
     skypeer export --scale default          # regenerate EXPERIMENTS.md
     skypeer query --peers 400 --dims 8 --subspace 0,3,6 --variant FTPM \
             [--transport socket] [--explain] [--json]
@@ -71,10 +73,42 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     be.add_argument("--smoke", action="store_true",
                     help="run the fig3b-scale serial-vs-parallel smoke")
+    be.add_argument("--serve", action="store_true",
+                    help="open-loop load through the asyncio gateway "
+                         "(p50/p99 latency, shed rate, coalescing verdicts)")
     be.add_argument("--scale", choices=sorted(SCALES), default="tiny")
     be.add_argument("--workers", type=int, default=None, help=workers_help)
+    be.add_argument("--concurrency", type=int, default=32,
+                    help="client connections for --serve (default 32)")
+    be.add_argument("--requests", type=int, default=96,
+                    help="requests offered by --serve (default 96)")
+    be.add_argument("--rate", type=float, default=400.0,
+                    help="open-loop arrival rate in req/s for --serve")
     be.add_argument("--json", dest="json_path", default=None, metavar="PATH",
                     help="write the report to PATH (default: stdout only)")
+
+    sv = sub.add_parser(
+        "serve",
+        help="run the asyncio query gateway in front of a built network",
+    )
+    sv.add_argument("--peers", type=int, default=60)
+    sv.add_argument("--points-per-peer", type=int, default=30)
+    sv.add_argument("--dims", type=int, default=5)
+    sv.add_argument("--dataset", choices=("uniform", "clustered", "correlated", "anticorrelated"),
+                    default="uniform")
+    sv.add_argument("--seed", type=int, default=0)
+    sv.add_argument("--host", default=None,
+                    help="bind host (default REPRO_SERVE_HOST, else 127.0.0.1)")
+    sv.add_argument("--port", type=int, default=None,
+                    help="bind port (default REPRO_SERVE_PORT, else ephemeral)")
+    sv.add_argument("--backend", choices=("engine", "serial", "socket"), default="engine",
+                    help="execution path for admitted queries (default engine)")
+    sv.add_argument("--workers", type=int, default=None, help=workers_help)
+    sv.add_argument("--duration", type=float, default=None,
+                    help="serve for N seconds then shut down "
+                         "(default: until interrupted)")
+    sv.add_argument("--port-file", default=None, metavar="PATH",
+                    help="write 'host port' to PATH once bound (for scripts)")
 
     q = sub.add_parser("query", help="run one distributed query and print metrics")
     q.add_argument("--peers", type=int, default=400)
@@ -155,6 +189,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
     if args.command == "bench":
         return _run_bench(args)
+    if args.command == "serve":
+        return _run_serve(args)
     if args.command == "query":
         return _run_single_query(args)
     if args.command == "trace":
@@ -191,22 +227,96 @@ def _ambient_workers(workers: int | None):
 
 
 def _run_bench(args: argparse.Namespace) -> int:
-    """``skypeer bench``: serial-vs-parallel smoke baseline as JSON."""
+    """``skypeer bench``: smoke baseline or open-loop serving load."""
     import json
 
-    from .bench.smoke import bench_smoke, write_bench_smoke
+    from .bench.smoke import bench_serving, bench_smoke, write_bench_smoke
 
-    if not args.smoke:
-        print("nothing to do: pass --smoke", file=sys.stderr)
+    if not args.smoke and not args.serve:
+        print("nothing to do: pass --smoke and/or --serve", file=sys.stderr)
         return 2
-    report = bench_smoke(scale=args.scale, workers=args.workers)
+    if args.serve and not args.smoke:
+        report = bench_serving(
+            scale=args.scale,
+            workers=args.workers,
+            concurrency=args.concurrency,
+            requests=args.requests,
+            rate=args.rate,
+        )
+    else:
+        report = bench_smoke(scale=args.scale, workers=args.workers)
     print(json.dumps(report, indent=2, sort_keys=True))
     if args.json_path:
         write_bench_smoke(args.json_path, report)
         print(f"baseline -> {args.json_path}", file=sys.stderr)
-    if not report["parallel_matches_serial"]:
+    failed = False
+    if "parallel_matches_serial" in report and not report["parallel_matches_serial"]:
         print("parallel run diverged from serial!", file=sys.stderr)
-        return 1
+        failed = True
+    serving = report.get("serving")
+    if serving is not None and not serving["results_match"]:
+        print("gateway responses diverged from serial re-execution!", file=sys.stderr)
+        failed = True
+    return 1 if failed else 0
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    """``skypeer serve``: stand up the gateway until interrupted."""
+    import asyncio
+    import json
+
+    from .parallel import get_engine, shutdown_engines
+    from .serving.gateway import GatewayConfig, QueryGateway
+
+    print(
+        f"building network: {args.peers} peers x {args.points_per_peer} points, "
+        f"d={args.dims}, dataset={args.dataset}"
+    )
+    network = SuperPeerNetwork.build(
+        n_peers=args.peers,
+        points_per_peer=args.points_per_peer,
+        dimensionality=args.dims,
+        dataset=args.dataset,
+        seed=args.seed,
+    )
+    overrides = {}
+    if args.host is not None:
+        overrides["host"] = args.host
+    if args.port is not None:
+        overrides["port"] = args.port
+    config = GatewayConfig.from_env(**overrides)
+    engine = None
+    if args.backend == "engine":
+        engine = get_engine(args.workers)
+
+    async def serve() -> None:
+        gateway = QueryGateway(
+            network, config=config, engine=engine, backend=args.backend
+        )
+        host, port = await gateway.start()
+        print(f"gateway listening on {host}:{port} (backend: {args.backend})")
+        if args.port_file:
+            with open(args.port_file, "w", encoding="utf-8") as handle:
+                handle.write(f"{host} {port}\n")
+        try:
+            if args.duration is not None:
+                await asyncio.sleep(args.duration)
+            else:
+                await asyncio.Event().wait()
+        except (KeyboardInterrupt, asyncio.CancelledError):
+            pass
+        finally:
+            await gateway.close()
+            print("gateway stats:")
+            print(json.dumps(gateway.stats.as_dict(), indent=2, sort_keys=True))
+
+    try:
+        asyncio.run(serve())
+    except KeyboardInterrupt:
+        pass
+    finally:
+        if engine is not None:
+            shutdown_engines()
     return 0
 
 

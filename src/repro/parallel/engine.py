@@ -42,6 +42,7 @@ import math
 import multiprocessing
 import os
 import tempfile
+import threading
 import time
 import weakref
 from collections import OrderedDict
@@ -455,7 +456,11 @@ class EngineStats:
     differential.  The ``cache_*`` fields aggregate the per-batch
     block-cache deltas the workers ship back
     (:mod:`repro.parallel.shmcache`); ``cpu_pinning`` records whether
-    the pool was started with per-worker CPU affinity.
+    the pool was started with per-worker CPU affinity.  The ``serve_*``
+    fields are mirrored in by an attached
+    :class:`~repro.serving.QueryGateway`: coalesce hits the gateway
+    absorbed before they reached the pool, requests it shed, and the
+    deepest its admission queue got.
     """
 
     workers: int
@@ -477,6 +482,9 @@ class EngineStats:
     cache_invalid: int = 0
     cache_kinds: set[str] = field(default_factory=set)
     cpu_pinning: bool = False
+    serve_coalesce_hits: int = 0
+    serve_shed: int = 0
+    serve_queue_depth_peak: int = 0
 
     def dispatch_overhead_per_task(self) -> float:
         return self.submit_seconds / self.tasks if self.tasks else 0.0
@@ -522,6 +530,9 @@ class EngineStats:
             "cache_invalid": self.cache_invalid,
             "cache_kinds": sorted(self.cache_kinds),
             "cpu_pinning": self.cpu_pinning,
+            "serve_coalesce_hits": self.serve_coalesce_hits,
+            "serve_shed": self.serve_shed,
+            "serve_queue_depth_peak": self.serve_queue_depth_peak,
         }
 
 
@@ -593,6 +604,10 @@ class ParallelEngine:
         self._publications: "OrderedDict[int, _Publication]" = OrderedDict()
         self._token_counter = 0
         self._closed = False
+        # The serving gateway drives ``run_queries`` from several
+        # executor threads at once; the publication table, the stats
+        # accumulators and close() serialize on this lock.
+        self._lock = threading.Lock()
         started = time.perf_counter()
         ctx = multiprocessing.get_context(self.start_method)
         pool_kwargs: dict[str, Any] = {}
@@ -628,7 +643,19 @@ class ParallelEngine:
         on whether the workers need pre-processed stores.  The snapshot
         fallback encodes ``for_query`` as its load-time ``preprocess``
         flag; the shm path simply carries whatever stores exist.
+
+        The closed check lives *inside* the lock: a concurrent
+        ``close()`` either drains this publication or this call raises
+        — a segment can never be published after the drain and leak.
         """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("engine is closed")
+            return self._publish_locked(network, for_query)
+
+    def _publish_locked(
+        self, network: "SuperPeerNetwork", for_query: bool
+    ) -> _Publication:
         key = (id(network), for_query)
         cached = self._publications.get(key)
         if cached is not None:
@@ -716,8 +743,11 @@ class ParallelEngine:
         # will mostly replay) queue behind them.  Python's sort is
         # stable, so within each class the affinity order is preserved
         # and result placement (by task index) is unaffected.
-        chunks.sort(key=lambda chunk: tuple(chunk[0][1].subspace) in publication.warm)
-        publication.warm.update(tuple(chunk[0][1].subspace) for chunk in chunks)
+        with self._lock:
+            chunks.sort(
+                key=lambda chunk: tuple(chunk[0][1].subspace) in publication.warm
+            )
+            publication.warm.update(tuple(chunk[0][1].subspace) for chunk in chunks)
         total = len(queries) * len(variants)
         started = time.perf_counter()
         futures = [
@@ -726,9 +756,10 @@ class ParallelEngine:
             )
             for chunk in chunks
         ]
-        self.stats.submit_seconds += time.perf_counter() - started
-        self.stats.batches += len(chunks)
-        self.stats.tasks += total
+        with self._lock:
+            self.stats.submit_seconds += time.perf_counter() - started
+            self.stats.batches += len(chunks)
+            self.stats.tasks += total
         flat: list["QueryExecution" | None] = [None] * total
         for future in futures:
             payload = future.result()
@@ -775,31 +806,36 @@ class ParallelEngine:
         return results
 
     def _ingest_batch_stats(self, payload: dict[str, Any], metrics: Any) -> None:
-        self.stats.worker_compute_seconds += payload["compute_seconds"]
-        attach = payload["attach"]
-        if attach is not None:
-            self.stats.attach_events.append(attach)
-            if metrics is not None:
+        with self._lock:
+            self.stats.worker_compute_seconds += payload["compute_seconds"]
+            attach = payload["attach"]
+            if attach is not None:
+                self.stats.attach_events.append(attach)
+            cache = payload.get("cache")
+            if cache is not None:
+                self.stats.cache_kinds.add(cache["kind"])
+                for name in (
+                    "hits", "misses", "publishes", "evictions", "oversize", "invalid",
+                ):
+                    setattr(
+                        self.stats,
+                        f"cache_{name}",
+                        getattr(self.stats, f"cache_{name}") + int(cache.get(name, 0)),
+                    )
+        if metrics is not None:
+            if attach is not None:
                 metrics.histogram(
                     "parallel.attach_seconds", mode=attach["mode"]
                 ).observe(attach["seconds"])
-        cache = payload.get("cache")
-        if cache is not None:
-            self.stats.cache_kinds.add(cache["kind"])
-            for name in (
-                "hits", "misses", "publishes", "evictions", "oversize", "invalid",
-            ):
-                count = int(cache.get(name, 0))
-                setattr(
-                    self.stats,
-                    f"cache_{name}",
-                    getattr(self.stats, f"cache_{name}") + count,
-                )
-                if metrics is not None and count:
-                    metrics.counter(
-                        f"parallel.cache.{name}", kind=cache["kind"]
-                    ).inc(count)
-        if metrics is not None:
+            if cache is not None:
+                for name in (
+                    "hits", "misses", "publishes", "evictions", "oversize", "invalid",
+                ):
+                    count = int(cache.get(name, 0))
+                    if count:
+                        metrics.counter(
+                            f"parallel.cache.{name}", kind=cache["kind"]
+                        ).inc(count)
             metrics.counter("parallel.batches").inc()
 
     # ------------------------------------------------------------------
@@ -808,17 +844,25 @@ class ParallelEngine:
     def close(self) -> None:
         """Shut the pool down and withdraw every publication.
 
-        Idempotent; also runs at interpreter exit, so shm segments are
-        provably unlinked even when the caller forgets.
+        Idempotent and thread-safe: concurrent callers race on the
+        ``_closed`` flag under the engine lock, exactly one of them
+        tears down, and nothing raises on the second call.  Publishes
+        racing a close serialize on the same lock (see
+        :meth:`_publish`), so the drain below is final — no segment can
+        appear afterwards and leak.  Also runs at interpreter exit, so
+        shm segments are provably unlinked even when the caller
+        forgets.
         """
-        if self._closed:
-            return
-        self._closed = True
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
         atexit.unregister(self.close)
         self._pool.shutdown(wait=True)
-        while self._publications:
-            _, publication = self._publications.popitem(last=False)
-            publication.withdraw()
+        with self._lock:
+            while self._publications:
+                _, publication = self._publications.popitem(last=False)
+                publication.withdraw()
         try:
             os.rmdir(self._tmpdir)
         except OSError:
@@ -870,6 +914,7 @@ def _affinity_chunks(
 # shared engines (one per configuration, reused process-wide)
 # ----------------------------------------------------------------------
 _ENGINES: dict[tuple, ParallelEngine] = {}
+_ENGINES_LOCK = threading.Lock()
 
 
 def get_engine(workers: int | None = None) -> ParallelEngine:
@@ -885,18 +930,35 @@ def get_engine(workers: int | None = None) -> ParallelEngine:
         n_workers, start_method(), shm_enabled(), cache_enabled(),
         pin_cpus_enabled(),
     )
-    engine = _ENGINES.get(key)
-    if engine is None or engine.closed:
-        engine = ParallelEngine(n_workers)
-        _ENGINES[key] = engine
-    return engine
+    with _ENGINES_LOCK:
+        engine = _ENGINES.get(key)
+        if engine is None or engine.closed:
+            engine = ParallelEngine(n_workers)
+            _ENGINES[key] = engine
+        return engine
 
 
 def shutdown_engines() -> None:
-    """Close every shared engine (tests and long-lived hosts)."""
-    for engine in list(_ENGINES.values()):
-        engine.close()
-    _ENGINES.clear()
+    """Close every shared engine (tests and long-lived hosts).
+
+    Idempotent under concurrency and exception-safe: the registry is
+    swapped out under its lock first (a second caller sees it empty and
+    returns immediately), and a close that raises does not strand the
+    remaining engines un-closed — every engine's ``close`` is attempted
+    before the first failure, if any, is re-raised.
+    """
+    with _ENGINES_LOCK:
+        engines = list(_ENGINES.values())
+        _ENGINES.clear()
+    first_error: BaseException | None = None
+    for engine in engines:
+        try:
+            engine.close()
+        except BaseException as exc:  # noqa: BLE001 - close the rest first
+            if first_error is None:
+                first_error = exc
+    if first_error is not None:
+        raise first_error
 
 
 # ----------------------------------------------------------------------

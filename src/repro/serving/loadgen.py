@@ -1,0 +1,142 @@
+"""Open-loop load generation against a running gateway.
+
+Closed-loop benchmarks (issue the next query when the previous one
+returns) understate tail latency because a slow server throttles its
+own load.  The serving bench therefore drives the gateway **open-loop**:
+arrival ``i`` is scheduled at ``i / rate`` seconds regardless of how
+many earlier requests are still in flight, round-robined over a pool of
+pipelined connections.  Shed responses count against the shed rate, not
+the latency distribution; percentiles are nearest-rank over the
+successful requests only.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from ..data.workload import Query
+from .client import GatewayClient
+from .proto import encode_payload
+
+__all__ = ["LoadReport", "run_open_loop"]
+
+
+def percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile; ``q`` in [0, 100]."""
+    if not sorted_values:
+        return 0.0
+    rank = max(1, int(round(q / 100.0 * len(sorted_values) + 0.5)))
+    return sorted_values[min(rank, len(sorted_values)) - 1]
+
+
+@dataclass
+class LoadReport:
+    """Client-side view of one open-loop run."""
+
+    offered: int = 0
+    ok: int = 0
+    coalesced: int = 0
+    shed: int = 0
+    errors: int = 0
+    shed_reasons: dict[str, int] = field(default_factory=dict)
+    latencies_seconds: list[float] = field(default_factory=list)
+    wall_seconds: float = 0.0
+    #: First canonical ``result`` bytes seen per subspace — the serving
+    #: bench compares these against serial re-execution byte-for-byte.
+    result_bytes: dict[tuple[int, ...], bytes] = field(default_factory=dict)
+    #: Responses whose result differed from an earlier response for the
+    #: same subspace (must stay 0: coalescing may never change answers).
+    inconsistent: int = 0
+
+    def shed_rate(self) -> float:
+        return self.shed / self.offered if self.offered else 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        latencies = sorted(self.latencies_seconds)
+        return {
+            "offered": self.offered,
+            "ok": self.ok,
+            "coalesced": self.coalesced,
+            "shed": self.shed,
+            "errors": self.errors,
+            "shed_rate": self.shed_rate(),
+            "shed_reasons": dict(self.shed_reasons),
+            "wall_seconds": self.wall_seconds,
+            "distinct_results": len(self.result_bytes),
+            "responses_consistent": self.inconsistent == 0,
+            "latency_seconds": {
+                "p50": percentile(latencies, 50),
+                "p90": percentile(latencies, 90),
+                "p99": percentile(latencies, 99),
+            },
+        }
+
+
+async def run_open_loop(
+    host: str,
+    port: int,
+    queries: Sequence[Query],
+    *,
+    rate: float,
+    connections: int = 8,
+    variant: str = "FTPM",
+) -> LoadReport:
+    """Offer ``queries`` at ``rate`` req/s over ``connections`` clients.
+
+    Every query becomes exactly one request; the call returns once all
+    of them resolved (ok, shed, or error).  ``connections`` is the
+    concurrency knob — requests pipeline freely within each connection.
+    """
+    if rate <= 0:
+        raise ValueError("rate must be positive")
+    if connections < 1:
+        raise ValueError("need at least one connection")
+    clients = [
+        await GatewayClient.connect(host, port)
+        for _ in range(min(connections, max(1, len(queries))))
+    ]
+    report = LoadReport()
+    started = time.perf_counter()
+
+    async def one(client: GatewayClient, query: Query, at: float) -> None:
+        delay = at - (time.perf_counter() - started)
+        if delay > 0:
+            await asyncio.sleep(delay)
+        sent = time.perf_counter()
+        try:
+            response = await client.query(query.subspace, variant)
+        except (ConnectionError, OSError):
+            report.errors += 1
+            return
+        if response.ok:
+            report.ok += 1
+            report.latencies_seconds.append(time.perf_counter() - sent)
+            if response.payload.get("coalesced"):
+                report.coalesced += 1
+            key = tuple(int(d) for d in query.subspace)
+            blob = encode_payload(response.payload.get("result", {}))
+            if report.result_bytes.setdefault(key, blob) != blob:
+                report.inconsistent += 1
+        elif response.status == "shed":
+            report.shed += 1
+            reason = response.shed_reason or "unknown"
+            report.shed_reasons[reason] = report.shed_reasons.get(reason, 0) + 1
+        else:
+            report.errors += 1
+
+    try:
+        tasks = [
+            asyncio.ensure_future(one(clients[i % len(clients)], query, i / rate))
+            for i, query in enumerate(queries)
+        ]
+        report.offered = len(tasks)
+        if tasks:
+            await asyncio.wait(tasks)
+    finally:
+        for client in clients:
+            await client.close()
+    report.wall_seconds = time.perf_counter() - started
+    return report

@@ -58,9 +58,11 @@ from .protocol import ProtocolNode, build_nodes, query_id_for
 from .variants import Variant
 
 __all__ = [
+    "QueryAbandoned",
     "SocketOutcome",
     "StreamingInitiatorNode",
     "TransportReport",
+    "gateway_dispatch",
     "resolve_merge_mode",
     "resolve_transport_mode",
     "run_socket_query",
@@ -726,3 +728,67 @@ def _expect(pipe, kind: str, timeout: float):
             ) from None
         if message[0] == kind:
             return message
+
+
+# ----------------------------------------------------------------------
+# gateway dispatch (repro.serving)
+# ----------------------------------------------------------------------
+class QueryAbandoned(RuntimeError):
+    """Every waiter for a gateway job disconnected before dispatch.
+
+    The gateway raises this from its executor thread instead of
+    executing an answer nobody will read; the dispatcher reaps it as a
+    cancellation, not a backend error.
+    """
+
+
+def gateway_dispatch(
+    network: SuperPeerNetwork,
+    query: Query,
+    variant: Variant | str = Variant.FTPM,
+    *,
+    backend: str = "serial",
+    engine: Any = None,
+    scan_chunk: int | None = None,
+    mode: str | None = None,
+    merge: str | None = None,
+    abandoned=None,
+) -> SortedByF:
+    """Run one admitted gateway job on the chosen backend.
+
+    This is the single seam between :class:`repro.serving.QueryGateway`
+    and the execution engines — the gateway never imports an engine
+    directly.  ``backend`` picks the path:
+
+    * ``engine`` — the warm :class:`~repro.parallel.ParallelEngine`
+      passed as ``engine`` (shared-memory data plane, block cache);
+    * ``serial`` — in-process :func:`~repro.skypeer.executor.
+      execute_query`;
+    * ``socket`` — the full asyncio transport via
+      :func:`run_socket_query`.
+
+    ``abandoned`` is an optional zero-argument callable polled once
+    before the (potentially expensive) execution starts; when it
+    reports ``True`` the dispatch raises :class:`QueryAbandoned` —
+    cancellation propagation for jobs whose waiters all left.  All
+    three paths return the same :class:`~repro.core.store.SortedByF`
+    for a given ``(subspace, variant)``, which is what makes gateway
+    coalescing exact.
+    """
+    variant = Variant.parse(variant) if isinstance(variant, str) else variant
+    if abandoned is not None and abandoned():
+        raise QueryAbandoned(
+            f"no waiters left for {query.subspace} / {variant.value}"
+        )
+    if backend == "engine":
+        if engine is None:
+            raise ValueError("backend 'engine' requires an engine instance")
+        runs = engine.run_queries(network, [query], [variant], scan_chunk=scan_chunk)
+        return runs[variant][0].result
+    if backend == "serial":
+        from .executor import execute_query
+
+        return execute_query(network, query, variant, scan_chunk=scan_chunk).result
+    if backend == "socket":
+        return run_socket_query(network, query, variant, mode=mode, merge=merge).result
+    raise ValueError(f"unknown gateway backend {backend!r} (engine|serial|socket)")

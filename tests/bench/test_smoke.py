@@ -49,6 +49,19 @@ def test_per_variant_means_present(report):
         assert field in per_dim
 
 
+def test_serving_section_present_and_passing(report):
+    serving = report["serving"]
+    assert serving["results_match"] is True
+    assert serving["mismatched_subspaces"] == []
+    assert serving["coalesce_hits"] > 0
+    assert 0.0 < serving["coalesce_hit_rate"] <= 1.0
+    load = serving["load"]
+    assert load["ok"] + load["shed"] + load["errors"] == load["offered"]
+    assert load["responses_consistent"] is True
+    for q in ("p50", "p90", "p99"):
+        assert load["latency_seconds"][q] >= 0.0
+
+
 def test_report_is_json_serializable(report, tmp_path):
     path = tmp_path / "BENCH_test.json"
     write_bench_smoke(str(path), report)

@@ -1,0 +1,35 @@
+"""Shared fixtures for the serving suite: a small network, tiny configs."""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import PointSet
+from repro.p2p.network import SuperPeerNetwork
+from repro.p2p.topology import Topology
+
+
+def build_network(seed: int = 11, d: int = 4) -> SuperPeerNetwork:
+    rng = np.random.default_rng(seed)
+    topo = Topology.generate(n_peers=9, n_superpeers=3, degree=3.0, seed=seed)
+    partitions = {}
+    next_id = 0
+    for peers in topo.peers_of.values():
+        for pid in peers:
+            partitions[pid] = PointSet(
+                rng.random((12, d)), np.arange(next_id, next_id + 12)
+            )
+            next_id += 12
+    return SuperPeerNetwork.from_partitions(topo, partitions)
+
+
+@pytest.fixture(scope="module")
+def network() -> SuperPeerNetwork:
+    return build_network()
+
+
+def run(coro):
+    return asyncio.run(coro)

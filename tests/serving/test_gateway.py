@@ -1,0 +1,287 @@
+"""Gateway behavior: config, admission, coalescing, stats, backends."""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.serving.client import GatewayClient
+from repro.serving.gateway import GatewayConfig, QueryGateway, TokenBucket
+from repro.serving.proto import (
+    SHED_QUEUE_FULL,
+    SHED_RATE_LIMITED,
+    encode_payload,
+)
+from repro.skypeer.executor import execute_query
+from repro.data.workload import Query
+
+from .conftest import run
+
+
+# ----------------------------------------------------------------------
+# configuration
+# ----------------------------------------------------------------------
+class TestGatewayConfig:
+    def test_defaults_are_sane(self):
+        config = GatewayConfig()
+        assert config.max_pending >= 1
+        assert config.rate == 0.0  # unlimited by default
+        assert config.dispatchers >= 1
+        assert config.request_timeout > 0
+
+    def test_from_env_overrides(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE_MAX_PENDING", "7")
+        monkeypatch.setenv("REPRO_SERVE_RATE", "12.5")
+        monkeypatch.setenv("REPRO_SERVE_HOST", "127.0.0.9")
+        config = GatewayConfig.from_env()
+        assert config.max_pending == 7
+        assert config.rate == 12.5
+        assert config.host == "127.0.0.9"
+
+    def test_explicit_overrides_beat_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE_MAX_PENDING", "7")
+        assert GatewayConfig.from_env(max_pending=3).max_pending == 3
+
+    def test_rejects_nonsense(self):
+        with pytest.raises(ValueError):
+            GatewayConfig(max_pending=0)
+        with pytest.raises(ValueError):
+            GatewayConfig(rate=-1.0)
+        with pytest.raises(ValueError):
+            GatewayConfig(dispatchers=0)
+        with pytest.raises(ValueError):
+            GatewayConfig(request_timeout=0.0)
+
+    def test_bad_env_value_names_the_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE_PORT", "not-a-port")
+        with pytest.raises(ValueError, match="REPRO_SERVE_PORT"):
+            GatewayConfig.from_env()
+
+
+class TestTokenBucket:
+    def test_unlimited_when_rate_zero(self):
+        bucket = TokenBucket(rate=0.0, burst=1, clock=lambda: 0.0)
+        assert all(bucket.try_acquire() for _ in range(1000))
+
+    def test_burst_then_refill(self):
+        now = [0.0]
+        bucket = TokenBucket(rate=1.0, burst=2, clock=lambda: now[0])
+        assert bucket.try_acquire()
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()  # burst exhausted, no time passed
+        now[0] = 1.0  # one second = one token at rate 1/s
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_refill_caps_at_burst(self):
+        now = [0.0]
+        bucket = TokenBucket(rate=10.0, burst=3, clock=lambda: now[0])
+        now[0] = 1000.0
+        grabbed = sum(bucket.try_acquire() for _ in range(10))
+        assert grabbed == 3
+
+
+# ----------------------------------------------------------------------
+# request handling over real sockets
+# ----------------------------------------------------------------------
+class TestGatewayRequests:
+    def test_ping_stats_and_unknown_op(self, network):
+        async def scenario():
+            async with QueryGateway(network, config=GatewayConfig()) as gateway:
+                host, port = gateway.address
+                async with await GatewayClient.connect(host, port) as client:
+                    pong = await client.ping()
+                    stats = await client.stats()
+                    bogus = await client.request({"op": "explode"})
+            return pong, stats, bogus
+
+        pong, stats, bogus = run(scenario())
+        assert pong.payload["op"] == "pong"
+        assert stats["requests"] >= 1
+        assert bogus.status == "error" and "explode" in bogus.payload["error"]
+
+    def test_malformed_subspace_is_an_error_not_a_drop(self, network):
+        async def scenario():
+            async with QueryGateway(network, config=GatewayConfig()) as gateway:
+                host, port = gateway.address
+                async with await GatewayClient.connect(host, port) as client:
+                    empty = await client.request({"op": "query", "subspace": []})
+                    out_of_range = await client.request(
+                        {"op": "query", "subspace": [99]}
+                    )
+                    bad_variant = await client.request(
+                        {"op": "query", "subspace": [0], "variant": "XXXX"}
+                    )
+                    # connection still usable after three bad requests
+                    good = await client.query([0, 1])
+            return empty, out_of_range, bad_variant, good, gateway.stats
+
+        empty, out_of_range, bad_variant, good, stats = run(scenario())
+        assert empty.status == "error"
+        assert out_of_range.status == "error"
+        assert bad_variant.status == "error"
+        assert good.ok
+        assert stats.protocol_errors == 3
+
+    def test_result_matches_serial_execution(self, network):
+        async def scenario():
+            async with QueryGateway(network, config=GatewayConfig()) as gateway:
+                host, port = gateway.address
+                async with await GatewayClient.connect(host, port) as client:
+                    return await client.query([0, 2], "FTPM")
+
+        response = run(scenario())
+        assert response.ok
+        initiator = network.topology.superpeer_ids[0]
+        serial = execute_query(
+            network, Query(subspace=(0, 2), initiator=initiator), "FTPM"
+        )
+        assert response.payload["result"]["ids"] == serial.result.points.ids.tolist()
+
+    def test_subspace_order_is_normalized_into_one_key(self, network):
+        """[2, 0] and [0, 2] are the same query and must coalesce."""
+        release = threading.Event()
+
+        def dispatch(net, query, variant):
+            release.wait(timeout=10.0)
+            return execute_query(net, query, variant).result
+
+        async def scenario():
+            gateway = QueryGateway(
+                network, config=GatewayConfig(dispatchers=1), dispatch=dispatch
+            )
+            async with gateway:
+                host, port = gateway.address
+                async with await GatewayClient.connect(host, port) as client:
+                    first = asyncio.ensure_future(client.query([2, 0]))
+                    await asyncio.sleep(0.1)
+                    second = asyncio.ensure_future(client.query([0, 2]))
+                    await asyncio.sleep(0.1)
+                    release.set()
+                    a, b = await asyncio.gather(first, second)
+            return a, b, gateway.stats
+
+        a, b, stats = run(scenario())
+        assert a.ok and b.ok
+        assert stats.executed == 1
+        assert stats.coalesce_hits == 1
+        assert encode_payload(a.payload["result"]) == encode_payload(
+            b.payload["result"]
+        )
+
+
+class TestAdmissionControl:
+    def test_rate_limit_sheds_explicitly(self, network):
+        now = [0.0]
+        config = GatewayConfig(rate=1.0, burst=1)
+
+        async def scenario():
+            gateway = QueryGateway(network, config=config, clock=lambda: now[0])
+            async with gateway:
+                host, port = gateway.address
+                async with await GatewayClient.connect(host, port) as client:
+                    first = await client.query([0])
+                    second = await client.query([1])
+            return first, second, gateway.stats
+
+        first, second, stats = run(scenario())
+        assert first.ok
+        assert second.status == "shed"
+        assert second.shed_reason == SHED_RATE_LIMITED
+        assert stats.shed_rate_limited == 1
+
+    def test_full_queue_sheds_explicitly(self, network):
+        release = threading.Event()
+
+        def dispatch(net, query, variant):
+            release.wait(timeout=10.0)
+            return execute_query(net, query, variant).result
+
+        async def scenario():
+            gateway = QueryGateway(
+                network,
+                config=GatewayConfig(max_pending=1, dispatchers=1),
+                dispatch=dispatch,
+            )
+            async with gateway:
+                host, port = gateway.address
+                async with await GatewayClient.connect(host, port) as client:
+                    running = asyncio.ensure_future(client.query([0]))
+                    await asyncio.sleep(0.1)  # dispatcher takes it, blocks
+                    queued = asyncio.ensure_future(client.query([1]))
+                    await asyncio.sleep(0.1)  # fills the 1-slot queue
+                    shed = await client.query([2])
+                    release.set()
+                    ok_a, ok_b = await asyncio.gather(running, queued)
+            return ok_a, ok_b, shed, gateway.stats
+
+        ok_a, ok_b, shed, stats = run(scenario())
+        assert ok_a.ok and ok_b.ok
+        assert shed.status == "shed"
+        assert shed.shed_reason == SHED_QUEUE_FULL
+        assert stats.shed_queue_full == 1
+        assert stats.queue_depth_peak == 1
+
+    def test_coalesced_waiters_do_not_consume_queue_slots(self, network):
+        release = threading.Event()
+
+        def dispatch(net, query, variant):
+            release.wait(timeout=10.0)
+            return execute_query(net, query, variant).result
+
+        async def scenario():
+            gateway = QueryGateway(
+                network,
+                config=GatewayConfig(max_pending=1, dispatchers=1),
+                dispatch=dispatch,
+            )
+            async with gateway:
+                host, port = gateway.address
+                async with await GatewayClient.connect(host, port) as client:
+                    first = asyncio.ensure_future(client.query([0]))
+                    await asyncio.sleep(0.1)
+                    # identical requests attach to the in-flight job
+                    # instead of occupying the (full) queue
+                    more = [asyncio.ensure_future(client.query([0])) for _ in range(5)]
+                    await asyncio.sleep(0.1)
+                    release.set()
+                    responses = await asyncio.gather(first, *more)
+            return responses, gateway.stats
+
+        responses, stats = run(scenario())
+        assert all(r.ok for r in responses)
+        assert stats.coalesce_hits == 5
+        assert stats.shed_queue_full == 0
+        assert stats.executed == 1
+
+
+class TestEngineStatsMirror:
+    def test_gateway_counters_mirror_into_engine_stats(self, network):
+        from repro.parallel import ParallelEngine
+
+        async def scenario(engine):
+            gateway = QueryGateway(
+                network,
+                engine=engine,
+                backend="engine",
+                config=GatewayConfig(dispatchers=2),
+            )
+            async with gateway:
+                host, port = gateway.address
+                async with await GatewayClient.connect(host, port) as client:
+                    responses = await asyncio.gather(
+                        *[client.query([0, 1]) for _ in range(4)]
+                    )
+            return responses, gateway.stats
+
+        with ParallelEngine(2) as engine:
+            responses, stats = run(scenario(engine))
+            assert all(r.ok for r in responses)
+            assert stats.coalesce_hits >= 1
+            assert engine.stats.serve_coalesce_hits == stats.coalesce_hits
+            assert engine.stats.serve_shed == stats.shed_total
+            serve_fields = engine.stats.as_dict()
+            assert "serve_coalesce_hits" in serve_fields
+            assert "serve_queue_depth_peak" in serve_fields
