@@ -32,6 +32,16 @@ re-execution) and ``coalesce_hits > 0`` (the skewed open-loop workload
 must exercise coalescing); p50/p99 latency and the shed rate are
 printed informationally — they move with CI hardware, correctness does
 not.
+
+Schema-5 reports add a ``kernels`` section (scan substrates ×
+intra-query partitioners).  Its gated verdicts are ``identical``
+(every kernel — BBS substrate, range/grid/angular partitioned scans,
+in-process and pooled — returns results byte-identical to the serial
+sorted scan) and ``speedup_ok`` (grid or angular partitioning at least
+2x faster than serial on the headline anti-correlated scan; a *ratio*
+on one host, so it does not move with absolute CI speed the way raw
+wall-clocks do).  Comparison counts per point and slice-size skew are
+printed informationally.
 """
 
 from __future__ import annotations
@@ -156,6 +166,52 @@ def check_current_verdicts(current: dict) -> list[str]:
             f"{load.get('ok', 0)} ok, shed rate {load.get('shed_rate', 0):.3f}, "
             f"coalesce hit rate {serving.get('coalesce_hit_rate', 0):.3f}"
         )
+    kernels = current.get("kernels")
+    if kernels is not None:
+        if not kernels.get("identical", True):
+            broken = [
+                name
+                for name, entry in kernels.get("headline", {})
+                .get("partitioners", {}).items()
+                if not entry.get("identical", True)
+            ] + [
+                f"{cell.get('distribution')}/d={cell.get('d')}"
+                for cell in kernels.get("crossover", [])
+                if not cell.get("identical", True)
+            ]
+            problems.append(
+                f"scan kernels diverged from the serial sorted scan: {broken}"
+            )
+        if "speedup_ok" in kernels and not kernels["speedup_ok"]:
+            headline = kernels.get("headline", {})
+            problems.append(
+                "partitioned scan speedup below 2x on the headline dataset "
+                f"(best {headline.get('best_speedup', 0):.2f}x via "
+                f"{headline.get('best_partitioner')})"
+            )
+        headline = kernels.get("headline", {})
+        for name, entry in sorted(headline.get("partitioners", {}).items()):
+            skew = entry.get("skew", {})
+            print(
+                f"  [info] kernels.{name}: in-process "
+                f"{entry.get('inprocess_speedup', 0):.2f}x, pool (cold) "
+                f"{entry.get('pool_speedup', 0):.2f}x, warm replay "
+                f"{entry.get('pool_warm_wall_seconds', 0):.3g}s, "
+                f"comparisons ratio "
+                f"{entry.get('comparison_ratio', 0):.2f}x, skew "
+                f"{skew.get('skew', 1):.2f} (max {skew.get('max_size', 0)} / "
+                f"mean {skew.get('mean_size', 0):.0f})"
+            )
+        for cell in kernels.get("crossover", []):
+            cpp = cell.get("comparisons_per_point", {})
+            base = cpp.get("sorted/none")
+            best = min(cpp.items(), key=lambda kv: kv[1]) if cpp else None
+            if base and best:
+                print(
+                    f"  [info] kernels.crossover {cell.get('distribution')} "
+                    f"d={cell.get('d')}: sorted/none {base:.1f} cmp/pt, best "
+                    f"{best[0]} {best[1]:.1f} cmp/pt"
+                )
     return problems
 
 

@@ -49,6 +49,22 @@ workload must actually exercise coalescing).  ``skypeer bench
 --serve`` emits the same section standalone via
 :func:`bench_serving`.  Latency percentiles are hardware-dependent and
 informational, like every wall-clock here.
+
+Schema 5 adds ``"kernels"``: the scan-kernel matrix.  The *headline*
+is one full-space Algorithm-1 scan over a fixed anti-correlated
+5-dimensional store, run serially, split in-process by each
+partitioner (:mod:`repro.parallel.partition`) and fanned over a
+4-worker engine (:meth:`~repro.parallel.ParallelEngine.
+run_partitioned_scan`), with per-partitioner wall-clocks, comparison
+counts, slice-size skew and two verdicts ``check_regression.py``
+gates: ``identical`` (every kernel's result byte-identical to the
+serial scan) and ``speedup_ok`` (grid or angular at least 2× faster
+than serial, best of in-process and pooled — on a single-core host the
+in-process comparison savings carry it).  The *crossover* matrix runs
+substrate × partitioner (``sorted``/``bbs`` × ``none``/``range``/
+``grid``/``angular``) over small stores across dimensionalities and
+distributions, reporting deterministic comparisons-per-point so the
+kernel crossover is diffable across revisions.
 """
 
 from __future__ import annotations
@@ -67,7 +83,7 @@ from .harness import VariantStats, build_network, make_queries, run_queries
 
 __all__ = ["SMOKE_SCHEMA", "bench_serving", "bench_smoke", "write_bench_smoke"]
 
-SMOKE_SCHEMA = "repro-bench-smoke/4"
+SMOKE_SCHEMA = "repro-bench-smoke/5"
 
 #: VariantStats fields that do not depend on wall-clock measurement —
 #: these must match exactly between serial and parallel runs.
@@ -333,6 +349,227 @@ def _bench_serving(
     }
 
 
+def _computations_identical(reference: Any, other: Any) -> bool:
+    """Byte-identity of two scans: result arrays, positions, threshold."""
+    import numpy as np
+
+    return bool(
+        reference.threshold == other.threshold
+        and np.array_equal(reference.positions, other.positions)
+        and np.array_equal(reference.result.points.values, other.result.points.values)
+        and np.array_equal(reference.result.points.ids, other.result.points.ids)
+        and np.array_equal(reference.result.f, other.result.f)
+    )
+
+
+def _single_store_network(points: Any, store: Any) -> tuple[Any, int]:
+    """A one-super-peer network carrying ``store`` verbatim.
+
+    ``preprocess=False`` skips the peer → super-peer pipeline so the
+    kernels scan exactly the generated dataset, not its ext-skyline.
+    """
+    from ..p2p.network import SuperPeerNetwork
+    from ..p2p.topology import Topology
+
+    topology = Topology.generate(n_peers=1, n_superpeers=1, seed=0)
+    network = SuperPeerNetwork.from_partitions(
+        topology, {0: points}, preprocess=False
+    )
+    sp = topology.superpeer_ids[0]
+    network.superpeers[sp].store = store
+    return network, sp
+
+
+def _bench_kernels(
+    *,
+    primary: str,
+    shm_ok: bool,
+    headline_n: int = 20000,
+    headline_d: int = 5,
+    headline_workers: int = 4,
+    # Best-of-3: the speedup gate sits at 2x and single-core hosts
+    # jitter walls by ~15%; two repeats leave the verdict to luck.
+    repeats: int = 3,
+    crossover_n: int = 1200,
+    crossover_dims: Sequence[int] = (3, 5, 7),
+    crossover_distributions: Sequence[str] = (
+        "uniform", "correlated", "anticorrelated",
+    ),
+) -> dict[str, Any]:
+    """Scan-kernel matrix: substrates × partitioners, identity-gated.
+
+    The headline is deliberately a *fixed* dataset (anti-correlated,
+    ``headline_d`` dimensions, ``headline_n`` points, full-space query)
+    rather than a scaled one: the ≥ 2× partitioning claim is about this
+    regime, and a scale-shrunk store would measure pool overhead
+    instead.  In-process wall-clocks are best-of-``repeats``; the pooled
+    wall is the *cold* first run (repeats replay the shared block cache,
+    so their wall measures replay latency, reported separately as
+    ``pool_warm_wall_seconds``).  ``speedup_ok`` takes the best of
+    in-process and pooled for grid and angular, so a single-core host
+    passes on the comparison savings alone.
+    """
+    import numpy as np
+
+    from ..core.dataset import PointSet
+    from ..core.local_skyline import local_subspace_skyline
+    from ..core.store import SortedByF
+    from ..data.generators import make_generator
+    from ..parallel.partition import (
+        partition_positions,
+        partition_skew,
+        partitioned_subspace_skyline,
+    )
+    from ..core.substrates import SCAN_SUBSTRATES, subspace_skyline
+
+    rng = np.random.default_rng(20070415)
+    points = PointSet(
+        make_generator("anticorrelated")(headline_n, headline_d, rng)
+    )
+    store = SortedByF.from_points(points)
+    subspace = tuple(range(headline_d))
+
+    serial_wall = float("inf")
+    serial = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        serial = local_subspace_skyline(store, subspace)
+        serial_wall = min(serial_wall, time.perf_counter() - started)
+
+    network, sp = _single_store_network(points, store)
+    proj, _dists = store.projection(subspace)
+    partitioners: dict[str, dict[str, Any]] = {}
+    identical = True
+    with ParallelEngine(headline_workers, use_shm=shm_ok, mp_start=primary) as engine:
+        for partitioner in ("range", "grid", "angular"):
+            inproc_wall = float("inf")
+            scan = None
+            for _ in range(repeats):
+                started = time.perf_counter()
+                scan = partitioned_subspace_skyline(
+                    store, subspace,
+                    partitioner=partitioner, parts=headline_workers,
+                )
+                inproc_wall = min(inproc_wall, time.perf_counter() - started)
+            # First pooled run scans cold; repeats replay the pscan
+            # block cache, so their wall measures replay latency, not
+            # the scan.  The speedup claim uses the honest cold wall —
+            # the warm wall rides along informationally.
+            started = time.perf_counter()
+            pooled = engine.run_partitioned_scan(
+                network, sp, subspace,
+                partitioner=partitioner, parts=headline_workers,
+            )
+            pool_wall = time.perf_counter() - started
+            pool_warm_wall = float("inf")
+            for _ in range(repeats):
+                started = time.perf_counter()
+                pooled = engine.run_partitioned_scan(
+                    network, sp, subspace,
+                    partitioner=partitioner, parts=headline_workers,
+                )
+                pool_warm_wall = min(pool_warm_wall, time.perf_counter() - started)
+            kernel_identical = _computations_identical(
+                serial, scan
+            ) and _computations_identical(serial, pooled)
+            identical = identical and kernel_identical
+            slices = partition_positions(partitioner, proj, headline_workers)
+            partitioners[partitioner] = {
+                "inprocess_wall_seconds": inproc_wall,
+                "inprocess_speedup": serial_wall / inproc_wall if inproc_wall else None,
+                "pool_wall_seconds": pool_wall,
+                "pool_speedup": serial_wall / pool_wall if pool_wall else None,
+                "pool_warm_wall_seconds": pool_warm_wall,
+                "comparisons": scan.comparisons,
+                "comparison_ratio": (
+                    serial.comparisons / scan.comparisons if scan.comparisons else None
+                ),
+                "skew": partition_skew(slices),
+                "identical": kernel_identical,
+            }
+        engine_stats = engine.stats.as_dict()
+
+    best_partitioner, best_speedup = max(
+        (
+            (name, max(entry["inprocess_speedup"], entry["pool_speedup"]))
+            for name, entry in partitioners.items()
+            if name in ("grid", "angular")
+        ),
+        key=lambda item: item[1],
+    )
+    headline = {
+        "dataset": {
+            "distribution": "anticorrelated",
+            "n": headline_n,
+            "d": headline_d,
+            "subspace": list(subspace),
+        },
+        "workers": headline_workers,
+        "repeats": repeats,
+        "serial_wall_seconds": serial_wall,
+        "serial_comparisons": serial.comparisons,
+        "serial_result_size": len(serial.result),
+        "partitioners": partitioners,
+        "best_partitioner": best_partitioner,
+        "best_speedup": best_speedup,
+        "intra_query_scans": engine_stats["intra_query_scans"],
+        "intra_query_subtasks": engine_stats["intra_query_subtasks"],
+        "identical": identical,
+    }
+
+    crossover: list[dict[str, Any]] = []
+    crossover_identical = True
+    for dist_index, distribution in enumerate(crossover_distributions):
+        for d in crossover_dims:
+            # str hashes are per-process randomized; derive the seed
+            # from stable integers so the datasets diff across runs.
+            cell_rng = np.random.default_rng(20070415 + 1000 * dist_index + d)
+            cell_points = PointSet(
+                make_generator(distribution)(crossover_n, d, cell_rng)
+            )
+            cell_store = SortedByF.from_points(cell_points)
+            cell_subspace = tuple(range(d))
+            reference = local_subspace_skyline(cell_store, cell_subspace)
+            cells: dict[str, float] = {}
+            cell_identical = True
+            for substrate in SCAN_SUBSTRATES:
+                for partitioner in ("none", "range", "grid", "angular"):
+                    if partitioner == "none":
+                        scan = subspace_skyline(
+                            cell_store, cell_subspace, substrate=substrate
+                        )
+                    else:
+                        scan = partitioned_subspace_skyline(
+                            cell_store, cell_subspace,
+                            partitioner=partitioner, parts=4,
+                            substrate=substrate,
+                        )
+                    cell_identical = cell_identical and _computations_identical(
+                        reference, scan
+                    )
+                    cells[f"{substrate}/{partitioner}"] = (
+                        scan.comparisons / crossover_n
+                    )
+            crossover_identical = crossover_identical and cell_identical
+            crossover.append(
+                {
+                    "distribution": distribution,
+                    "d": d,
+                    "n": crossover_n,
+                    "result_size": len(reference.result),
+                    "comparisons_per_point": cells,
+                    "identical": cell_identical,
+                }
+            )
+
+    return {
+        "headline": headline,
+        "crossover": crossover,
+        "identical": identical and crossover_identical,
+        "speedup_ok": best_speedup >= 2.0,
+    }
+
+
 def _other_start_method(primary: str) -> str | None:
     """The fork/spawn counterpart of ``primary``, when available."""
     import multiprocessing
@@ -435,6 +672,8 @@ def bench_smoke(
     )
     serving["dimensionality"] = merge_dim
 
+    kernels = _bench_kernels(primary=primary, shm_ok=shm_ok)
+
     parallel_wall = walls[primary_label]
     return {
         "schema": SMOKE_SCHEMA,
@@ -465,6 +704,7 @@ def bench_smoke(
         "cache": cache,
         "pipelined_merge": pipelined_merge,
         "serving": serving,
+        "kernels": kernels,
         "engines": engines,
         "equality": equality,
         "parallel_matches_serial": all(eq["matches"] for eq in equality.values()),

@@ -53,6 +53,19 @@ def _build_parser() -> argparse.ArgumentParser:
         "default) or 'process' (one OS process per super-peer); "
         "also REPRO_TRANSPORT_MODE"
     )
+    substrate_help = (
+        "Algorithm-1 scan substrate: 'sorted' (the paper's f-ascending "
+        "list scan, default) or 'bbs' (branch-and-bound over the R-tree); "
+        "also REPRO_SCAN_SUBSTRATE"
+    )
+    partition_help = (
+        "intra-query scan partitioner: 'none' (default), 'range', 'grid' "
+        "or 'angular'; also REPRO_PARTITION"
+    )
+    partition_parts_help = (
+        "slices per partitioned scan (default: worker count, or 4; "
+        "also REPRO_PARTITION_PARTS)"
+    )
 
     fig = sub.add_parser("figure", help="run one paper experiment")
     fig.add_argument("experiment", choices=sorted(bench.EXPERIMENTS))
@@ -84,6 +97,12 @@ def _build_parser() -> argparse.ArgumentParser:
                     help="requests offered by --serve (default 96)")
     be.add_argument("--rate", type=float, default=400.0,
                     help="open-loop arrival rate in req/s for --serve")
+    be.add_argument("--substrate", choices=("sorted", "bbs"), default=None,
+                    help=substrate_help)
+    be.add_argument("--partition", choices=("none", "range", "grid", "angular"),
+                    default=None, help=partition_help)
+    be.add_argument("--partition-parts", type=int, default=None,
+                    help=partition_parts_help)
     be.add_argument("--json", dest="json_path", default=None, metavar="PATH",
                     help="write the report to PATH (default: stdout only)")
 
@@ -128,6 +147,12 @@ def _build_parser() -> argparse.ArgumentParser:
     q.add_argument("--merge", choices=("pipelined", "buffered"), default=None,
                    help="initiator merge strategy for the socket transport "
                         "(default: REPRO_STREAM_MERGE, else pipelined)")
+    q.add_argument("--substrate", choices=("sorted", "bbs"), default=None,
+                   help=substrate_help)
+    q.add_argument("--partition", choices=("none", "range", "grid", "angular"),
+                   default=None, help=partition_help)
+    q.add_argument("--partition-parts", type=int, default=None,
+                   help=partition_parts_help)
     q.add_argument("--explain", action="store_true",
                    help="print a per-super-peer execution breakdown "
                         "(sim transport only)")
@@ -204,6 +229,37 @@ def main(argv: Sequence[str] | None = None) -> int:
 
 
 @contextmanager
+def _scan_kernel_env(args: argparse.Namespace):
+    """Scope ``--substrate``/``--partition``/``--partition-parts`` as env vars."""
+    import os
+
+    from .core.substrates import SUBSTRATE_ENV
+    from .parallel import PARTITION_ENV, PARTITION_PARTS_ENV
+
+    overrides = {
+        SUBSTRATE_ENV: getattr(args, "substrate", None),
+        PARTITION_ENV: getattr(args, "partition", None),
+        PARTITION_PARTS_ENV: (
+            str(args.partition_parts)
+            if getattr(args, "partition_parts", None) is not None
+            else None
+        ),
+    }
+    saved = {key: os.environ.get(key) for key, value in overrides.items() if value}
+    for key, value in overrides.items():
+        if value:
+            os.environ[key] = value
+    try:
+        yield
+    finally:
+        for key, previous in saved.items():
+            if previous is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = previous
+
+
+@contextmanager
 def _ambient_workers(workers: int | None):
     """Scope the CLI ``--workers`` value as the ambient pool size.
 
@@ -235,16 +291,21 @@ def _run_bench(args: argparse.Namespace) -> int:
     if not args.smoke and not args.serve:
         print("nothing to do: pass --smoke and/or --serve", file=sys.stderr)
         return 2
-    if args.serve and not args.smoke:
-        report = bench_serving(
-            scale=args.scale,
-            workers=args.workers,
-            concurrency=args.concurrency,
-            requests=args.requests,
-            rate=args.rate,
-        )
-    else:
-        report = bench_smoke(scale=args.scale, workers=args.workers)
+    # Scan-kernel knobs travel as env vars: the bench mixes serial
+    # reference runs, in-process scans and engine workers, and the env
+    # is the one channel all of them resolve (the engine resolves it in
+    # the parent and ships the resolved values to its workers).
+    with _scan_kernel_env(args):
+        if args.serve and not args.smoke:
+            report = bench_serving(
+                scale=args.scale,
+                workers=args.workers,
+                concurrency=args.concurrency,
+                requests=args.requests,
+                rate=args.rate,
+            )
+        else:
+            report = bench_smoke(scale=args.scale, workers=args.workers)
     print(json.dumps(report, indent=2, sort_keys=True))
     if args.json_path:
         write_bench_smoke(args.json_path, report)
@@ -256,6 +317,10 @@ def _run_bench(args: argparse.Namespace) -> int:
     serving = report.get("serving")
     if serving is not None and not serving["results_match"]:
         print("gateway responses diverged from serial re-execution!", file=sys.stderr)
+        failed = True
+    kernels = report.get("kernels")
+    if kernels is not None and not kernels["identical"]:
+        print("scan kernels diverged from the serial sorted scan!", file=sys.stderr)
         failed = True
     return 1 if failed else 0
 
@@ -378,7 +443,12 @@ def _run_single_query(args: argparse.Namespace) -> int:
     query = Query(subspace=subspace, initiator=network.topology.superpeer_ids[0])
     if transport == "socket":
         return _run_socket_cli_query(args, network, query, variant)
-    execution = execute_query(network, query, variant)
+    execution = execute_query(
+        network, query, variant,
+        scan_substrate=args.substrate,
+        partitioner=args.partition,
+        partition_parts=args.partition_parts,
+    )
     if args.json:
         from .skypeer.inspection import execution_report_json
 

@@ -14,19 +14,109 @@ the bulk forms are what the hot paths use.
 
 from __future__ import annotations
 
+import os
 from typing import Sequence
 
 import numpy as np
 
 __all__ = [
+    "DOMINANCE_KERNEL_ENV",
+    "batch_dominated_any",
     "dominates",
     "ext_dominates",
     "dominators_mask",
     "dominated_mask",
     "any_dominator",
+    "resolve_dominance_kernel",
     "skyline_mask",
     "extended_skyline_mask",
 ]
+
+#: ``REPRO_DOMINANCE_KERNEL`` forces the batch kernel: ``tiled`` (the
+#: contiguous-block fast path), ``broadcast`` (the one-shot 3-D
+#: reduction) or ``auto`` (default: broadcast while the intermediate
+#: fits in cache, tiled beyond).
+DOMINANCE_KERNEL_ENV = "REPRO_DOMINANCE_KERNEL"
+
+_DOMINANCE_KERNELS = ("auto", "broadcast", "tiled")
+
+#: Elements of the broadcast intermediate (dominators x targets x dims)
+#: above which the tiled kernel takes over in ``auto`` mode.  The 3-D
+#: comparison materializes two boolean cubes of this size; past the
+#: last-level cache they are written to and re-read from memory, which
+#: is exactly what slicing the dominator block into contiguous C-order
+#: tiles avoids.  2**18 bytes/cube keeps both inside typical L2.
+_TILE_BUDGET = 1 << 18
+
+
+def resolve_dominance_kernel(kernel: str | None = None) -> str:
+    """The effective batch-dominance kernel: argument, env var or auto."""
+    if kernel is None:
+        kernel = os.environ.get(DOMINANCE_KERNEL_ENV) or "auto"
+    if kernel not in _DOMINANCE_KERNELS:
+        raise ValueError(
+            f"unknown dominance kernel {kernel!r}; expected one of {_DOMINANCE_KERNELS}"
+        )
+    return kernel
+
+
+def batch_dominated_any(
+    dominators: np.ndarray,
+    targets: np.ndarray,
+    strict: bool = False,
+    kernel: str | None = None,
+) -> np.ndarray:
+    """Per-``targets``-row mask: is the row (ext-)dominated by any
+    ``dominators`` row?
+
+    Both inputs are pre-projected ``(m, k)`` / ``(c, k)`` arrays.  This
+    is the hot kernel of every chunked scan (candidate block vs batch)
+    and of ``bulk_insert`` eviction (incoming rows vs block, arguments
+    swapped).  Two implementations with pinned-equal results:
+
+    * ``broadcast`` — the single 3-D numpy reduction; optimal while the
+      ``m*c*k`` boolean intermediates stay cache-resident.
+    * ``tiled`` — the dominator block is walked in contiguous C-order
+      tiles sized to ``_TILE_BUDGET`` so every intermediate stays in
+      cache, with an early exit once every target is dominated.
+
+    ``auto`` (the default) picks per call by intermediate size.  The
+    choice never affects results or ``comparisons`` accounting — the
+    callers charge full ``m*c`` products either way.
+    """
+    dominators = _as_f64(dominators)
+    targets = _as_f64(targets)
+    m, c = dominators.shape[0], targets.shape[0]
+    if m == 0 or c == 0:
+        return np.zeros(c, dtype=bool)
+    kernel = resolve_dominance_kernel(kernel)
+    if kernel == "auto":
+        kernel = (
+            "tiled" if m * c * dominators.shape[1] > _TILE_BUDGET else "broadcast"
+        )
+    if kernel == "broadcast":
+        return _dominated_any_block(dominators, targets, strict)
+    tile = max(1, _TILE_BUDGET // max(1, c * dominators.shape[1]))
+    out = np.zeros(c, dtype=bool)
+    for start in range(0, m, tile):
+        block = dominators[start : start + tile]
+        out |= _dominated_any_block(block, targets, strict)
+        if out.all():
+            break
+    return out
+
+
+def _dominated_any_block(
+    dominators: np.ndarray, targets: np.ndarray, strict: bool
+) -> np.ndarray:
+    """One broadcast dominance reduction (the shared kernel body)."""
+    if strict:
+        return np.any(
+            np.all(dominators[None, :, :] < targets[:, None, :], axis=2), axis=1
+        )
+    less_eq = np.all(dominators[None, :, :] <= targets[:, None, :], axis=2)
+    less = np.any(dominators[None, :, :] < targets[:, None, :], axis=2)
+    return np.any(less_eq & less, axis=1)
 
 
 def _as_f64(a: np.ndarray) -> np.ndarray:

@@ -27,7 +27,7 @@ from typing import Callable, Protocol
 import numpy as np
 
 from ..index.rtree import RTree
-from .dominance import any_dominator, dominated_mask
+from .dominance import any_dominator, batch_dominated_any, dominated_mask
 
 __all__ = [
     "DominanceIndex",
@@ -187,12 +187,7 @@ class BlockDominanceIndex:
         if self._count and can_evict:
             block = self._block[: self._count]
             self.comparisons += self._count * incoming
-            if self._strict:
-                doomed = np.any(np.all(rows[:, None, :] < block[None, :, :], axis=2), axis=0)
-            else:
-                less_eq = np.all(rows[:, None, :] <= block[None, :, :], axis=2)
-                less = np.any(rows[:, None, :] < block[None, :, :], axis=2)
-                doomed = np.any(less_eq & less, axis=0)
+            doomed = batch_dominated_any(rows, block, strict=self._strict)
             if np.any(doomed):
                 keep = ~doomed
                 kept = int(np.count_nonzero(keep))

@@ -24,6 +24,7 @@ from typing import Sequence
 import numpy as np
 
 from .dataset import PointSet
+from .dominance import batch_dominated_any
 from .indexes import make_index
 from .store import SortedByF
 
@@ -269,14 +270,7 @@ def _chunked_scan(
         block = index.block_view()
         if block.shape[0]:
             index.comparisons += block.shape[0] * chunk_rows.shape[0]
-            if strict:
-                dominated = np.any(
-                    np.all(block[None, :, :] < chunk_rows[:, None, :], axis=2), axis=1
-                )
-            else:
-                less_eq = np.all(block[None, :, :] <= chunk_rows[:, None, :], axis=2)
-                less = np.any(block[None, :, :] < chunk_rows[:, None, :], axis=2)
-                dominated = np.any(less_eq & less, axis=1)
+            dominated = batch_dominated_any(block, chunk_rows, strict=strict)
             candidates = np.nonzero(~dominated)[0]
         else:
             candidates = np.arange(chunk_rows.shape[0])

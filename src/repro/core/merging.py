@@ -223,6 +223,7 @@ class IncrementalMerger:
         self._index = BlockDominanceIndex(len(self._cols), strict=strict)
         self.threshold = float(initial_threshold)
         self._runs: list[SortedByF] = []
+        self._run_labels: list[int] = []  # internal run index -> feed number
         self._origins: list[tuple[int, int]] = []  # global position -> (run, row)
         self._base = 0
         self.examined = 0
@@ -256,6 +257,7 @@ class IncrementalMerger:
             return 0
         run_index = len(self._runs)
         self._runs.append(run)
+        self._run_labels.append(self.runs_fed - 1)
         proj = run.points.values[:, self._cols]
         dists = dist_values(run.points.values, self._cols)
         # Never claim the SFS fast path: fed runs are typically
@@ -271,6 +273,20 @@ class IncrementalMerger:
         self._base += n
         self.compute_seconds += time.perf_counter() - started
         return examined
+
+    def survivor_origins(self) -> list[tuple[int, int]]:
+        """``(feed number, row within that run)`` for every survivor.
+
+        The feed number counts :meth:`feed` calls from zero *including*
+        whole-run-pruned feeds (which contribute no survivors), so a
+        caller that fed one run per shard can map survivors straight
+        back to its shards.  The partitioned scan uses this to recover
+        global store positions without re-matching point ids.
+        """
+        return [
+            (self._run_labels[ri], row)
+            for ri, row in (self._origins[s] for s in self._index.positions())
+        ]
 
     def result(self) -> SkylineComputation:
         """Finalize: the merged skyline, f-sorted, with its work stats."""

@@ -17,12 +17,15 @@ arrays it was sliced from.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
 from .dataset import PointSet
 from .mapping import f_values
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..index.rtree import RTree
 
 __all__ = ["SortedByF"]
 
@@ -30,7 +33,7 @@ __all__ = ["SortedByF"]
 class SortedByF:
     """A point set sorted ascending by ``f(p)`` with cached keys."""
 
-    __slots__ = ("points", "f", "_projections")
+    __slots__ = ("points", "f", "_projections", "_rtrees")
 
     #: Most distinct subspaces cached per store.  Workloads concentrate
     #: on a handful of subspaces (the query-cache motivation); the cap
@@ -46,6 +49,7 @@ class SortedByF:
         self.f = np.asarray(f, dtype=np.float64)
         self.f.setflags(write=False)
         self._projections: dict[tuple[int, ...], tuple[np.ndarray, np.ndarray]] | None = None
+        self._rtrees: dict[tuple[tuple[int, ...], int], "RTree"] | None = None
 
     @classmethod
     def from_points(cls, points: PointSet) -> "SortedByF":
@@ -72,6 +76,7 @@ class SortedByF:
         self.f = f
         self.f.setflags(write=False)
         self._projections = None
+        self._rtrees = None
         return self
 
     def __len__(self) -> int:
@@ -107,6 +112,33 @@ class SortedByF:
             if len(cache) >= self.MAX_CACHED_SUBSPACES:
                 cache.pop(next(iter(cache)))
             hit = cache[key] = (proj, dists)
+        return hit
+
+    def rtree(self, subspace: Sequence[int], max_entries: int = 16) -> "RTree":
+        """A bulk-loaded R-tree over the subspace projection, cached.
+
+        Leaf ids are the store positions (f-ascending ranks), and the
+        tree carries the ``min_id`` subtree annotations, so a best-first
+        scan can bound ``f`` over a subtree by looking at its smallest
+        position — the substrate the BBS scan
+        (:mod:`repro.core.substrates`) expands.  Cached per
+        ``(subspace, max_entries)`` under the same LRU-ish cap as
+        projections; the store is immutable, so entries never go stale.
+        """
+        from ..index.rtree import RTree
+
+        key = (tuple(subspace), int(max_entries))
+        cache = self._rtrees
+        if cache is None:
+            cache = self._rtrees = {}
+        hit = cache.get(key)
+        if hit is None:
+            proj, _dists = self.projection(key[0])
+            tree = RTree.bulk_load(proj, max_entries=max_entries)
+            tree.annotate_min_ids()
+            if len(cache) >= self.MAX_CACHED_SUBSPACES:
+                cache.pop(next(iter(cache)))
+            hit = cache[key] = tree
         return hit
 
     def has_projection(self, subspace: Sequence[int]) -> bool:
@@ -152,6 +184,7 @@ class SortedByF:
         self.points, self.f = state
         self.f.setflags(write=False)
         self._projections = None
+        self._rtrees = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"SortedByF(n={len(self)}, d={self.dimensionality})"

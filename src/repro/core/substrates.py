@@ -1,0 +1,231 @@
+"""Scan substrates for Algorithm 1.
+
+The threshold scan has two interchangeable physical executions:
+
+* ``"sorted"`` — the paper's f-ascending list scan
+  (:func:`repro.core.local_skyline.local_subspace_skyline`);
+* ``"bbs"`` — branch-and-bound over a bulk-loaded R-tree [Papadias et
+  al., TODS 2005], expanding entries best-first by ``dist_U`` (the
+  ``max`` of an entry's lower corner, a lower bound on ``dist_U`` of
+  every point beneath it) with MBR dominance pruning.
+
+Both return the *same* skyline byte-for-byte: the threshold-scan result
+equals the skyline of ``store ∩ {f <= t}`` (a point with ``f`` above
+the refined threshold is ext-dominated by the point that refined it),
+and the skyline of a set is unique.  The BBS variant reports the
+surviving store positions sorted ascending — exactly the order the
+sorted scan produces — and the same refined threshold (the minimum
+``dist_U`` over the result, which equals the minimum over all points
+the sorted scan ever inserts, because an evictor never has a larger
+``dist_U`` than its victim).
+
+What *does* differ per substrate is the honest work accounting:
+``examined`` counts points whose dominance test actually ran and
+``comparisons`` follows the same charging rules as the sorted scan
+(block × batch products, quadratic tie groups, one comparison per MBR
+corner tested), so the bench can compare pruning power per
+dimensionality and distribution.
+
+Threshold pruning under BBS cannot use the projected MBR corners —
+``f`` is the *full-space* minimum, unrelated to a subspace projection —
+so it uses the store's f-sortedness instead: ``{f <= t}`` is the
+position prefix ``[0, hi)``, and the tree's ``min_id`` subtree
+annotations (smallest store position below an entry) bound ``f`` over
+whole subtrees.  See :meth:`repro.index.rtree.RTree.annotate_min_ids`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import os
+import time
+from typing import Sequence
+
+import numpy as np
+
+from .dominance import batch_dominated_any
+from .indexes import BlockDominanceIndex
+from .local_skyline import SkylineComputation, local_subspace_skyline
+from .store import SortedByF
+
+__all__ = [
+    "SCAN_SUBSTRATES",
+    "SUBSTRATE_ENV",
+    "bbs_subspace_skyline",
+    "resolve_scan_substrate",
+    "subspace_skyline",
+]
+
+#: ``REPRO_SCAN_SUBSTRATE`` selects the scan execution globally
+#: (``sorted`` or ``bbs``); explicit arguments win over the env var.
+SUBSTRATE_ENV = "REPRO_SCAN_SUBSTRATE"
+
+SCAN_SUBSTRATES = ("sorted", "bbs")
+
+
+def resolve_scan_substrate(substrate: str | None = None) -> str:
+    """The effective scan substrate: argument, env var or ``sorted``."""
+    if substrate is None:
+        substrate = os.environ.get(SUBSTRATE_ENV) or "sorted"
+    if substrate not in SCAN_SUBSTRATES:
+        raise ValueError(
+            f"unknown scan substrate {substrate!r}; expected one of {SCAN_SUBSTRATES}"
+        )
+    return substrate
+
+
+def subspace_skyline(
+    store: SortedByF,
+    subspace: Sequence[int],
+    initial_threshold: float = math.inf,
+    strict: bool = False,
+    substrate: str | None = None,
+    index_kind: str = "block",
+    scan_chunk: int | None = None,
+) -> SkylineComputation:
+    """Run Algorithm 1 on the selected substrate (dispatch helper)."""
+    if resolve_scan_substrate(substrate) == "bbs":
+        return bbs_subspace_skyline(
+            store, subspace, initial_threshold=initial_threshold, strict=strict
+        )
+    return local_subspace_skyline(
+        store,
+        subspace,
+        initial_threshold=initial_threshold,
+        strict=strict,
+        index_kind=index_kind,
+        scan_chunk=scan_chunk,
+    )
+
+
+def bbs_subspace_skyline(
+    store: SortedByF,
+    subspace: Sequence[int],
+    initial_threshold: float = math.inf,
+    strict: bool = False,
+    max_entries: int = 16,
+    positions: np.ndarray | None = None,
+) -> SkylineComputation:
+    """Algorithm 1 as BBS over the store's R-tree.
+
+    ``positions`` restricts the scan to a subset of store positions (a
+    partition slice; see :mod:`repro.parallel.partition`) — the slice
+    gets its own bulk-loaded tree whose leaf ids stay *global* store
+    positions, so prefix pruning and the returned positions are
+    unchanged.  ``positions=None`` scans the whole store through the
+    tree cached on it (:meth:`repro.core.store.SortedByF.rtree`).
+    """
+    started = time.perf_counter()
+    cols = tuple(subspace)
+    proj, dists = store.projection(cols)
+    f = store.f
+    if positions is None:
+        input_size = len(store)
+        tree = store.rtree(cols, max_entries=max_entries)
+    else:
+        positions = np.asarray(positions, dtype=np.int64)
+        input_size = int(positions.shape[0])
+        from ..index.rtree import RTree
+
+        tree = RTree.bulk_load(proj[positions], ids=positions, max_entries=max_entries)
+        tree.annotate_min_ids()
+    index = BlockDominanceIndex(len(cols), strict=strict)
+    threshold = float(initial_threshold)
+    examined = 0
+
+    if input_size:
+        # First position whose f exceeds the threshold; f == t ties are
+        # examined, never pruned (Observation 5 licenses only strict
+        # excess), which side="right" honors exactly.
+        hi = (
+            len(f)
+            if math.isinf(threshold)
+            else int(np.searchsorted(f, threshold, side="right"))
+        )
+
+        heap: list[tuple[float, int, object]] = []
+        seq = 0
+
+        def push_node(node) -> None:
+            nonlocal seq
+            for entry in node.entries:
+                heapq.heappush(heap, (float(entry.lo.max()), seq, entry))
+                seq += 1
+
+        # Points sharing an exact dist_U key can dominate each other
+        # (max is monotone under dominance but may tie), so they are
+        # buffered per key and resolved pairwise before insertion —
+        # candidates already indexed always carry strictly smaller keys
+        # and can therefore never be evicted (``can_evict=False``).
+        pending_pos: list[int] = []
+        pending_rows: list[np.ndarray] = []
+        pending_key = -math.inf
+
+        def flush() -> None:
+            nonlocal threshold, hi
+            rows = np.vstack(pending_rows)
+            kept = np.asarray(pending_pos, dtype=np.int64)
+            block = index.block_view()
+            if block.shape[0]:
+                index.comparisons += block.shape[0] * rows.shape[0]
+                alive = ~batch_dominated_any(block, rows, strict=strict)
+                kept, rows = kept[alive], rows[alive]
+            if rows.shape[0] > 1:
+                index.comparisons += rows.shape[0] * rows.shape[0]
+                if strict:
+                    dom = np.all(rows[None, :, :] < rows[:, None, :], axis=2)
+                else:
+                    le = np.all(rows[None, :, :] <= rows[:, None, :], axis=2)
+                    dom = le & ~le.T
+                winners = ~np.any(dom, axis=1)
+                kept, rows = kept[winners], rows[winners]
+            if rows.shape[0]:
+                index.bulk_insert(kept, rows, can_evict=False)
+                if pending_key < threshold:
+                    threshold = pending_key
+                    hi = int(np.searchsorted(f, threshold, side="right"))
+            pending_pos.clear()
+            pending_rows.clear()
+
+        push_node(tree.root())
+        while heap:
+            key, _seq, entry = heapq.heappop(heap)
+            if pending_pos and key > pending_key:
+                flush()
+            if entry.point_id is not None:  # type: ignore[attr-defined]
+                pos = int(entry.point_id)  # type: ignore[attr-defined]
+                if pos >= hi:
+                    continue  # f > t: ext-dominated by the refining point
+                examined += 1
+                pending_pos.append(pos)
+                pending_rows.append(entry.lo)  # type: ignore[attr-defined]
+                pending_key = key
+            else:
+                min_id = entry.min_id  # type: ignore[attr-defined]
+                if min_id is not None and min_id >= hi:
+                    continue  # every point beneath has f > t
+                # A candidate dominating the lower corner dominates the
+                # whole subtree strictly (corner <= point everywhere,
+                # strict where it beats the corner); charged one
+                # comparison per candidate like any dominance probe.
+                if len(index) and index.is_dominated(entry.lo):  # type: ignore[attr-defined]
+                    continue
+                push_node(entry.child)  # type: ignore[attr-defined]
+        if pending_pos:
+            flush()
+
+    kept_positions = np.sort(np.asarray(index.positions(), dtype=np.int64))
+    result = SortedByF(
+        store.points.take(kept_positions),
+        f[kept_positions] if len(kept_positions) else np.zeros(0),
+    )
+    return SkylineComputation(
+        result=result,
+        threshold=threshold,
+        examined=examined,
+        comparisons=index.comparisons,
+        duration=time.perf_counter() - started,
+        input_size=input_size,
+        positions=kept_positions,
+    )

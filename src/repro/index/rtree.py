@@ -29,9 +29,18 @@ __all__ = ["RTree"]
 
 
 class _Entry:
-    """A node entry: an MBR plus either a child node or a point payload."""
+    """A node entry: an MBR plus either a child node or a point payload.
 
-    __slots__ = ("lo", "hi", "child", "point_id")
+    ``min_id`` is an optional subtree annotation (smallest ``point_id``
+    beneath the entry) filled in by :meth:`RTree.annotate_min_ids` after
+    a bulk load.  When the ids are store positions of an f-sorted store,
+    ``min_id`` is a lower bound on ``f`` over the subtree, which lets a
+    best-first scan skip whole subtrees past a threshold prefix.  It is
+    ``None`` on dynamically inserted entries (dynamic updates do not
+    maintain it) and consumers must treat ``None`` as "no bound".
+    """
+
+    __slots__ = ("lo", "hi", "child", "point_id", "min_id")
 
     def __init__(
         self,
@@ -44,6 +53,7 @@ class _Entry:
         self.hi = hi
         self.child = child
         self.point_id = point_id
+        self.min_id: int | None = None
 
 
 class _Node:
@@ -173,6 +183,31 @@ class RTree:
                 groups.extend(self._str_slices(chunk, axis + 1))
             return groups
         return [entries[start : start + capacity] for start in range(0, n, capacity)]
+
+    def root(self) -> _Node:
+        """The root node, for best-first traversals (e.g. BBS scans)."""
+        return self._root
+
+    def annotate_min_ids(self) -> None:
+        """Fill every entry's ``min_id`` with the smallest id beneath it.
+
+        One bottom-up pass, intended right after :meth:`bulk_load` while
+        the tree is static.  Dynamic ``insert``/``delete`` calls do not
+        maintain the annotation; consumers see ``min_id is None`` on any
+        entry touched afterwards and must fall back to "no bound".
+        """
+        self._annotate_node(self._root)
+
+    def _annotate_node(self, node: _Node) -> int | None:
+        best: int | None = None
+        for entry in node.entries:
+            if node.leaf:
+                entry.min_id = entry.point_id
+            else:
+                entry.min_id = self._annotate_node(entry.child)
+            if entry.min_id is not None and (best is None or entry.min_id < best):
+                best = entry.min_id
+        return best
 
     # ------------------------------------------------------------------
     # basic properties
@@ -315,6 +350,10 @@ class RTree:
         for entry in parent.entries:
             if entry.child is child:
                 entry.lo, entry.hi = child.mbr()
+                # The subtree changed; its min-id bound may no longer
+                # hold (an inserted point can carry a smaller id), so
+                # drop it rather than risk an unsound prune.
+                entry.min_id = None
                 return
         raise RuntimeError("child entry missing from parent")  # pragma: no cover
 

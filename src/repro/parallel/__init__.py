@@ -7,13 +7,20 @@ independent per-super-peer computations — fan out over a persistent
 network travels to workers over the shared-memory data plane
 (:mod:`repro.parallel.shm`): published once into a
 ``multiprocessing.shared_memory`` segment and attached zero-copy by
-every worker, with a graceful fallback to an ``.npz`` snapshot where
-``/dev/shm`` is unavailable (or ``REPRO_SHM=0``).  Tasks are submitted
+every worker, with a graceful fallback to a byte-faithful pickle
+snapshot where ``/dev/shm`` is unavailable (or ``REPRO_SHM=0``).  Tasks are submitted
 in subspace-affine batches so per-subspace projection caches hit across
 queries, and all aggregation happens in the parent in deterministic
 task order, so parallel runs produce results, work counts and metric
 totals identical to serial ones (wall-clock fields aside).  See
 ``docs/PERFORMANCE.md``.
+
+A third workload splits *one* heavy Algorithm-1 scan into disjoint
+slices of a single store (:mod:`repro.parallel.partition`): the
+partitioner (``range``/``grid``/``angular``) decides the split, each
+slice is scanned independently — in-process or fanned over the same
+pool via :meth:`ParallelEngine.run_partitioned_scan` — and the
+per-slice skylines merge back byte-identically to the serial scan.
 """
 
 from .engine import (
@@ -28,6 +35,18 @@ from .engine import (
     shutdown_engines,
     start_method,
 )
+from .partition import (
+    PARTITION_ENV,
+    PARTITION_PARTS_ENV,
+    PARTITIONERS,
+    merge_partition_scans,
+    partition_positions,
+    partition_skew,
+    partitioned_subspace_skyline,
+    resolve_partition_parts,
+    resolve_partitioner,
+    scan_partition,
+)
 from .shm import (
     SHM_ENV,
     AttachedNetwork,
@@ -41,16 +60,26 @@ from .shm import (
 __all__ = [
     "AttachedNetwork",
     "EngineStats",
+    "PARTITIONERS",
+    "PARTITION_ENV",
+    "PARTITION_PARTS_ENV",
     "ParallelEngine",
     "SHM_ENV",
     "SharedNetwork",
     "attach_network",
     "default_workers",
     "get_engine",
+    "merge_partition_scans",
+    "partition_positions",
+    "partition_skew",
+    "partitioned_subspace_skyline",
     "preprocess_network_parallel",
     "publish_network",
+    "resolve_partition_parts",
+    "resolve_partitioner",
     "resolve_workers",
     "run_queries_parallel",
+    "scan_partition",
     "set_default_workers",
     "shm_enabled",
     "shm_supported",

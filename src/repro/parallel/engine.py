@@ -9,8 +9,11 @@ regimes the paper evaluates.  :class:`ParallelEngine` is created once
 and reused: workers stay warm across calls and whole bench sweeps, and
 each network is *published* once — preferably into a shared-memory
 segment (:mod:`repro.parallel.shm`) that workers attach zero-copy,
-falling back to the ``.npz`` snapshot where ``/dev/shm`` is
-unavailable or ``REPRO_SHM=0``.
+falling back to a pickle snapshot where ``/dev/shm`` is unavailable or
+``REPRO_SHM=0``.  Both publication modes are byte-faithful: the worker
+sees the parent's stores verbatim (the snapshot pickles the network
+object rather than re-running pre-processing from the raw partitions),
+so intra-query partition slices computed on either side agree.
 
 *Batching and subspace affinity.*  Tasks are submitted as chunks, not
 one IPC round-trip per (query, variant) pair.  Chunks are formed by
@@ -211,13 +214,10 @@ def _materialize(spec: dict[str, Any]) -> tuple[Any, Any, dict[str, Any] | None]
             cache = LocalBlockCache()
         entry = (attached.network, attached, cache)
     else:
-        from ..io import load_network
+        import pickle
 
-        entry = (
-            load_network(spec["path"], preprocess=spec["preprocess"]),
-            None,
-            LocalBlockCache(),
-        )
+        with open(spec["path"], "rb") as handle:
+            entry = (pickle.load(handle), None, LocalBlockCache())
     seconds = time.perf_counter() - started
     while len(_WORKER_NETWORKS) >= _WORKER_CACHE_CAP:
         _, (network, attached, _cache) = _WORKER_NETWORKS.popitem(last=False)
@@ -228,28 +228,56 @@ def _materialize(spec: dict[str, Any]) -> tuple[Any, Any, dict[str, Any] | None]
     return entry[0], entry[2], {"mode": spec["kind"], "seconds": seconds}
 
 
-def _cached_local_compute(network: Any, cache: Any, scan_chunk: int):
+def _cached_local_compute(
+    network: Any,
+    cache: Any,
+    scan_chunk: int,
+    substrate: str = "sorted",
+    partitioner: str = "none",
+    parts: int = 0,
+):
     """Algorithm 1 with a block-cache probe in front of every scan.
 
     Hits *replay* the cached scan — result rebuilt from store positions
     (byte-identical, the store arrays are shared), work counters
     restored verbatim — so serial-vs-parallel determinism holds even
     when the scan never runs.  The key carries everything the counters
-    depend on (store, subspace, threshold bits, index kind, chunk);
-    FT-variant siblings share thresholds, so their scans hit across
-    variants.  Payload views are copied before validation and a failed
-    validation falls through to the real scan.
+    depend on (store, subspace, threshold bits, index kind, chunk, scan
+    substrate, partitioner and slice count — ``examined``/``comparisons``
+    differ per substrate even though the result set does not); FT-variant
+    siblings share thresholds, so their scans hit across variants.
+    Payload views are copied before validation and a failed validation
+    falls through to the real scan.
     """
     import numpy as np
 
     from ..core.local_skyline import SkylineComputation, local_subspace_skyline
+    from ..core.substrates import bbs_subspace_skyline
+    from .partition import partitioned_subspace_skyline
 
     index_kind = network.index_kind
+
+    def run_scan(store: Any, cols: tuple, threshold: float) -> "SkylineComputation":
+        if partitioner != "none":
+            return partitioned_subspace_skyline(
+                store, cols, initial_threshold=threshold,
+                partitioner=partitioner, parts=parts,
+                substrate=substrate, scan_chunk=scan_chunk,
+            )
+        if substrate == "bbs":
+            return bbs_subspace_skyline(store, cols, initial_threshold=threshold)
+        return local_subspace_skyline(
+            store, cols, initial_threshold=threshold,
+            index_kind=index_kind, scan_chunk=scan_chunk,
+        )
 
     def local_compute(sp: int, subspace: Any, threshold: float) -> SkylineComputation:
         cols = tuple(int(c) for c in subspace)
         store = network.store_of(sp)
-        scan_key = make_key("scan", sp, cols, float(threshold), index_kind, scan_chunk)
+        scan_key = make_key(
+            "scan", sp, cols, float(threshold), index_kind, scan_chunk,
+            substrate, partitioner, parts,
+        )
         hit = cache.get(scan_key)
         if hit is not None:
             meta, arrays, token = hit
@@ -282,10 +310,7 @@ def _cached_local_compute(network: Any, cache: Any, scan_chunk: int):
                         cache.stats.invalid += 1
                 else:
                     cache.stats.invalid += 1
-        computation = local_subspace_skyline(
-            store, cols, initial_threshold=threshold,
-            index_kind=index_kind, scan_chunk=scan_chunk,
-        )
+        computation = run_scan(store, cols, threshold)
         if not seeded:
             proj, dists = store.projection(cols)
             cache.put(proj_key, {}, {"proj": proj, "dists": dists})
@@ -371,8 +396,16 @@ def _run_query_batch(
     tasks: Sequence[tuple[int, "Query", str]],
     collect_metrics: bool,
     scan_chunk: int | None,
+    substrate: str = "sorted",
+    partitioner: str = "none",
+    parts: int = 0,
 ) -> dict[str, Any]:
-    """Execute one chunk of (index, query, variant) tasks."""
+    """Execute one chunk of (index, query, variant) tasks.
+
+    ``substrate``/``partitioner``/``parts`` arrive resolved by the
+    parent (argument over env), so worker processes never consult their
+    own environment and a spawn-started pool behaves like a forked one.
+    """
     from ..obs.metrics import MetricsRegistry
     from ..obs.runtime import install, uninstall
     from ..skypeer.executor import execute_query
@@ -383,7 +416,8 @@ def _run_query_batch(
     network, cache, attach = _materialize(spec)
     started = time.perf_counter()
     local_compute = _cached_local_compute(
-        network, cache, resolve_scan_chunk(scan_chunk)
+        network, cache, resolve_scan_chunk(scan_chunk),
+        substrate=substrate, partitioner=partitioner, parts=parts,
     )
     runs: list[tuple[int, "QueryExecution"]] = []
     registry = MetricsRegistry() if collect_metrics else None
@@ -439,6 +473,80 @@ def _run_preprocess_batch(
     }
 
 
+def _run_partition_batch(
+    spec: dict[str, Any],
+    sp: int,
+    cols: tuple,
+    threshold: float,
+    strict: bool,
+    substrate: str,
+    partitioner: str,
+    parts: int,
+    scan_chunk: int | None,
+    part_indices: Sequence[int],
+) -> dict[str, Any]:
+    """Scan a chunk of partition slices for one intra-query fan-out.
+
+    Workers recompute the split locally (median/quantile cuts are
+    deterministic, so every worker and the parent agree on the slices)
+    instead of shipping position arrays over IPC.  Each slice scan sits
+    behind a ``"pscan"`` block-cache probe, so a repeated partitioned
+    query replays without scanning; only the survivor positions and
+    work counters travel back — the parent rebuilds results from its
+    own store.
+    """
+    import numpy as np
+
+    from .partition import partition_positions, scan_partition
+
+    network, cache, attach = _materialize(spec)
+    started = time.perf_counter()
+    store = network.store_of(sp)
+    proj, _dists = store.projection(cols)
+    prefix = (
+        len(store)
+        if math.isinf(threshold)
+        else int(np.searchsorted(store.f, threshold, side="right"))
+    )
+    slices = partition_positions(partitioner, proj[:prefix], parts)
+    scans: list[tuple[int, dict[str, Any]]] = []
+    for pi in part_indices:
+        key = make_key(
+            "pscan", sp, cols, float(threshold), strict, substrate,
+            partitioner, parts, pi, scan_chunk,
+        )
+        hit = cache.get(key)
+        if hit is not None:
+            meta, arrays, token = hit
+            positions = np.array(arrays["positions"], dtype=np.int64, copy=True)
+            if cache.still_valid(token):
+                scans.append((pi, {**meta, "positions": positions}))
+                continue
+            cache.stats.invalid += 1
+        computation = scan_partition(
+            store, cols, slices[pi],
+            initial_threshold=threshold, strict=strict,
+            substrate=substrate, scan_chunk=scan_chunk,
+        )
+        meta = {
+            "threshold": computation.threshold,
+            "examined": computation.examined,
+            "comparisons": computation.comparisons,
+            "input_size": computation.input_size,
+        }
+        cache.put(key, meta, {"positions": computation.positions})
+        scans.append((pi, {**meta, "positions": computation.positions}))
+    return {
+        "scans": scans,
+        "attach": attach,
+        "compute_seconds": time.perf_counter() - started,
+        "cache": {
+            "kind": "local" if isinstance(cache, LocalBlockCache) else "shared",
+            **cache.stats.delta(),
+        },
+    }
+
+
 # ----------------------------------------------------------------------
 # parent-side engine
 # ----------------------------------------------------------------------
@@ -459,8 +567,16 @@ class EngineStats:
     the pool was started with per-worker CPU affinity.  The ``serve_*``
     fields are mirrored in by an attached
     :class:`~repro.serving.QueryGateway`: coalesce hits the gateway
-    absorbed before they reached the pool, requests it shed, and the
-    deepest its admission queue got.
+    absorbed before they reached the pool, requests it shed, the
+    deepest its admission queue got, the queries it dispatched and the
+    intra-query slice subtasks those dispatches fanned out.
+
+    ``tasks`` counts *whole-query* executions only.  Intra-query
+    fan-outs (:meth:`ParallelEngine.run_partitioned_scan`) are counted
+    separately — ``intra_query_scans`` per partitioned scan and
+    ``intra_query_subtasks`` per slice — so slice subtasks never
+    inflate the per-task dispatch overhead or the query throughput
+    figures.
     """
 
     workers: int
@@ -471,6 +587,8 @@ class EngineStats:
     publish_modes: list[str] = field(default_factory=list)
     batches: int = 0
     tasks: int = 0
+    intra_query_scans: int = 0
+    intra_query_subtasks: int = 0
     submit_seconds: float = 0.0
     worker_compute_seconds: float = 0.0
     attach_events: list[dict[str, Any]] = field(default_factory=list)
@@ -485,6 +603,8 @@ class EngineStats:
     serve_coalesce_hits: int = 0
     serve_shed: int = 0
     serve_queue_depth_peak: int = 0
+    serve_queries: int = 0
+    serve_intra_query_subtasks: int = 0
 
     def dispatch_overhead_per_task(self) -> float:
         return self.submit_seconds / self.tasks if self.tasks else 0.0
@@ -515,6 +635,8 @@ class EngineStats:
             "publish_modes": list(self.publish_modes),
             "batches": self.batches,
             "tasks": self.tasks,
+            "intra_query_scans": self.intra_query_scans,
+            "intra_query_subtasks": self.intra_query_subtasks,
             "submit_seconds": self.submit_seconds,
             "dispatch_overhead_per_task_seconds": self.dispatch_overhead_per_task(),
             "worker_compute_seconds": self.worker_compute_seconds,
@@ -533,6 +655,8 @@ class EngineStats:
             "serve_coalesce_hits": self.serve_coalesce_hits,
             "serve_shed": self.serve_shed,
             "serve_queue_depth_peak": self.serve_queue_depth_peak,
+            "serve_queries": self.serve_queries,
+            "serve_intra_query_subtasks": self.serve_intra_query_subtasks,
         }
 
 
@@ -640,9 +764,9 @@ class ParallelEngine:
 
         Publications are keyed on object identity + ``epoch`` (store
         changes bump the epoch, so stale data can never be served) and
-        on whether the workers need pre-processed stores.  The snapshot
-        fallback encodes ``for_query`` as its load-time ``preprocess``
-        flag; the shm path simply carries whatever stores exist.
+        on ``for_query`` (query and pre-processing fan-outs keep
+        separate entries).  Both the shm path and the pickle-snapshot
+        fallback carry the parent's stores verbatim.
 
         The closed check lives *inside* the lock: a concurrent
         ``close()`` either drains this publication or this call raises
@@ -676,16 +800,16 @@ class ParallelEngine:
             shared = publish_network(network)
             spec = {"token": token, "kind": "shm", "manifest": shared.manifest}
         else:
-            from ..io import save_network
+            import pickle
 
-            path = os.path.join(self._tmpdir, f"{token}.npz")
-            save_network(path, network)
-            spec = {
-                "token": token,
-                "kind": "snapshot",
-                "path": path,
-                "preprocess": for_query,
-            }
+            # The snapshot is the network object verbatim — stores
+            # included — so workers see exactly what the parent scans
+            # (re-deriving stores from the raw partitions would let a
+            # snapshot-mode worker diverge from the parent's store).
+            path = os.path.join(self._tmpdir, f"{token}.pkl")
+            with open(path, "wb") as handle:
+                pickle.dump(network, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            spec = {"token": token, "kind": "snapshot", "path": path}
         self.stats.publish_seconds += time.perf_counter() - started
         self.stats.publications += 1
         self.stats.publish_modes.append(spec["kind"])
@@ -719,6 +843,9 @@ class ParallelEngine:
         queries: Sequence["Query"],
         variants: Sequence["Variant"],
         scan_chunk: int | None = None,
+        scan_substrate: str | None = None,
+        partitioner: str | None = None,
+        partition_parts: int | None = None,
     ) -> dict["Variant", list["QueryExecution"]]:
         """Fan independent (query, variant) executions out in batches.
 
@@ -726,12 +853,32 @@ class ParallelEngine:
         worker metric snapshots merge into the parent's active
         registry.  Results are placed by task index, so they are
         independent of chunking and scheduling.
+
+        ``scan_substrate``/``partitioner``/``partition_parts`` select
+        the local-scan kernel each worker runs (``None`` consults
+        ``REPRO_SCAN_SUBSTRATE``/``REPRO_PARTITION``/… *in the parent*,
+        so workers never read their own environment); a non-``none``
+        partitioner splits each scan in-process inside its worker —
+        whole queries stay the unit of fan-out here.
         """
+        from ..core.substrates import resolve_scan_substrate
         from ..obs.runtime import active_metrics
         from ..skypeer.variants import Variant
+        from .partition import resolve_partition_parts, resolve_partitioner
 
         if self._closed:
             raise RuntimeError("engine is closed")
+        substrate = resolve_scan_substrate(scan_substrate)
+        part_kind = resolve_partitioner(partitioner)
+        # Whole-query scans resolve the slice count with the FIXED
+        # default (not the pool size): a serial execution of the same
+        # queries resolves the same knobs without a pool, and the two
+        # must stay byte-identical in work accounting, not just results.
+        parts = (
+            resolve_partition_parts(partition_parts)
+            if part_kind != "none"
+            else 0
+        )
         metrics = active_metrics()
         publication = self._publish(network, for_query=True)
         spec = publication.spec
@@ -752,7 +899,8 @@ class ParallelEngine:
         started = time.perf_counter()
         futures = [
             self._pool.submit(
-                _run_query_batch, spec, chunk, metrics is not None, scan_chunk
+                _run_query_batch, spec, chunk, metrics is not None, scan_chunk,
+                substrate, part_kind, parts,
             )
             for chunk in chunks
         ]
@@ -774,6 +922,104 @@ class ParallelEngine:
         return runs_by_variant
 
     # ------------------------------------------------------------------
+    # intra-query fan-out
+    # ------------------------------------------------------------------
+    def run_partitioned_scan(
+        self,
+        network: "SuperPeerNetwork",
+        sp: int,
+        subspace: Sequence[int],
+        initial_threshold: float = math.inf,
+        strict: bool = False,
+        partitioner: str | None = None,
+        parts: int | None = None,
+        substrate: str | None = None,
+        scan_chunk: int | None = None,
+    ) -> Any:
+        """One Algorithm-1 scan split across the pool's workers.
+
+        The single-heavy-query counterpart to :meth:`run_queries`:
+        instead of whole queries, the unit of fan-out is a partition
+        slice of one store (:mod:`repro.parallel.partition`).  Shares
+        the same publication (epoch-keyed shm segment or snapshot) and
+        block cache as whole-query batches, so a partitioned warm-up
+        scan also warms later whole-query runs of the same subspace.
+        Returns a :class:`~repro.core.local_skyline.SkylineComputation`
+        byte-identical to the serial scan; accounted under
+        ``intra_query_scans``/``intra_query_subtasks``, never ``tasks``.
+        """
+        import numpy as np
+
+        from ..core.local_skyline import SkylineComputation
+        from ..core.substrates import resolve_scan_substrate
+        from .partition import (
+            merge_partition_scans,
+            partition_positions,
+            resolve_partition_parts,
+            resolve_partitioner,
+        )
+
+        if self._closed:
+            raise RuntimeError("engine is closed")
+        started = time.perf_counter()
+        substrate = resolve_scan_substrate(substrate)
+        # "none" means "don't partition whole-query scans"; an explicit
+        # intra-query fan-out still needs a split, so fall back to the
+        # trivial one.
+        part_kind = resolve_partitioner(partitioner)
+        if part_kind == "none":
+            part_kind = "range"
+        parts = resolve_partition_parts(parts, default=self.workers)
+        threshold = float(initial_threshold)
+        cols = tuple(int(c) for c in subspace)
+        publication = self._publish(network, for_query=True)
+        spec = publication.spec
+        with self._lock:
+            publication.warm.add(cols)
+        store = network.store_of(sp)
+        proj, _dists = store.projection(cols)
+        prefix = (
+            len(store)
+            if math.isinf(threshold)
+            else int(np.searchsorted(store.f, threshold, side="right"))
+        )
+        slices = partition_positions(part_kind, proj[:prefix], parts)
+        indices = list(range(len(slices)))
+        target = max(1, math.ceil(len(indices) / max(1, self.workers)))
+        chunks = [indices[i : i + target] for i in range(0, len(indices), target)]
+        submit_started = time.perf_counter()
+        futures = [
+            self._pool.submit(
+                _run_partition_batch, spec, sp, cols, threshold, strict,
+                substrate, part_kind, parts, scan_chunk, chunk,
+            )
+            for chunk in chunks
+        ]
+        with self._lock:
+            self.stats.submit_seconds += time.perf_counter() - submit_started
+            self.stats.batches += len(chunks)
+            self.stats.intra_query_scans += 1
+            self.stats.intra_query_subtasks += len(indices)
+        scans: list[Any] = [None] * len(slices)
+        for future in futures:
+            payload = future.result()
+            self._ingest_batch_stats(payload, None)
+            for pi, meta in payload["scans"]:
+                scans[pi] = SkylineComputation.replay(
+                    store,
+                    np.asarray(meta["positions"], dtype=np.int64),
+                    threshold=meta["threshold"],
+                    examined=meta["examined"],
+                    comparisons=meta["comparisons"],
+                    input_size=meta["input_size"],
+                )
+        return merge_partition_scans(
+            store, cols, scans,
+            initial_threshold=threshold, strict=strict, scan_chunk=scan_chunk,
+            input_size=len(store), started=started,
+        )
+
+    # ------------------------------------------------------------------
     # pre-processing fan-out
     # ------------------------------------------------------------------
     def preprocess_network(
@@ -781,9 +1027,10 @@ class ParallelEngine:
     ) -> list["SuperPeerPreprocess"]:
         """Fan per-super-peer pre-processing out in batches.
 
-        Workers see the network *without* stores (that is the work
-        being distributed); results come back in topology order for
-        the parent's deterministic ingest.
+        Workers see the network as published (typically before any
+        stores exist — building them is the work being distributed);
+        results come back in topology order for the parent's
+        deterministic ingest.
         """
         if self._closed:
             raise RuntimeError("engine is closed")
@@ -971,6 +1218,9 @@ def run_queries_parallel(
     workers: int,
     scan_chunk: int | None = None,
     engine: ParallelEngine | None = None,
+    scan_substrate: str | None = None,
+    partitioner: str | None = None,
+    partition_parts: int | None = None,
 ) -> dict["Variant", list["QueryExecution"]]:
     """Fan (query, variant) executions out over the shared engine.
 
@@ -978,7 +1228,11 @@ def run_queries_parallel(
     run; see :meth:`ParallelEngine.run_queries`.
     """
     engine = engine if engine is not None else get_engine(workers)
-    return engine.run_queries(network, queries, variants, scan_chunk=scan_chunk)
+    return engine.run_queries(
+        network, queries, variants, scan_chunk=scan_chunk,
+        scan_substrate=scan_substrate, partitioner=partitioner,
+        partition_parts=partition_parts,
+    )
 
 
 def preprocess_network_parallel(

@@ -36,7 +36,7 @@ from ..p2p.network import SuperPeerNetwork
 from ..p2p.simulation import TransferRequest, simulate_transfers
 from .variants import Variant
 
-__all__ = ["Clock", "QueryExecution", "execute_query"]
+__all__ = ["Clock", "QueryExecution", "execute_query", "make_local_compute"]
 
 
 @dataclass(frozen=True)
@@ -111,6 +111,75 @@ class QueryExecution:
 LocalCompute = "Callable[[int, Subspace, float], SkylineComputation]"
 
 
+def make_local_compute(
+    network: SuperPeerNetwork,
+    index_kind: str | None = None,
+    scan_chunk: int | None = None,
+    scan_substrate: str | None = None,
+    partitioner: str | None = None,
+    partition_parts: int | None = None,
+    engine=None,
+):
+    """Build the default per-super-peer Algorithm-1 strategy.
+
+    The scan kernel is selected by ``scan_substrate`` (``sorted``/
+    ``bbs``; env ``REPRO_SCAN_SUBSTRATE``) and ``partitioner``
+    (``none``/``range``/``grid``/``angular``; env ``REPRO_PARTITION``) —
+    resolved here, once, so every scan of the query agrees.  With a
+    partitioner and an ``engine``
+    (:class:`~repro.parallel.engine.ParallelEngine`), each scan fans its
+    slices over the engine's worker pool
+    (:meth:`~repro.parallel.engine.ParallelEngine.run_partitioned_scan`);
+    without an engine the slices run in-process, which still realizes
+    the grid/angular comparison savings.  All variants return results
+    byte-identical to the plain sorted scan.
+    """
+    from ..core.substrates import bbs_subspace_skyline, resolve_scan_substrate
+    from ..parallel.partition import (
+        partitioned_subspace_skyline,
+        resolve_partition_parts,
+        resolve_partitioner,
+    )
+
+    index_kind = index_kind or network.index_kind
+    substrate = resolve_scan_substrate(scan_substrate)
+    part_kind = resolve_partitioner(partitioner)
+    if part_kind != "none":
+        # Fixed default on purpose (never the pool size): the slice
+        # count shapes `examined`/`comparisons`, and a query must
+        # account identically whether it runs serially, with an
+        # engine, or on a differently-sized pool.
+        parts = resolve_partition_parts(partition_parts)
+        if engine is not None:
+            def local_compute(sp: int, sub, threshold: float) -> SkylineComputation:
+                return engine.run_partitioned_scan(
+                    network, sp, sub, initial_threshold=threshold,
+                    partitioner=part_kind, parts=parts,
+                    substrate=substrate, scan_chunk=scan_chunk,
+                )
+        else:
+            def local_compute(sp: int, sub, threshold: float) -> SkylineComputation:
+                return partitioned_subspace_skyline(
+                    network.store_of(sp), sub, initial_threshold=threshold,
+                    partitioner=part_kind, parts=parts,
+                    substrate=substrate, scan_chunk=scan_chunk,
+                )
+        return local_compute
+    if substrate == "bbs":
+        def local_compute(sp: int, sub, threshold: float) -> SkylineComputation:
+            return bbs_subspace_skyline(
+                network.store_of(sp), sub, initial_threshold=threshold
+            )
+        return local_compute
+
+    def local_compute(sp: int, sub, threshold: float) -> SkylineComputation:
+        return local_subspace_skyline(
+            network.store_of(sp), sub, initial_threshold=threshold,
+            index_kind=index_kind, scan_chunk=scan_chunk,
+        )
+    return local_compute
+
+
 def execute_query(
     network: SuperPeerNetwork,
     query: Query,
@@ -118,6 +187,10 @@ def execute_query(
     index_kind: str | None = None,
     local_compute=None,
     scan_chunk: int | None = None,
+    scan_substrate: str | None = None,
+    partitioner: str | None = None,
+    partition_parts: int | None = None,
+    engine=None,
 ) -> QueryExecution:
     """Execute a subspace skyline query over the network.
 
@@ -134,9 +207,14 @@ def execute_query(
     local_compute:
         Optional strategy replacing the per-super-peer Algorithm 1 run
         (see :mod:`repro.skypeer.cache`); ignored by the naive baseline.
+        When given, the scan-kernel knobs below are ignored too — the
+        strategy owns the scan.
     scan_chunk:
         Batch size override for the vectorized scans (see
         :func:`repro.core.local_skyline.resolve_scan_chunk`).
+    scan_substrate, partitioner, partition_parts, engine:
+        Scan-kernel selection for the default strategy; see
+        :func:`make_local_compute`.  Ignored by the naive baseline.
     """
     variant = Variant.parse(variant) if isinstance(variant, str) else variant
     index_kind = index_kind or network.index_kind
@@ -147,11 +225,11 @@ def execute_query(
     if variant is Variant.NAIVE:
         return _execute_naive(network, query, subspace)
     if local_compute is None:
-        def local_compute(sp: int, sub, threshold: float) -> SkylineComputation:
-            return local_subspace_skyline(
-                network.store_of(sp), sub, initial_threshold=threshold,
-                index_kind=index_kind, scan_chunk=scan_chunk,
-            )
+        local_compute = make_local_compute(
+            network, index_kind=index_kind, scan_chunk=scan_chunk,
+            scan_substrate=scan_substrate, partitioner=partitioner,
+            partition_parts=partition_parts, engine=engine,
+        )
     return _execute_skypeer(
         network, query, subspace, variant, index_kind, local_compute, scan_chunk
     )

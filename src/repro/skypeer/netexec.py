@@ -499,7 +499,11 @@ async def _run_task_mode(
 # process mode: one endpoint per OS process
 # ----------------------------------------------------------------------
 def _rundir() -> str:
-    return os.environ.get(RUNDIR_ENV) or tempfile.gettempdir()
+    path = os.environ.get(RUNDIR_ENV) or tempfile.gettempdir()
+    # A custom rundir may not exist yet; endpoint children die before
+    # the 'bound' handshake if their pid marker has nowhere to go.
+    os.makedirs(path, exist_ok=True)
+    return path
 
 
 def _pidfile() -> str:
@@ -783,7 +787,16 @@ def gateway_dispatch(
     if backend == "engine":
         if engine is None:
             raise ValueError("backend 'engine' requires an engine instance")
+        # Mirror the whole-query vs intra-query split into the serve_*
+        # stats: dispatched queries count here, and any slice subtasks
+        # the execution fans out (partitioned scans) are attributed to
+        # serving by the delta around the dispatch.
+        before = engine.stats.intra_query_subtasks
         runs = engine.run_queries(network, [query], [variant], scan_chunk=scan_chunk)
+        engine.stats.serve_queries += 1
+        engine.stats.serve_intra_query_subtasks += (
+            engine.stats.intra_query_subtasks - before
+        )
         return runs[variant][0].result
     if backend == "serial":
         from .executor import execute_query

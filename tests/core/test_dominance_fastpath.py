@@ -1,0 +1,115 @@
+"""The tiled/broadcast batch-dominance kernels must be pin-equal."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dominance import (
+    DOMINANCE_KERNEL_ENV,
+    batch_dominated_any,
+    resolve_dominance_kernel,
+)
+
+
+def oracle(dominators: np.ndarray, targets: np.ndarray, strict: bool) -> np.ndarray:
+    """Per-target python-loop oracle, independent of the numpy kernels."""
+    out = np.zeros(targets.shape[0], dtype=bool)
+    for i, t in enumerate(targets):
+        for d in dominators:
+            if strict:
+                if np.all(d < t):
+                    out[i] = True
+                    break
+            elif np.all(d <= t) and np.any(d < t):
+                out[i] = True
+                break
+    return out
+
+
+class TestKernelEquality:
+    @pytest.mark.parametrize("strict", [False, True])
+    def test_tiled_equals_broadcast_random(self, rng, strict):
+        dominators = rng.random((90, 4))
+        targets = rng.random((70, 4))
+        broadcast = batch_dominated_any(dominators, targets, strict, kernel="broadcast")
+        tiled = batch_dominated_any(dominators, targets, strict, kernel="tiled")
+        assert np.array_equal(broadcast, tiled)
+        assert np.array_equal(broadcast, oracle(dominators, targets, strict))
+
+    @pytest.mark.parametrize("strict", [False, True])
+    def test_tie_heavy_integer_grid(self, rng, strict):
+        # Duplicated rows and shared coordinates: the <=/&-any branch of
+        # the non-strict kernel and the all-< strict branch both have to
+        # get exact ties right in every tile.
+        dominators = rng.integers(0, 3, size=(120, 3)).astype(float)
+        targets = np.vstack([dominators[:40], rng.integers(0, 3, size=(40, 3))])
+        broadcast = batch_dominated_any(dominators, targets, strict, kernel="broadcast")
+        tiled = batch_dominated_any(dominators, targets, strict, kernel="tiled")
+        assert np.array_equal(broadcast, tiled)
+        assert np.array_equal(broadcast, oracle(dominators, targets, strict))
+
+    @pytest.mark.parametrize("strict", [False, True])
+    def test_auto_equals_forced_kernels_past_tile_budget(self, rng, strict):
+        # m*c*k = 600*600*8 >> _TILE_BUDGET, so auto goes tiled here;
+        # all three spellings must agree anyway.
+        dominators = rng.random((600, 8))
+        targets = rng.random((600, 8))
+        auto = batch_dominated_any(dominators, targets, strict)
+        for kernel in ("broadcast", "tiled"):
+            assert np.array_equal(
+                auto, batch_dominated_any(dominators, targets, strict, kernel=kernel)
+            ), kernel
+
+    def test_early_exit_when_everything_is_dominated(self, rng):
+        # The origin dominates every positive target; the tiled kernel's
+        # all()-early-exit must not change the answer.
+        dominators = np.vstack([np.zeros((1, 3)), rng.random((500, 3))])
+        targets = rng.random((50, 3)) + 0.1
+        assert batch_dominated_any(dominators, targets, kernel="tiled").all()
+
+
+class TestEdgeCases:
+    def test_empty_dominators(self):
+        out = batch_dominated_any(np.zeros((0, 3)), np.ones((5, 3)))
+        assert out.shape == (5,) and not out.any()
+
+    def test_empty_targets(self):
+        out = batch_dominated_any(np.ones((5, 3)), np.zeros((0, 3)))
+        assert out.shape == (0,)
+
+    def test_identical_rows_never_dominate_nonstrict(self):
+        rows = np.ones((4, 2))
+        assert not batch_dominated_any(rows, rows).any()
+
+    def test_non_contiguous_input_matches_contiguous(self, rng):
+        base = rng.random((60, 8))
+        dominators = base[:, ::2]  # non-contiguous view, forces asarray path
+        targets = rng.random((30, 4))
+        assert np.array_equal(
+            batch_dominated_any(dominators, targets, kernel="tiled"),
+            batch_dominated_any(np.ascontiguousarray(dominators), targets, kernel="tiled"),
+        )
+
+
+class TestResolveKernel:
+    def test_default_is_auto(self, monkeypatch):
+        monkeypatch.delenv(DOMINANCE_KERNEL_ENV, raising=False)
+        assert resolve_dominance_kernel() == "auto"
+
+    def test_env_var_selects(self, monkeypatch):
+        monkeypatch.setenv(DOMINANCE_KERNEL_ENV, "tiled")
+        assert resolve_dominance_kernel() == "tiled"
+
+    def test_argument_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(DOMINANCE_KERNEL_ENV, "tiled")
+        assert resolve_dominance_kernel("broadcast") == "broadcast"
+
+    def test_unknown_kernel_raises(self):
+        with pytest.raises(ValueError, match="unknown dominance kernel"):
+            resolve_dominance_kernel("simd")
+
+    def test_env_var_reaches_batch_kernel(self, rng, monkeypatch):
+        monkeypatch.setenv(DOMINANCE_KERNEL_ENV, "bogus")
+        with pytest.raises(ValueError, match="unknown dominance kernel"):
+            batch_dominated_any(rng.random((3, 2)), rng.random((3, 2)))

@@ -1,0 +1,342 @@
+"""Intra-query partitioned scans: split, merge, engine fan-out, knobs.
+
+Every partitioner × substrate combination must reproduce the serial
+sorted scan byte-for-byte; the engine's fan-out must account the work
+as intra-query subtasks, not whole-query tasks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.dataset import PointSet
+from repro.core.local_skyline import local_subspace_skyline
+from repro.core.store import SortedByF
+from repro.data.workload import Query
+from repro.p2p.network import SuperPeerNetwork
+from repro.p2p.topology import Topology
+from repro.parallel.engine import EngineStats, ParallelEngine
+from repro.parallel.partition import (
+    PARTITION_ENV,
+    PARTITION_PARTS_ENV,
+    PARTITIONERS,
+    partition_positions,
+    partition_skew,
+    partitioned_subspace_skyline,
+    resolve_partition_parts,
+    resolve_partitioner,
+    scan_partition,
+)
+from repro.skypeer.executor import execute_query, make_local_compute
+from repro.skypeer.variants import Variant
+
+SPLITTERS = ("range", "grid", "angular")
+
+
+def assert_identical(reference, other):
+    """Byte-identity of two SkylineComputations (timings exempt)."""
+    assert other.threshold == reference.threshold
+    assert np.array_equal(other.positions, reference.positions)
+    assert np.array_equal(other.result.points.values, reference.result.points.values)
+    assert np.array_equal(other.result.points.ids, reference.result.points.ids)
+    assert np.array_equal(other.result.f, reference.result.f)
+
+
+def make_store(rng, n=240, d=4):
+    return SortedByF.from_points(PointSet(rng.random((n, d))))
+
+
+class TestPartitionPositions:
+    @pytest.mark.parametrize("kind", SPLITTERS)
+    @pytest.mark.parametrize("parts", [1, 3, 4, 7])
+    def test_cover_disjoint_ascending(self, rng, kind, parts):
+        proj = rng.random((97, 3))
+        slices = partition_positions(kind, proj, parts)
+        assert all(s.size for s in slices)
+        assert all(np.array_equal(s, np.sort(s)) for s in slices)
+        union = np.concatenate(slices)
+        assert union.size == len(np.unique(union)) == 97
+        assert len(slices) <= max(1, parts)
+
+    @pytest.mark.parametrize("kind", SPLITTERS)
+    def test_more_parts_than_points(self, rng, kind):
+        proj = rng.random((3, 2))
+        slices = partition_positions(kind, proj, 8)
+        assert np.array_equal(np.sort(np.concatenate(slices)), np.arange(3))
+
+    def test_empty_projection(self):
+        assert partition_positions("grid", np.zeros((0, 2)), 4) == []
+
+    def test_one_dimensional_angular_falls_back_to_range(self, rng):
+        proj = rng.random((40, 1))
+        angular = partition_positions("angular", proj, 4)
+        ranged = partition_positions("range", proj, 4)
+        assert all(np.array_equal(a, r) for a, r in zip(angular, ranged))
+
+    def test_unknown_kind_raises(self, rng):
+        with pytest.raises(ValueError, match="unknown partitioner"):
+            partition_positions("hilbert", rng.random((10, 2)), 2)
+
+    def test_skew_summary(self, rng):
+        slices = partition_positions("range", rng.random((100, 2)), 4)
+        skew = partition_skew(slices)
+        assert skew["parts"] == 4
+        assert skew["max_size"] == 25
+        assert skew["skew"] == 1.0
+        assert partition_skew([])["skew"] == 1.0
+
+
+class TestResolvers:
+    def test_partitioner_default_is_none(self, monkeypatch):
+        monkeypatch.delenv(PARTITION_ENV, raising=False)
+        assert resolve_partitioner() == "none"
+
+    def test_partitioner_env_var(self, monkeypatch):
+        monkeypatch.setenv(PARTITION_ENV, "angular")
+        assert resolve_partitioner() == "angular"
+
+    def test_partitioner_argument_wins(self, monkeypatch):
+        monkeypatch.setenv(PARTITION_ENV, "angular")
+        assert resolve_partitioner("grid") == "grid"
+
+    def test_unknown_partitioner_raises(self):
+        with pytest.raises(ValueError, match="unknown partitioner"):
+            resolve_partitioner("hilbert")
+        assert "none" in PARTITIONERS
+
+    def test_parts_env_and_default(self, monkeypatch):
+        monkeypatch.delenv(PARTITION_PARTS_ENV, raising=False)
+        assert resolve_partition_parts(default=3) == 3
+        monkeypatch.setenv(PARTITION_PARTS_ENV, "6")
+        assert resolve_partition_parts() == 6
+        assert resolve_partition_parts(2) == 2
+
+    def test_nonpositive_parts_raise(self):
+        with pytest.raises(ValueError, match="positive"):
+            resolve_partition_parts(0)
+
+
+class TestPartitionedScanIdentity:
+    @pytest.mark.parametrize("partitioner", SPLITTERS)
+    @pytest.mark.parametrize("substrate", ["sorted", "bbs"])
+    def test_matches_serial(self, rng, partitioner, substrate):
+        store = make_store(rng)
+        subspace = (0, 1, 2)
+        serial = local_subspace_skyline(store, subspace)
+        split = partitioned_subspace_skyline(
+            store, subspace, partitioner=partitioner, parts=4, substrate=substrate
+        )
+        assert_identical(serial, split)
+
+    @pytest.mark.parametrize("partitioner", SPLITTERS)
+    def test_strict_matches_serial(self, rng, partitioner):
+        store = make_store(rng, n=150)
+        serial = local_subspace_skyline(store, (1, 3), strict=True)
+        split = partitioned_subspace_skyline(
+            store, (1, 3), strict=True, partitioner=partitioner, parts=3
+        )
+        assert_identical(serial, split)
+
+    def test_finite_threshold_prefix_only(self, rng):
+        store = make_store(rng)
+        for threshold in (0.8, 0.4):
+            serial = local_subspace_skyline(store, (0, 2), initial_threshold=threshold)
+            split = partitioned_subspace_skyline(
+                store, (0, 2), initial_threshold=threshold,
+                partitioner="grid", parts=4,
+            )
+            assert_identical(serial, split)
+
+    def test_duplicated_rows(self, rng):
+        base = rng.integers(0, 4, size=(70, 3)).astype(float)
+        store = SortedByF.from_points(PointSet(np.vstack([base, base[:25]])))
+        for partitioner in SPLITTERS:
+            assert_identical(
+                local_subspace_skyline(store, (0, 1, 2)),
+                partitioned_subspace_skyline(
+                    store, (0, 1, 2), partitioner=partitioner, parts=4
+                ),
+            )
+
+    def test_single_slice_scan_is_exact(self, rng):
+        # A slice scan must equal the serial scan restricted to the
+        # slice — with the whole store as one slice, it IS the serial
+        # scan.
+        store = make_store(rng, n=100)
+        serial = local_subspace_skyline(store, (0, 1))
+        scan = scan_partition(store, (0, 1), np.arange(len(store)))
+        assert_identical(serial, scan)
+
+    def test_comparisons_stay_honest(self, rng):
+        store = make_store(rng)
+        split = partitioned_subspace_skyline(store, (0, 1, 2), partitioner="grid")
+        assert split.comparisons > 0
+        assert split.examined <= len(store)
+        assert split.input_size == len(store)
+
+
+def single_store_network(points):
+    """One super-peer whose store holds exactly ``points`` (no pre-filter)."""
+    topology = Topology.generate(n_peers=1, n_superpeers=1, seed=0)
+    network = SuperPeerNetwork.from_partitions(
+        topology, {0: points}, preprocess=False
+    )
+    sp = next(iter(network.superpeers))
+    network.superpeers[sp].store = SortedByF.from_points(points)
+    return network, sp
+
+
+class TestEngineFanOut:
+    @pytest.fixture(scope="class")
+    def engine(self):
+        with ParallelEngine(2, use_shm=False, mp_start="fork") as engine:
+            yield engine
+
+    def test_pooled_scan_matches_serial_and_splits_stats(self, rng, engine):
+        points = PointSet(rng.random((500, 4)))
+        network, sp = single_store_network(points)
+        store = network.store_of(sp)
+        subspace = (0, 1, 2, 3)
+        serial = local_subspace_skyline(store, subspace)
+
+        before = engine.stats.as_dict()
+        pooled = engine.run_partitioned_scan(
+            network, sp, subspace, partitioner="grid", parts=4
+        )
+        assert_identical(serial, pooled)
+
+        after = engine.stats.as_dict()
+        assert after["intra_query_scans"] == before["intra_query_scans"] + 1
+        assert after["intra_query_subtasks"] > before["intra_query_subtasks"]
+        # Whole-query task accounting must not inflate.
+        assert after["tasks"] == before["tasks"]
+
+        # A repeat replays the per-slice block cache and stays identical.
+        again = engine.run_partitioned_scan(
+            network, sp, subspace, partitioner="grid", parts=4
+        )
+        assert_identical(serial, again)
+
+    def test_substrate_rides_through_the_pool(self, rng, engine):
+        points = PointSet(rng.random((300, 3)))
+        network, sp = single_store_network(points)
+        serial = local_subspace_skyline(network.store_of(sp), (0, 1, 2))
+        pooled = engine.run_partitioned_scan(
+            network, sp, (0, 1, 2),
+            partitioner="angular", parts=3, substrate="bbs",
+        )
+        assert_identical(serial, pooled)
+
+
+class TestEngineStatsSplit:
+    def test_new_fields_default_to_zero(self):
+        stats = EngineStats(workers=2, start_method="fork").as_dict()
+        for field in (
+            "intra_query_scans",
+            "intra_query_subtasks",
+            "serve_queries",
+            "serve_intra_query_subtasks",
+        ):
+            assert stats[field] == 0
+
+
+class TestExecutorKnobs:
+    def test_make_local_compute_partitioned(self, small_network):
+        sp = next(iter(small_network.superpeers))
+        store = small_network.store_of(sp)
+        default = make_local_compute(small_network)
+        gridded = make_local_compute(small_network, partitioner="grid", partition_parts=3)
+        assert_identical(
+            default(sp, (0, 1, 2), float("inf")),
+            gridded(sp, (0, 1, 2), float("inf")),
+        )
+
+    def test_execute_query_knobs_preserve_results(self, small_network):
+        query = Query(subspace=(0, 2, 4), initiator=next(iter(small_network.superpeers)))
+        baseline = execute_query(small_network, query, Variant.FTPM)
+        for kwargs in (
+            {"scan_substrate": "bbs"},
+            {"partitioner": "angular", "partition_parts": 3},
+            {"scan_substrate": "bbs", "partitioner": "grid", "partition_parts": 2},
+        ):
+            run = execute_query(small_network, query, Variant.FTPM, **kwargs)
+            assert run.result_ids == baseline.result_ids
+            assert np.array_equal(
+                run.result.points.values, baseline.result.points.values
+            )
+
+    def test_naive_ignores_kernel_knobs(self, small_network):
+        query = Query(subspace=(1, 3), initiator=next(iter(small_network.superpeers)))
+        baseline = execute_query(small_network, query, Variant.NAIVE)
+        run = execute_query(
+            small_network, query, Variant.NAIVE,
+            scan_substrate="bbs", partitioner="grid",
+        )
+        assert run.result_ids == baseline.result_ids
+        assert run.comparisons == baseline.comparisons
+
+
+# Kernel configurations the property sweeps: the BBS substrate alone,
+# each partitioner on the sorted substrate, and a composed case.
+KERNEL_CONFIGS = (
+    {"scan_substrate": "bbs"},
+    {"partitioner": "range", "partition_parts": 3},
+    {"partitioner": "grid", "partition_parts": 3},
+    {"partitioner": "angular", "partition_parts": 3},
+    {"scan_substrate": "bbs", "partitioner": "angular", "partition_parts": 2},
+)
+
+
+@st.composite
+def partition_cases(draw):
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    d = draw(st.integers(2, 4))
+    n_superpeers = draw(st.integers(1, 2))
+    peers_per_sp = draw(st.integers(1, 2))
+    points_per_peer = draw(st.integers(2, 10))
+    topology = Topology.generate(
+        n_peers=n_superpeers * peers_per_sp,
+        n_superpeers=n_superpeers,
+        degree=3.0,
+        seed=seed,
+    )
+    partitions = {}
+    next_id = 0
+    for peers in topology.peers_of.values():
+        for pid in peers:
+            partitions[pid] = PointSet(
+                rng.random((points_per_peer, d)),
+                np.arange(next_id, next_id + points_per_peer),
+            )
+            next_id += points_per_peer
+    network = SuperPeerNetwork.from_partitions(topology, partitions)
+    k = draw(st.integers(1, d))
+    dims = draw(st.lists(st.integers(0, d - 1), min_size=k, max_size=k, unique=True))
+    initiator = draw(st.sampled_from(sorted(topology.superpeer_ids)))
+    return network, Query(subspace=tuple(sorted(dims)), initiator=initiator)
+
+
+@given(partition_cases())
+@settings(
+    max_examples=4,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+def test_kernels_are_indistinguishable_across_all_variants(case):
+    """Satellite: every kernel × every variant equals the serial scan."""
+    network, query = case
+    for variant in Variant:
+        baseline = execute_query(network, query, variant)
+        for config in KERNEL_CONFIGS:
+            run = execute_query(network, query, variant, **config)
+            assert run.result_ids == baseline.result_ids, (variant, config)
+            assert np.array_equal(
+                run.result.points.values, baseline.result.points.values
+            ), (variant, config)
+            assert np.array_equal(
+                run.result.points.ids, baseline.result.points.ids
+            ), (variant, config)

@@ -183,6 +183,12 @@ class TestLifecycle:
 
     def test_no_leaked_segments_after_suite(self):
         """Belt and braces: nothing from this process lingers in /dev/shm."""
+        from repro.parallel import shutdown_engines
+
+        # Shared engines cache publications until closed by design —
+        # drain them first so this check is independent of which other
+        # test modules ran (and in what order) before this one.
+        shutdown_engines()
         mine = f"repro-shm-{os.getpid():x}-"
         leaked = [n for n in os.listdir("/dev/shm") if n.startswith(mine)]
         assert leaked == []
