@@ -1,0 +1,125 @@
+#!/usr/bin/env python
+"""Profile the batch-dominance kernels on the bench grid.
+
+Times every kernel of :func:`repro.core.dominance.batch_dominated_any`
+(``broadcast``, ``tiled``, ``transposed`` and — when numba is importable
+— ``jit``) over a grid of (dominators, targets, dims) shapes drawn from
+the shapes the Algorithm-1 scans actually produce: the candidate block
+grows into the hundreds-to-thousands while the batch stays at the scan
+chunk (default 64).  Results are verified equal to ``broadcast`` before
+timing, and the report names the fastest kernel per cell so the
+``auto`` heuristic (:data:`repro.core.dominance._TILE_BUDGET`) can be
+re-derived from data instead of folklore.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/profile_dominance.py \
+        [--output profile_dominance.json] [--repeats 5] [--quick]
+
+The JSON output is uploaded as a CI artifact so kernel regressions show
+up as a diffable report, not a hunch.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+import numpy as np
+
+from repro.core.dominance import batch_dominated_any, jit_kernel_available
+
+#: (dominators m, targets c, dims k) — block-vs-batch shapes from the
+#: chunked scans (c = scan chunk) plus square eviction-style shapes.
+FULL_GRID = [
+    (16, 64, 3), (64, 64, 3), (256, 64, 3), (1024, 64, 3), (4096, 64, 3),
+    (16, 64, 5), (64, 64, 5), (256, 64, 5), (1024, 64, 5), (4096, 64, 5),
+    (16, 64, 9), (64, 64, 9), (256, 64, 9), (1024, 64, 9), (4096, 64, 9),
+    (256, 256, 5), (1024, 256, 5), (1024, 1024, 5),
+]
+
+QUICK_GRID = [(64, 64, 5), (1024, 64, 5), (1024, 256, 5)]
+
+
+def kernels_under_test() -> list[str]:
+    names = ["broadcast", "tiled", "transposed"]
+    if jit_kernel_available():
+        names.append("jit")
+    return names
+
+
+def profile_cell(
+    m: int, c: int, k: int, strict: bool, repeats: int, rng: np.random.Generator
+) -> dict:
+    """Best-of-``repeats`` seconds per kernel for one shape."""
+    # Anti-correlated-ish data keeps the dominated fraction moderate so
+    # early-exit kernels are neither trivially fast nor never helped.
+    base = rng.uniform(0.0, 1.0, size=(m + c, 1))
+    cloud = np.clip(1.0 - base + rng.normal(0.0, 0.2, size=(m + c, k)), 0.0, 1.0)
+    dominators = np.ascontiguousarray(cloud[:m])
+    targets = np.ascontiguousarray(cloud[m:])
+    reference = batch_dominated_any(dominators, targets, strict=strict, kernel="broadcast")
+    cell: dict = {
+        "dominators": m,
+        "targets": c,
+        "dims": k,
+        "strict": strict,
+        "dominated_fraction": float(reference.mean()),
+        "seconds": {},
+    }
+    for name in kernels_under_test():
+        out = batch_dominated_any(dominators, targets, strict=strict, kernel=name)
+        if not np.array_equal(out, reference):  # pragma: no cover - tripwire
+            raise AssertionError(f"kernel {name} diverged on {(m, c, k, strict)}")
+        best = float("inf")
+        for _ in range(repeats):
+            started = time.perf_counter()
+            batch_dominated_any(dominators, targets, strict=strict, kernel=name)
+            best = min(best, time.perf_counter() - started)
+        cell["seconds"][name] = best
+    cell["fastest"] = min(cell["seconds"], key=cell["seconds"].get)
+    return cell
+
+
+def run_profile(repeats: int = 5, quick: bool = False) -> dict:
+    rng = np.random.default_rng(20070415)
+    grid = QUICK_GRID if quick else FULL_GRID
+    cells = [
+        profile_cell(m, c, k, strict, repeats, rng)
+        for (m, c, k) in grid
+        for strict in (False, True)
+    ]
+    wins: dict[str, int] = {}
+    for cell in cells:
+        wins[cell["fastest"]] = wins.get(cell["fastest"], 0) + 1
+    return {
+        "schema": "repro-profile-dominance/1",
+        "cpu_count": os.cpu_count(),
+        "numba_available": jit_kernel_available(),
+        "repeats": repeats,
+        "kernels": kernels_under_test(),
+        "cells": cells,
+        "wins": wins,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", default=None, help="write the JSON report here")
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--quick", action="store_true", help="3-cell smoke grid")
+    args = parser.parse_args(argv)
+    report = run_profile(repeats=args.repeats, quick=args.quick)
+    text = json.dumps(report, indent=2, sort_keys=True)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+    print(text)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -61,10 +61,28 @@ gates: ``identical`` (every kernel's result byte-identical to the
 serial scan) and ``speedup_ok`` (grid or angular at least 2× faster
 than serial, best of in-process and pooled — on a single-core host the
 in-process comparison savings carry it).  The *crossover* matrix runs
-substrate × partitioner (``sorted``/``bbs`` × ``none``/``range``/
-``grid``/``angular``) over small stores across dimensionalities and
-distributions, reporting deterministic comparisons-per-point so the
-kernel crossover is diffable across revisions.
+substrate × partitioner (``sorted``/``bbs``/``salsa`` × ``none``/
+``range``/``grid``/``angular``) over small stores across
+dimensionalities and distributions, reporting deterministic
+comparisons-per-point so the kernel crossover is diffable across
+revisions.
+
+Schema 6 adds two things.  ``"kernels.salsa"``: the sort-based-
+filtering section — the crossover datasets re-queried on the
+low-dimensional pivot subspace ``(0, 1)`` (the regime SaLSa targets:
+``f`` is a full-space statistic, so on a *proper* subspace the sorted
+scan's prefix pruning weakens while SaLSa's stop-point, computed from
+the subspace coordinates themselves, does not), with the
+early-termination fraction, comparisons-per-point against ``sorted``
+and ``bbs``, per-partitioner comparisons and two gated verdicts:
+``identical`` (SaLSa byte-identical to ``sorted`` on every cell, every
+partitioner) and ``terminates_early`` (every correlated cell skips
+≥ 20 % of its points and spends strictly fewer comparisons than the
+sorted scan — comparison counters are deterministic, so this gate is
+machine-stable).  And ``"degraded_parallelism"``: true when
+``cpu_count < 2``, telling ``check_regression.py`` to skip *speedup*
+verdicts (never identity verdicts) so single-core CI cannot flake the
+gate.
 """
 
 from __future__ import annotations
@@ -83,7 +101,7 @@ from .harness import VariantStats, build_network, make_queries, run_queries
 
 __all__ = ["SMOKE_SCHEMA", "bench_serving", "bench_smoke", "write_bench_smoke"]
 
-SMOKE_SCHEMA = "repro-bench-smoke/5"
+SMOKE_SCHEMA = "repro-bench-smoke/6"
 
 #: VariantStats fields that do not depend on wall-clock measurement —
 #: these must match exactly between serial and parallel runs.
@@ -380,6 +398,94 @@ def _single_store_network(points: Any, store: Any) -> tuple[Any, int]:
     return network, sp
 
 
+def _bench_salsa(
+    n: int,
+    dims: Sequence[int],
+    distributions: Sequence[str],
+    pivot_subspace: Sequence[int] = (0, 1),
+    min_skip: float = 0.20,
+) -> dict[str, Any]:
+    """SaLSa early-termination cells on the crossover datasets.
+
+    Each crossover dataset is re-queried on a *proper* low-dimensional
+    subspace — the regime sort-based filtering targets: ``f`` is the
+    full-space minimum, so the sorted scan's threshold prefix loosens
+    on a subspace, while the SaLSa stop-point is computed from the
+    subspace coordinates themselves and keeps cutting.  Cells report
+    the skipped fraction (``pruned_by_threshold / input_size``) and
+    comparisons-per-point for all three substrates plus partitioned
+    SaLSa, all deterministic.  ``terminates_early`` gates the
+    correlated cells: skipped fraction at least ``min_skip`` *and*
+    strictly fewer comparisons than the sorted scan.
+    """
+    import numpy as np
+
+    from ..core.dataset import PointSet
+    from ..core.local_skyline import local_subspace_skyline
+    from ..core.store import SortedByF
+    from ..core.substrates import bbs_subspace_skyline, salsa_subspace_skyline
+    from ..data.generators import make_generator
+    from ..parallel.partition import partitioned_subspace_skyline
+
+    subspace = tuple(pivot_subspace)
+    cells: list[dict[str, Any]] = []
+    identical = True
+    terminates_early = True
+    for dist_index, distribution in enumerate(distributions):
+        for d in dims:
+            cell_rng = np.random.default_rng(20070415 + 1000 * dist_index + d)
+            store = SortedByF.from_points(
+                PointSet(make_generator(distribution)(n, d, cell_rng))
+            )
+            reference = local_subspace_skyline(store, subspace)
+            salsa = salsa_subspace_skyline(store, subspace)
+            bbs = bbs_subspace_skyline(store, subspace)
+            cell_identical = _computations_identical(
+                reference, salsa
+            ) and _computations_identical(reference, bbs)
+            partitioned: dict[str, float] = {}
+            for partitioner in ("range", "grid", "angular"):
+                scan = partitioned_subspace_skyline(
+                    store, subspace,
+                    partitioner=partitioner, parts=4, substrate="salsa",
+                )
+                cell_identical = cell_identical and _computations_identical(
+                    reference, scan
+                )
+                partitioned[partitioner] = scan.comparisons / n
+            skipped = salsa.pruned_by_threshold / n
+            cell_early = skipped >= min_skip and salsa.comparisons < reference.comparisons
+            if distribution == "correlated":
+                terminates_early = terminates_early and cell_early
+            identical = identical and cell_identical
+            cells.append(
+                {
+                    "distribution": distribution,
+                    "d": d,
+                    "n": n,
+                    "subspace": list(subspace),
+                    "result_size": len(reference.result),
+                    "skipped_fraction": skipped,
+                    "sorted_skipped_fraction": reference.pruned_by_threshold / n,
+                    "comparisons_per_point": {
+                        "sorted": reference.comparisons / n,
+                        "bbs": bbs.comparisons / n,
+                        "salsa": salsa.comparisons / n,
+                    },
+                    "salsa_partitioned_comparisons_per_point": partitioned,
+                    "identical": cell_identical,
+                    "terminates_early": cell_early,
+                }
+            )
+    return {
+        "pivot_subspace": list(subspace),
+        "min_skip_fraction": min_skip,
+        "cells": cells,
+        "identical": identical,
+        "terminates_early": terminates_early,
+    }
+
+
 def _bench_kernels(
     *,
     primary: str,
@@ -562,10 +668,13 @@ def _bench_kernels(
                 }
             )
 
+    salsa = _bench_salsa(crossover_n, crossover_dims, crossover_distributions)
+
     return {
         "headline": headline,
         "crossover": crossover,
-        "identical": identical and crossover_identical,
+        "salsa": salsa,
+        "identical": identical and crossover_identical and salsa["identical"],
         "speedup_ok": best_speedup >= 2.0,
     }
 
@@ -686,6 +795,7 @@ def bench_smoke(
         "start_methods": list(dict.fromkeys(label.rsplit("-", 1)[0] for label in engines)),
         "shm_supported": shm_ok,
         "cpu_count": os.cpu_count(),
+        "degraded_parallelism": (os.cpu_count() or 1) < 2,
         "python": platform.python_version(),
         "serial_wall_seconds": serial_wall,
         "parallel_wall_seconds": parallel_wall,

@@ -55,8 +55,9 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     substrate_help = (
         "Algorithm-1 scan substrate: 'sorted' (the paper's f-ascending "
-        "list scan, default) or 'bbs' (branch-and-bound over the R-tree); "
-        "also REPRO_SCAN_SUBSTRATE"
+        "list scan, default), 'bbs' (branch-and-bound over the R-tree) "
+        "or 'salsa' (sort-based filtering with stop-point early "
+        "termination); also REPRO_SCAN_SUBSTRATE"
     )
     partition_help = (
         "intra-query scan partitioner: 'none' (default), 'range', 'grid' "
@@ -97,7 +98,7 @@ def _build_parser() -> argparse.ArgumentParser:
                     help="requests offered by --serve (default 96)")
     be.add_argument("--rate", type=float, default=400.0,
                     help="open-loop arrival rate in req/s for --serve")
-    be.add_argument("--substrate", choices=("sorted", "bbs"), default=None,
+    be.add_argument("--substrate", choices=("sorted", "bbs", "salsa"), default=None,
                     help=substrate_help)
     be.add_argument("--partition", choices=("none", "range", "grid", "angular"),
                     default=None, help=partition_help)
@@ -147,7 +148,7 @@ def _build_parser() -> argparse.ArgumentParser:
     q.add_argument("--merge", choices=("pipelined", "buffered"), default=None,
                    help="initiator merge strategy for the socket transport "
                         "(default: REPRO_STREAM_MERGE, else pipelined)")
-    q.add_argument("--substrate", choices=("sorted", "bbs"), default=None,
+    q.add_argument("--substrate", choices=("sorted", "bbs", "salsa"), default=None,
                    help=substrate_help)
     q.add_argument("--partition", choices=("none", "range", "grid", "angular"),
                    default=None, help=partition_help)

@@ -33,7 +33,7 @@ __all__ = ["SortedByF"]
 class SortedByF:
     """A point set sorted ascending by ``f(p)`` with cached keys."""
 
-    __slots__ = ("points", "f", "_projections", "_rtrees")
+    __slots__ = ("points", "f", "_projections", "_rtrees", "_salsa")
 
     #: Most distinct subspaces cached per store.  Workloads concentrate
     #: on a handful of subspaces (the query-cache motivation); the cap
@@ -50,6 +50,7 @@ class SortedByF:
         self.f.setflags(write=False)
         self._projections: dict[tuple[int, ...], tuple[np.ndarray, np.ndarray]] | None = None
         self._rtrees: dict[tuple[tuple[int, ...], int], "RTree"] | None = None
+        self._salsa: dict[tuple[int, ...], tuple[np.ndarray, np.ndarray]] | None = None
 
     @classmethod
     def from_points(cls, points: PointSet) -> "SortedByF":
@@ -77,6 +78,7 @@ class SortedByF:
         self.f.setflags(write=False)
         self._projections = None
         self._rtrees = None
+        self._salsa = None
         return self
 
     def __len__(self) -> int:
@@ -141,6 +143,43 @@ class SortedByF:
             hit = cache[key] = tree
         return hit
 
+    def salsa_order(self, subspace: Sequence[int]) -> tuple[np.ndarray, np.ndarray]:
+        """The SaLSa visit order for ``subspace``: ``(order, keys)``.
+
+        ``order`` is the store positions sorted ascending by the
+        monotone sorting function ``minC(p) = min_{i in U} p[i]`` with
+        the coordinate sum as tiebreak (and, the sort being stable,
+        store position beyond that), and ``keys`` is ``minC`` in that
+        order.  A dominator's ``(minC, sum)`` pair never sorts after
+        its victim's, which is what lets the SaLSa scan
+        (:func:`repro.core.substrates.salsa_subspace_skyline`) stop
+        early at the running stop-point.  Cached per subspace under the
+        same cap as projections; the store is immutable, so entries
+        never go stale.
+        """
+        key = tuple(subspace)
+        cache = self._salsa
+        if cache is None:
+            cache = self._salsa = {}
+        hit = cache.get(key)
+        if hit is None:
+            proj, _dists = self.projection(key)
+            if len(self):
+                mins = proj.min(axis=1)
+                order = np.ascontiguousarray(
+                    np.lexsort((proj.sum(axis=1), mins)), dtype=np.int64
+                )
+                keys = np.ascontiguousarray(mins[order], dtype=np.float64)
+            else:
+                order = np.zeros(0, dtype=np.int64)
+                keys = np.zeros(0, dtype=np.float64)
+            order.setflags(write=False)
+            keys.setflags(write=False)
+            if len(cache) >= self.MAX_CACHED_SUBSPACES:
+                cache.pop(next(iter(cache)))
+            hit = cache[key] = (order, keys)
+        return hit
+
     def has_projection(self, subspace: Sequence[int]) -> bool:
         """True when :meth:`projection` would hit the instance cache."""
         cache = self._projections
@@ -185,6 +224,7 @@ class SortedByF:
         self.f.setflags(write=False)
         self._projections = None
         self._rtrees = None
+        self._salsa = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"SortedByF(n={len(self)}, d={self.dimensionality})"

@@ -1,19 +1,28 @@
 """Scan substrates for Algorithm 1.
 
-The threshold scan has two interchangeable physical executions:
+The threshold scan has three interchangeable physical executions:
 
 * ``"sorted"`` — the paper's f-ascending list scan
   (:func:`repro.core.local_skyline.local_subspace_skyline`);
 * ``"bbs"`` — branch-and-bound over a bulk-loaded R-tree [Papadias et
   al., TODS 2005], expanding entries best-first by ``dist_U`` (the
   ``max`` of an entry's lower corner, a lower bound on ``dist_U`` of
-  every point beneath it) with MBR dominance pruning.
+  every point beneath it) with MBR dominance pruning;
+* ``"salsa"`` — sort-based filtering with a stop-point [Bartolini,
+  Ciaccia & Patella's SaLSa; see also arXiv 1908.04083]: candidates
+  are visited in ascending order of the monotone sorting function
+  ``minC(p) = min_{i in U} p[i]`` (sum tiebreak) while the scan keeps
+  the *stop-point* ``stop = min`` over inserted candidates of
+  ``dist_U(p) = max_{i in U} p[i]``; once the next sort key exceeds
+  ``stop``, every remaining point is ext-dominated by the stop-point
+  witness (all its coordinates are ``<= stop < minC`` of anything
+  left) and the scan terminates without reading them.
 
-Both return the *same* skyline byte-for-byte: the threshold-scan result
+All return the *same* skyline byte-for-byte: the threshold-scan result
 equals the skyline of ``store ∩ {f <= t}`` (a point with ``f`` above
 the refined threshold is ext-dominated by the point that refined it),
-and the skyline of a set is unique.  The BBS variant reports the
-surviving store positions sorted ascending — exactly the order the
+and the skyline of a set is unique.  The alternative substrates report
+the surviving store positions sorted ascending — exactly the order the
 sorted scan produces — and the same refined threshold (the minimum
 ``dist_U`` over the result, which equals the minimum over all points
 the sorted scan ever inserts, because an evictor never has a larger
@@ -26,12 +35,13 @@ What *does* differ per substrate is the honest work accounting:
 corner tested), so the bench can compare pruning power per
 dimensionality and distribution.
 
-Threshold pruning under BBS cannot use the projected MBR corners —
-``f`` is the *full-space* minimum, unrelated to a subspace projection —
-so it uses the store's f-sortedness instead: ``{f <= t}`` is the
-position prefix ``[0, hi)``, and the tree's ``min_id`` subtree
-annotations (smallest store position below an entry) bound ``f`` over
-whole subtrees.  See :meth:`repro.index.rtree.RTree.annotate_min_ids`.
+Threshold pruning under BBS and SaLSa cannot use the subspace
+coordinates directly — ``f`` is the *full-space* minimum, unrelated to
+a subspace projection — so both use the store's f-sortedness instead:
+``{f <= t}`` is the position prefix ``[0, hi)``.  BBS additionally
+bounds ``f`` over whole subtrees via the tree's ``min_id`` annotations
+(see :meth:`repro.index.rtree.RTree.annotate_min_ids`); SaLSa filters
+each visit batch against the prefix before any dominance test runs.
 """
 
 from __future__ import annotations
@@ -46,7 +56,11 @@ import numpy as np
 
 from .dominance import batch_dominated_any
 from .indexes import BlockDominanceIndex
-from .local_skyline import SkylineComputation, local_subspace_skyline
+from .local_skyline import (
+    SkylineComputation,
+    local_subspace_skyline,
+    resolve_scan_chunk,
+)
 from .store import SortedByF
 
 __all__ = [
@@ -54,14 +68,16 @@ __all__ = [
     "SUBSTRATE_ENV",
     "bbs_subspace_skyline",
     "resolve_scan_substrate",
+    "salsa_subspace_skyline",
     "subspace_skyline",
 ]
 
 #: ``REPRO_SCAN_SUBSTRATE`` selects the scan execution globally
-#: (``sorted`` or ``bbs``); explicit arguments win over the env var.
+#: (``sorted``, ``bbs`` or ``salsa``); explicit arguments win over the
+#: env var.
 SUBSTRATE_ENV = "REPRO_SCAN_SUBSTRATE"
 
-SCAN_SUBSTRATES = ("sorted", "bbs")
+SCAN_SUBSTRATES = ("sorted", "bbs", "salsa")
 
 
 def resolve_scan_substrate(substrate: str | None = None) -> str:
@@ -85,9 +101,18 @@ def subspace_skyline(
     scan_chunk: int | None = None,
 ) -> SkylineComputation:
     """Run Algorithm 1 on the selected substrate (dispatch helper)."""
-    if resolve_scan_substrate(substrate) == "bbs":
+    substrate = resolve_scan_substrate(substrate)
+    if substrate == "bbs":
         return bbs_subspace_skyline(
             store, subspace, initial_threshold=initial_threshold, strict=strict
+        )
+    if substrate == "salsa":
+        return salsa_subspace_skyline(
+            store,
+            subspace,
+            initial_threshold=initial_threshold,
+            strict=strict,
+            scan_chunk=scan_chunk,
         )
     return local_subspace_skyline(
         store,
@@ -215,6 +240,134 @@ def bbs_subspace_skyline(
         if pending_pos:
             flush()
 
+    kept_positions = np.sort(np.asarray(index.positions(), dtype=np.int64))
+    result = SortedByF(
+        store.points.take(kept_positions),
+        f[kept_positions] if len(kept_positions) else np.zeros(0),
+    )
+    return SkylineComputation(
+        result=result,
+        threshold=threshold,
+        examined=examined,
+        comparisons=index.comparisons,
+        duration=time.perf_counter() - started,
+        input_size=input_size,
+        positions=kept_positions,
+    )
+
+
+def salsa_subspace_skyline(
+    store: SortedByF,
+    subspace: Sequence[int],
+    initial_threshold: float = math.inf,
+    strict: bool = False,
+    positions: np.ndarray | None = None,
+    scan_chunk: int | None = None,
+) -> SkylineComputation:
+    """Algorithm 1 as a SaLSa sort-and-limit scan.
+
+    Candidates are visited in ascending ``minC`` order (sum tiebreak;
+    see :meth:`repro.core.store.SortedByF.salsa_order`) in vectorized
+    batches mirroring the sorted scan's chunking.  Two monotone
+    filters bound the work:
+
+    * the *threshold prefix* — points with ``f > t`` live past the
+      store position ``hi`` and are dropped from each batch before any
+      dominance test (they are ext-dominated by whichever point
+      refined ``t``, exactly the sorted scan's termination rule);
+    * the *stop-point* — once ``minC`` of the next batch exceeds
+      ``stop = min dist_U`` over the candidates inserted so far, the
+      stop-point witness ext-dominates everything left (each of its
+      coordinates is ``<= stop < minC``), and the scan ends without
+      reading the tail at all.
+
+    Domination can only flow forward in ``(minC, sum)`` order — a
+    dominator never sorts after its victim — except inside exact
+    float-tie groups, which the batch pairwise pass and eviction-armed
+    ``bulk_insert`` resolve; the surviving set is therefore the unique
+    skyline of ``store ∩ {f <= t_final}``, byte-identical to the
+    sorted scan (positions ascending, same refined threshold).
+
+    ``positions`` restricts the scan to a partition slice (see
+    :mod:`repro.parallel.partition`): the slice is sorted by the same
+    key and keeps its own stop-point, and the returned positions stay
+    global, so the incremental merge re-validates slices exactly as it
+    does for the other substrates.
+    """
+    started = time.perf_counter()
+    cols = tuple(subspace)
+    proj, dists = store.projection(cols)
+    f = store.f
+    if positions is None:
+        input_size = len(store)
+        order, keys = store.salsa_order(cols)
+    else:
+        positions = np.asarray(positions, dtype=np.int64)
+        input_size = int(positions.shape[0])
+        if input_size:
+            sub = proj[positions]
+            mins = sub.min(axis=1)
+            perm = np.lexsort((sub.sum(axis=1), mins))
+            order = positions[perm]
+            keys = mins[perm]
+        else:
+            order = np.zeros(0, dtype=np.int64)
+            keys = np.zeros(0, dtype=np.float64)
+    index = BlockDominanceIndex(len(cols), strict=strict)
+    threshold = float(initial_threshold)
+    stop = math.inf
+    examined = 0
+    chunk = resolve_scan_chunk(scan_chunk)
+    n = order.shape[0]
+    if n:
+        # First position whose f exceeds the threshold; f == t ties are
+        # examined, never pruned (Observation 5 licenses only strict
+        # excess), which side="right" honors exactly.
+        hi = (
+            len(f)
+            if math.isinf(threshold)
+            else int(np.searchsorted(f, threshold, side="right"))
+        )
+        i = 0
+        while i < n and keys[i] <= stop:
+            j = min(n, i + chunk)
+            # Batch boundaries honor the stop known at batch start;
+            # key == stop ties must still be visited (an identical
+            # constant vector neither dominates nor is dominated).
+            j = i + int(np.searchsorted(keys[i:j], stop, side="right"))
+            batch = order[i:j]
+            batch = batch[batch < hi]
+            if batch.size:
+                examined += int(batch.size)
+                rows = proj[batch]
+                block = index.block_view()
+                if block.shape[0]:
+                    index.comparisons += block.shape[0] * rows.shape[0]
+                    alive = ~batch_dominated_any(block, rows, strict=strict)
+                    batch, rows = batch[alive], rows[alive]
+                if batch.size:
+                    # Pairwise pass among the batch survivors, charged
+                    # like the sorted scan's quadratic tie resolution.
+                    index.comparisons += int(batch.size) * int(batch.size)
+                    if strict:
+                        dom = np.all(rows[None, :, :] < rows[:, None, :], axis=2)
+                    else:
+                        le = np.all(rows[None, :, :] <= rows[:, None, :], axis=2)
+                        dom = le & ~le.T
+                    winners = ~np.any(dom, axis=1)
+                    batch, rows = batch[winners], rows[winners]
+                if batch.size:
+                    # minC order permits eviction only inside exact
+                    # (minC, sum) float-tie groups straddling batches,
+                    # so the eviction scan must stay armed.
+                    index.bulk_insert(batch, rows, can_evict=True)
+                    batch_min = float(dists[batch].min())
+                    if batch_min < stop:
+                        stop = batch_min
+                        if stop < threshold:
+                            threshold = stop
+                            hi = int(np.searchsorted(f, threshold, side="right"))
+            i = j
     kept_positions = np.sort(np.asarray(index.positions(), dtype=np.int64))
     result = SortedByF(
         store.points.take(kept_positions),

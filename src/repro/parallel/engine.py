@@ -252,7 +252,7 @@ def _cached_local_compute(
     import numpy as np
 
     from ..core.local_skyline import SkylineComputation, local_subspace_skyline
-    from ..core.substrates import bbs_subspace_skyline
+    from ..core.substrates import bbs_subspace_skyline, salsa_subspace_skyline
     from .partition import partitioned_subspace_skyline
 
     index_kind = network.index_kind
@@ -266,6 +266,10 @@ def _cached_local_compute(
             )
         if substrate == "bbs":
             return bbs_subspace_skyline(store, cols, initial_threshold=threshold)
+        if substrate == "salsa":
+            return salsa_subspace_skyline(
+                store, cols, initial_threshold=threshold, scan_chunk=scan_chunk
+            )
         return local_subspace_skyline(
             store, cols, initial_threshold=threshold,
             index_kind=index_kind, scan_chunk=scan_chunk,

@@ -45,7 +45,11 @@ from ..core.local_skyline import (
 )
 from ..core.merging import IncrementalMerger
 from ..core.store import SortedByF
-from ..core.substrates import bbs_subspace_skyline, resolve_scan_substrate
+from ..core.substrates import (
+    bbs_subspace_skyline,
+    resolve_scan_substrate,
+    salsa_subspace_skyline,
+)
 
 __all__ = [
     "PARTITION_ENV",
@@ -196,13 +200,25 @@ def scan_partition(
     returned computation reports *global* store positions, ready for
     :func:`merge_partition_scans`.
     """
-    if resolve_scan_substrate(substrate) == "bbs":
+    substrate = resolve_scan_substrate(substrate)
+    if substrate == "bbs":
         return bbs_subspace_skyline(
             store,
             subspace,
             initial_threshold=initial_threshold,
             strict=strict,
             positions=positions,
+        )
+    if substrate == "salsa":
+        # The slice re-sorts by (minC, sum) and keeps its own
+        # stop-point; the merge below re-validates across slices.
+        return salsa_subspace_skyline(
+            store,
+            subspace,
+            initial_threshold=initial_threshold,
+            strict=strict,
+            positions=positions,
+            scan_chunk=scan_chunk,
         )
     started = time.perf_counter()
     cols = tuple(subspace)

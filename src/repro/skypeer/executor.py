@@ -123,7 +123,7 @@ def make_local_compute(
     """Build the default per-super-peer Algorithm-1 strategy.
 
     The scan kernel is selected by ``scan_substrate`` (``sorted``/
-    ``bbs``; env ``REPRO_SCAN_SUBSTRATE``) and ``partitioner``
+    ``bbs``/``salsa``; env ``REPRO_SCAN_SUBSTRATE``) and ``partitioner``
     (``none``/``range``/``grid``/``angular``; env ``REPRO_PARTITION``) —
     resolved here, once, so every scan of the query agrees.  With a
     partitioner and an ``engine``
@@ -134,7 +134,11 @@ def make_local_compute(
     the grid/angular comparison savings.  All variants return results
     byte-identical to the plain sorted scan.
     """
-    from ..core.substrates import bbs_subspace_skyline, resolve_scan_substrate
+    from ..core.substrates import (
+        bbs_subspace_skyline,
+        resolve_scan_substrate,
+        salsa_subspace_skyline,
+    )
     from ..parallel.partition import (
         partitioned_subspace_skyline,
         resolve_partition_parts,
@@ -169,6 +173,13 @@ def make_local_compute(
         def local_compute(sp: int, sub, threshold: float) -> SkylineComputation:
             return bbs_subspace_skyline(
                 network.store_of(sp), sub, initial_threshold=threshold
+            )
+        return local_compute
+    if substrate == "salsa":
+        def local_compute(sp: int, sub, threshold: float) -> SkylineComputation:
+            return salsa_subspace_skyline(
+                network.store_of(sp), sub, initial_threshold=threshold,
+                scan_chunk=scan_chunk,
             )
         return local_compute
 

@@ -38,8 +38,8 @@ from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 from ..core.dataset import PointSet
-from ..core.local_skyline import local_subspace_skyline
 from ..core.merging import merge_sorted_skylines
+from ..core.substrates import subspace_skyline
 from ..core.store import SortedByF
 from ..core.subspace import Subspace, normalize_subspace
 from ..data.workload import Query
@@ -172,7 +172,10 @@ class ProtocolNode:
         """Run Algorithm 1 locally; returns the wall-clock duration."""
         state = self.state
         started = time.perf_counter()
-        computation = local_subspace_skyline(
+        # The dispatcher honors REPRO_SCAN_SUBSTRATE, so the socket
+        # runner (netexec/serving) scans on the same substrate as the
+        # in-process executor; results are substrate-invariant.
+        computation = subspace_skyline(
             self.store,
             self.subspace,
             initial_threshold=threshold,

@@ -62,6 +62,39 @@ def test_serving_section_present_and_passing(report):
         assert load["latency_seconds"][q] >= 0.0
 
 
+def test_degraded_parallelism_flag(report):
+    import os
+
+    assert report["degraded_parallelism"] is ((os.cpu_count() or 1) < 2)
+
+
+def test_kernels_salsa_section(report):
+    salsa = report["kernels"]["salsa"]
+    assert salsa["identical"] is True
+    assert salsa["terminates_early"] is True
+    assert tuple(salsa["pivot_subspace"]) == (0, 1)
+    assert salsa["min_skip_fraction"] == pytest.approx(0.20)
+    assert salsa["cells"]
+    for cell in salsa["cells"]:
+        assert cell["identical"] is True
+        cpp = cell["comparisons_per_point"]
+        assert set(cpp) == {"sorted", "bbs", "salsa"}
+        assert 0.0 <= cell["skipped_fraction"] <= 1.0
+        if cell["distribution"] == "correlated":
+            # The acceptance gate: ≥ 20 % of points skipped and strictly
+            # fewer comparisons than the sorted scan on correlated cells.
+            assert cell["terminates_early"] is True
+            assert cell["skipped_fraction"] >= 0.20
+            assert cpp["salsa"] < cpp["sorted"]
+
+
+def test_kernels_identity_verdict_includes_salsa(report):
+    # The rolled-up kernels.identical verdict folds the salsa section
+    # in: it cannot be true while the salsa gate is false.
+    if report["kernels"]["identical"]:
+        assert report["kernels"]["salsa"]["identical"] is True
+
+
 def test_report_is_json_serializable(report, tmp_path):
     path = tmp_path / "BENCH_test.json"
     write_bench_smoke(str(path), report)

@@ -8,8 +8,13 @@ import pytest
 from repro.core.dominance import (
     DOMINANCE_KERNEL_ENV,
     batch_dominated_any,
+    jit_kernel_available,
     resolve_dominance_kernel,
 )
+
+#: Every forceable kernel name; ``jit`` silently degrades to ``auto``
+#: when numba is absent, so it is always safe to request.
+FORCED_KERNELS = ("broadcast", "tiled", "transposed", "jit")
 
 
 def oracle(dominators: np.ndarray, targets: np.ndarray, strict: bool) -> np.ndarray:
@@ -28,45 +33,85 @@ def oracle(dominators: np.ndarray, targets: np.ndarray, strict: bool) -> np.ndar
 
 
 class TestKernelEquality:
+    @pytest.mark.parametrize("kernel", FORCED_KERNELS)
     @pytest.mark.parametrize("strict", [False, True])
-    def test_tiled_equals_broadcast_random(self, rng, strict):
+    def test_kernels_equal_broadcast_random(self, rng, strict, kernel):
         dominators = rng.random((90, 4))
         targets = rng.random((70, 4))
         broadcast = batch_dominated_any(dominators, targets, strict, kernel="broadcast")
-        tiled = batch_dominated_any(dominators, targets, strict, kernel="tiled")
-        assert np.array_equal(broadcast, tiled)
+        forced = batch_dominated_any(dominators, targets, strict, kernel=kernel)
+        assert np.array_equal(broadcast, forced)
         assert np.array_equal(broadcast, oracle(dominators, targets, strict))
 
+    @pytest.mark.parametrize("kernel", FORCED_KERNELS)
     @pytest.mark.parametrize("strict", [False, True])
-    def test_tie_heavy_integer_grid(self, rng, strict):
+    def test_tie_heavy_integer_grid(self, rng, strict, kernel):
         # Duplicated rows and shared coordinates: the <=/&-any branch of
-        # the non-strict kernel and the all-< strict branch both have to
-        # get exact ties right in every tile.
+        # the non-strict kernels and the all-< strict branch both have
+        # to get exact ties right in every tile/plane.
         dominators = rng.integers(0, 3, size=(120, 3)).astype(float)
         targets = np.vstack([dominators[:40], rng.integers(0, 3, size=(40, 3))])
         broadcast = batch_dominated_any(dominators, targets, strict, kernel="broadcast")
-        tiled = batch_dominated_any(dominators, targets, strict, kernel="tiled")
-        assert np.array_equal(broadcast, tiled)
+        forced = batch_dominated_any(dominators, targets, strict, kernel=kernel)
+        assert np.array_equal(broadcast, forced)
         assert np.array_equal(broadcast, oracle(dominators, targets, strict))
 
     @pytest.mark.parametrize("strict", [False, True])
-    def test_auto_equals_forced_kernels_past_tile_budget(self, rng, strict):
-        # m*c*k = 600*600*8 >> _TILE_BUDGET, so auto goes tiled here;
-        # all three spellings must agree anyway.
+    def test_auto_equals_forced_kernels_on_large_shapes(self, rng, strict):
+        # 600×600×8 is well past any broadcast comfort zone; every
+        # spelling must agree with auto anyway.
         dominators = rng.random((600, 8))
         targets = rng.random((600, 8))
         auto = batch_dominated_any(dominators, targets, strict)
-        for kernel in ("broadcast", "tiled"):
+        for kernel in FORCED_KERNELS:
             assert np.array_equal(
                 auto, batch_dominated_any(dominators, targets, strict, kernel=kernel)
             ), kernel
 
-    def test_early_exit_when_everything_is_dominated(self, rng):
-        # The origin dominates every positive target; the tiled kernel's
-        # all()-early-exit must not change the answer.
+    @pytest.mark.parametrize("kernel", ["tiled", "transposed", "jit"])
+    def test_early_exit_when_everything_is_dominated(self, rng, kernel):
+        # The origin dominates every positive target; the early-exit
+        # paths (tile all(), per-dim acc.any(), per-target break) must
+        # not change the answer.
         dominators = np.vstack([np.zeros((1, 3)), rng.random((500, 3))])
         targets = rng.random((50, 3)) + 0.1
-        assert batch_dominated_any(dominators, targets, kernel="tiled").all()
+        assert batch_dominated_any(dominators, targets, kernel=kernel).all()
+
+    def test_transposed_handles_non_contiguous_planes(self, rng):
+        # The transposed kernel reads column-major; strided inputs must
+        # be copied, not mis-strided.
+        base = rng.random((60, 8))
+        dominators = base[:, ::2]
+        targets = rng.random((30, 4))
+        assert np.array_equal(
+            batch_dominated_any(dominators, targets, kernel="transposed"),
+            batch_dominated_any(dominators, targets, kernel="broadcast"),
+        )
+
+
+class TestJitFallback:
+    def test_jit_request_never_raises_without_numba(self, rng):
+        # The jit kernel is an opt-in accelerator, never a dependency:
+        # requesting it on a host without numba silently degrades to the
+        # auto kernel with identical output.
+        dominators = rng.random((40, 3))
+        targets = rng.random((20, 3))
+        out = batch_dominated_any(dominators, targets, kernel="jit")
+        assert np.array_equal(
+            out, batch_dominated_any(dominators, targets, kernel="broadcast")
+        )
+
+    def test_availability_probe_is_a_bool(self):
+        assert jit_kernel_available() in (True, False)
+
+    def test_env_var_jit_reaches_batch_kernel(self, rng, monkeypatch):
+        monkeypatch.setenv(DOMINANCE_KERNEL_ENV, "jit")
+        dominators = rng.random((25, 4))
+        targets = rng.random((25, 4))
+        assert np.array_equal(
+            batch_dominated_any(dominators, targets),
+            batch_dominated_any(dominators, targets, kernel="broadcast"),
+        )
 
 
 class TestEdgeCases:
@@ -108,6 +153,19 @@ class TestResolveKernel:
     def test_unknown_kernel_raises(self):
         with pytest.raises(ValueError, match="unknown dominance kernel"):
             resolve_dominance_kernel("simd")
+
+    def test_error_message_lists_valid_names(self):
+        # Satellite: a typo in REPRO_DOMINANCE_KERNEL must name every
+        # valid kernel in the error.
+        with pytest.raises(ValueError) as exc:
+            resolve_dominance_kernel("simd")
+        message = str(exc.value)
+        for name in ("auto", "broadcast", "tiled", "transposed", "jit"):
+            assert name in message
+
+    @pytest.mark.parametrize("name", ["transposed", "jit"])
+    def test_new_kernels_resolve(self, name):
+        assert resolve_dominance_kernel(name) == name
 
     def test_env_var_reaches_batch_kernel(self, rng, monkeypatch):
         monkeypatch.setenv(DOMINANCE_KERNEL_ENV, "bogus")

@@ -107,6 +107,15 @@ class TestResolvers:
             resolve_partitioner("hilbert")
         assert "none" in PARTITIONERS
 
+    def test_error_message_lists_valid_names(self):
+        # Satellite: a typo in REPRO_PARTITION must name every valid
+        # partitioner in the error.
+        with pytest.raises(ValueError) as exc:
+            resolve_partitioner("hilbert")
+        message = str(exc.value)
+        for name in PARTITIONERS:
+            assert name in message
+
     def test_parts_env_and_default(self, monkeypatch):
         monkeypatch.delenv(PARTITION_PARTS_ENV, raising=False)
         assert resolve_partition_parts(default=3) == 3
@@ -121,7 +130,7 @@ class TestResolvers:
 
 class TestPartitionedScanIdentity:
     @pytest.mark.parametrize("partitioner", SPLITTERS)
-    @pytest.mark.parametrize("substrate", ["sorted", "bbs"])
+    @pytest.mark.parametrize("substrate", ["sorted", "bbs", "salsa"])
     def test_matches_serial(self, rng, partitioner, substrate):
         store = make_store(rng)
         subspace = (0, 1, 2)
@@ -220,13 +229,14 @@ class TestEngineFanOut:
         )
         assert_identical(serial, again)
 
-    def test_substrate_rides_through_the_pool(self, rng, engine):
+    @pytest.mark.parametrize("substrate", ["bbs", "salsa"])
+    def test_substrate_rides_through_the_pool(self, rng, engine, substrate):
         points = PointSet(rng.random((300, 3)))
         network, sp = single_store_network(points)
         serial = local_subspace_skyline(network.store_of(sp), (0, 1, 2))
         pooled = engine.run_partitioned_scan(
             network, sp, (0, 1, 2),
-            partitioner="angular", parts=3, substrate="bbs",
+            partitioner="angular", parts=3, substrate=substrate,
         )
         assert_identical(serial, pooled)
 
@@ -279,14 +289,20 @@ class TestExecutorKnobs:
         assert run.comparisons == baseline.comparisons
 
 
-# Kernel configurations the property sweeps: the BBS substrate alone,
-# each partitioner on the sorted substrate, and a composed case.
+# Kernel configurations the property sweeps: each alternative substrate
+# alone, each partitioner on the sorted substrate, and composed cases —
+# including SaLSa under every partitioner (its per-slice stop point must
+# survive the cross-slice merge).
 KERNEL_CONFIGS = (
     {"scan_substrate": "bbs"},
+    {"scan_substrate": "salsa"},
     {"partitioner": "range", "partition_parts": 3},
     {"partitioner": "grid", "partition_parts": 3},
     {"partitioner": "angular", "partition_parts": 3},
     {"scan_substrate": "bbs", "partitioner": "angular", "partition_parts": 2},
+    {"scan_substrate": "salsa", "partitioner": "range", "partition_parts": 3},
+    {"scan_substrate": "salsa", "partitioner": "grid", "partition_parts": 3},
+    {"scan_substrate": "salsa", "partitioner": "angular", "partition_parts": 2},
 )
 
 
@@ -327,7 +343,13 @@ def partition_cases(draw):
     suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
 )
 def test_kernels_are_indistinguishable_across_all_variants(case):
-    """Satellite: every kernel × every variant equals the serial scan."""
+    """Satellite: every kernel × every variant equals the serial scan.
+
+    Indistinguishable means indistinguishable: not just the same result
+    ids but the same initial threshold and the same wire bytes — a
+    substrate that altered a local threshold or shipped a different
+    payload would leak through ``volume_bytes``.
+    """
     network, query = case
     for variant in Variant:
         baseline = execute_query(network, query, variant)
@@ -340,3 +362,8 @@ def test_kernels_are_indistinguishable_across_all_variants(case):
             assert np.array_equal(
                 run.result.points.ids, baseline.result.points.ids
             ), (variant, config)
+            assert run.initial_threshold == baseline.initial_threshold, (
+                variant,
+                config,
+            )
+            assert run.volume_bytes == baseline.volume_bytes, (variant, config)
