@@ -53,6 +53,17 @@ both sides are deterministic counters, so the gate is machine-stable)
 (``cpu_count < 2``) the *speedup* verdicts (``kernels.speedup_ok``)
 are reported but not gated — a single core cannot honestly win a
 wall-clock race — while every identity verdict stays gated as usual.
+
+Schema-7 reports add ``incremental`` (``bench --smoke`` embeds it;
+``bench --churn`` emits it standalone): the churn gauntlet's grid of
+live updates applied through ``ParallelEngine.apply_update``.  Its
+gated verdicts are ``identical`` (after every cell's schedule, engine
+answers byte-identical to a serial run over the from-scratch rebuild),
+``delta_bounded`` (each incremental op's republished bytes bounded by
+its touched slots and strictly below the publication — deterministic
+byte counters, machine-stable) and ``exercised`` (on shm platforms at
+least one op must actually take the incremental path; vacuous in
+snapshot mode, where every op is an honest full republish).
 """
 
 from __future__ import annotations
@@ -264,6 +275,46 @@ def check_current_verdicts(current: dict) -> list[str]:
                     f"d={cell.get('d')}: sorted/none {base:.1f} cmp/pt, best "
                     f"{best[0]} {best[1]:.1f} cmp/pt"
                 )
+    incremental = current.get("incremental")
+    if incremental is not None:
+        if not incremental.get("identical", True):
+            broken = [
+                f"u={cell.get('update_rate')},c={cell.get('churn_rate')}"
+                for cell in incremental.get("cells", [])
+                if not cell.get("identical", True)
+            ]
+            problems.append(
+                "incremental maintenance diverged from from-scratch "
+                f"recomputation at: {broken}"
+            )
+        if not incremental.get("delta_bounded", True):
+            oversized = [
+                f"u={cell.get('update_rate')},c={cell.get('churn_rate')} "
+                f"op#{i} ({op.get('kind')}: {op.get('republished_bytes')}B "
+                f"vs slots {op.get('slot_nbytes')}B / "
+                f"publication {op.get('total_nbytes')}B)"
+                for cell in incremental.get("cells", [])
+                for i, op in enumerate(cell.get("ops", []))
+                if not op.get("delta_bounded", True)
+            ]
+            problems.append(
+                f"incremental republish rewrote more than the touched slots: "
+                f"{oversized}"
+            )
+        if not incremental.get("exercised", True):
+            problems.append(
+                "incremental path never exercised: every op on an shm "
+                "platform fell back to a full republish"
+            )
+        for cell in incremental.get("cells", []):
+            print(
+                f"  [info] incremental u={cell.get('update_rate')} "
+                f"c={cell.get('churn_rate')}: "
+                f"{cell.get('incremental_ops', 0)}/{len(cell.get('ops', []))} "
+                f"ops incremental, {cell.get('republished_bytes', 0)}B "
+                f"republished vs {cell.get('publication_nbytes', 0)}B "
+                f"publication"
+            )
     return problems
 
 

@@ -83,6 +83,21 @@ machine-stable).  And ``"degraded_parallelism"``: true when
 ``cpu_count < 2``, telling ``check_regression.py`` to skip *speedup*
 verdicts (never identity verdicts) so single-core CI cannot flake the
 gate.
+
+Schema 7 adds ``"incremental"``: the churn gauntlet.  Each cell of an
+update-rate × churn-rate grid replays a deterministic write schedule
+(:mod:`repro.p2p.workload`) against a live, multi-super-peer network
+*served by a warm engine* — every op routes through
+:meth:`~repro.parallel.ParallelEngine.apply_update`, so the shm
+publication refreshes per-slot under a new sub-epoch instead of
+republishing the network.  Two gated verdicts: ``identical`` (after
+the full schedule, engine results are byte-identical to a serial run
+over :func:`~repro.p2p.workload.rebuild_reference`'s from-scratch
+recomputation, at every cell) and ``delta_bounded`` (every incremental
+op's republished bytes are bounded by its touched slots' size, which
+is strictly less than the publication — the delta scales with the
+update, not the network).  ``skypeer bench --churn`` emits the same
+section standalone via :func:`bench_churn`.
 """
 
 from __future__ import annotations
@@ -99,9 +114,9 @@ from ..skypeer.variants import Variant
 from .config import ExperimentConfig, Scale, resolve_scale
 from .harness import VariantStats, build_network, make_queries, run_queries
 
-__all__ = ["SMOKE_SCHEMA", "bench_serving", "bench_smoke", "write_bench_smoke"]
+__all__ = ["SMOKE_SCHEMA", "bench_churn", "bench_serving", "bench_smoke", "write_bench_smoke"]
 
-SMOKE_SCHEMA = "repro-bench-smoke/6"
+SMOKE_SCHEMA = "repro-bench-smoke/7"
 
 #: VariantStats fields that do not depend on wall-clock measurement —
 #: these must match exactly between serial and parallel runs.
@@ -679,6 +694,147 @@ def _bench_kernels(
     }
 
 
+def _stores_identical(a: Any, b: Any) -> bool:
+    """Byte-identity of two skyline stores: values, ids, f ordering."""
+    import numpy as np
+
+    return bool(
+        np.array_equal(a.points.values, b.points.values)
+        and np.array_equal(a.points.ids, b.points.ids)
+        and np.array_equal(a.f, b.f)
+    )
+
+
+def _churn_network(
+    seed: int,
+    d: int = 4,
+    n_peers: int = 9,
+    n_superpeers: int = 3,
+    points_per_peer: int = 12,
+) -> Any:
+    """A small multi-super-peer network for the churn gauntlet.
+
+    Incremental republish needs ≥ 2 super-peers to be distinguishable
+    from a full republish (a one-super-peer network's every update
+    touches every slot, which the engine deliberately republishes in
+    full), so this builder does not reuse the fig3b configs.
+    """
+    import numpy as np
+
+    from ..core.dataset import PointSet
+    from ..p2p.network import SuperPeerNetwork
+    from ..p2p.topology import Topology
+
+    rng = np.random.default_rng(seed)
+    topology = Topology.generate(
+        n_peers=n_peers, n_superpeers=n_superpeers, degree=3.0, seed=seed
+    )
+    partitions = {}
+    next_id = 0
+    for peers in topology.peers_of.values():
+        for pid in peers:
+            partitions[pid] = PointSet(
+                rng.random((points_per_peer, d)),
+                np.arange(next_id, next_id + points_per_peer),
+            )
+            next_id += points_per_peer
+    return SuperPeerNetwork.from_partitions(topology, partitions)
+
+
+def _bench_incremental(
+    n_workers: int,
+    primary: str,
+    shm_ok: bool,
+    grid_cells: Sequence[tuple[float, float]] = ((1.0, 0.0), (0.5, 0.5), (0.0, 1.0)),
+    ops_per_cell: int = 4,
+    subspaces: Sequence[Sequence[int]] = ((0, 1, 2), (1, 3), (0, 2, 3)),
+    variant: Variant = Variant.FTPM,
+) -> dict[str, Any]:
+    """The incremental churn grid: live updates vs from-scratch rebuild.
+
+    Every cell replays a deterministic :func:`~repro.p2p.workload.
+    churn_schedule` through :meth:`~repro.parallel.ParallelEngine.
+    apply_update` on a *live* engine whose publication was warmed by a
+    query pass, then compares the engine's post-churn answers
+    byte-for-byte against a serial run over the from-scratch
+    :func:`~repro.p2p.workload.rebuild_reference`.  On shm platforms
+    each op's report must show the republished delta bounded by the
+    touched slots (strictly below the whole publication); in snapshot
+    mode every op is a full republish and the delta verdict is
+    vacuously true — identity still gates.
+    """
+    from ..data.workload import Query
+    from ..p2p.workload import churn_schedule, plan_op, rebuild_reference
+    from ..skypeer.executor import execute_query
+
+    cells: list[dict[str, Any]] = []
+    identical = True
+    delta_bounded = True
+    incremental_ops_total = 0
+    with ParallelEngine(n_workers, use_shm=shm_ok, mp_start=primary) as engine:
+        for cell_index, (update_rate, churn_rate) in enumerate(grid_cells):
+            network = _churn_network(seed=101 + cell_index)
+            queries = [
+                Query(subspace=tuple(s), initiator=network.topology.superpeer_ids[0])
+                for s in subspaces
+            ]
+            engine.run_queries(network, queries, [variant])  # warm the publication
+            ops: list[dict[str, Any]] = []
+            schedule = churn_schedule(
+                ops_per_cell, update_rate, churn_rate, seed=cell_index
+            )
+            for op in schedule:
+                kind, kwargs = plan_op(network, op)
+                report = engine.apply_update(network, kind, **kwargs)
+                bounded = report.full_republish or (
+                    report.republished_bytes <= report.slot_nbytes
+                    and report.republished_bytes < report.total_nbytes
+                )
+                delta_bounded = delta_bounded and bounded
+                if not report.full_republish:
+                    incremental_ops_total += 1
+                ops.append({**report.as_dict(), "delta_bounded": bounded})
+            reference = rebuild_reference(network)
+            live = engine.run_queries(network, queries, [variant])[variant]
+            cell_identical = True
+            for query, execution in zip(queries, live):
+                ref_query = Query(
+                    subspace=query.subspace,
+                    initiator=reference.topology.superpeer_ids[0],
+                )
+                ref = execute_query(reference, ref_query, variant)
+                cell_identical = cell_identical and _stores_identical(
+                    execution.result, ref.result
+                )
+            identical = identical and cell_identical
+            cells.append(
+                {
+                    "update_rate": update_rate,
+                    "churn_rate": churn_rate,
+                    "ops": ops,
+                    "republished_bytes": sum(o["republished_bytes"] for o in ops),
+                    "publication_nbytes": ops[-1]["total_nbytes"] if ops else 0,
+                    "incremental_ops": sum(
+                        1 for o in ops if not o["full_republish"]
+                    ),
+                    "identical": cell_identical,
+                    "delta_bounded": all(o["delta_bounded"] for o in ops),
+                }
+            )
+    return {
+        "shm": shm_ok,
+        "grid": [list(cell) for cell in grid_cells],
+        "ops_per_cell": ops_per_cell,
+        "variant": variant.value,
+        "subspaces": [list(s) for s in subspaces],
+        "cells": cells,
+        "identical": identical,
+        "delta_bounded": delta_bounded,
+        "exercised": incremental_ops_total > 0 if shm_ok else True,
+        "incremental_ops_total": incremental_ops_total,
+    }
+
+
 def _other_start_method(primary: str) -> str | None:
     """The fork/spawn counterpart of ``primary``, when available."""
     import multiprocessing
@@ -783,6 +939,8 @@ def bench_smoke(
 
     kernels = _bench_kernels(primary=primary, shm_ok=shm_ok)
 
+    incremental = _bench_incremental(n_workers, primary=primary, shm_ok=shm_ok)
+
     parallel_wall = walls[primary_label]
     return {
         "schema": SMOKE_SCHEMA,
@@ -815,6 +973,7 @@ def bench_smoke(
         "pipelined_merge": pipelined_merge,
         "serving": serving,
         "kernels": kernels,
+        "incremental": incremental,
         "engines": engines,
         "equality": equality,
         "parallel_matches_serial": all(eq["matches"] for eq in equality.values()),
@@ -874,6 +1033,38 @@ def bench_serving(
         "cpu_count": os.cpu_count(),
         "python": platform.python_version(),
         "serving": serving,
+    }
+
+
+def bench_churn(
+    scale: str | Scale | None = None,
+    workers: int | None = None,
+) -> dict[str, Any]:
+    """Standalone churn gauntlet (``skypeer bench --churn``).
+
+    Emits a schema-7 document whose only measurement section is
+    ``"incremental"`` — the same section :func:`bench_smoke` embeds —
+    so ``benchmarks/check_regression.py`` applies the same gated
+    verdicts (``identical``, ``delta_bounded``) to either report kind.
+    CI uploads it as the churn-grid artifact.
+    """
+    scale = resolve_scale(scale)
+    n_workers = resolve_workers(workers)
+    if n_workers <= 1:
+        n_workers = 2
+    primary = start_method()
+    shm_ok = shm_supported()
+    incremental = _bench_incremental(n_workers, primary=primary, shm_ok=shm_ok)
+    return {
+        "schema": SMOKE_SCHEMA,
+        "sweep": "incremental-churn-grid",
+        "scale": scale.name,
+        "workers": n_workers,
+        "start_method": primary,
+        "shm_supported": shm_ok,
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "incremental": incremental,
     }
 
 

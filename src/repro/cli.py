@@ -6,7 +6,10 @@
     skypeer all --scale default --workers 4 # every table/figure, 4 procs
     skypeer bench --smoke --json BENCH.json # machine-readable baseline
     skypeer bench --serve --json BENCH.json # open-loop gateway load
+    skypeer bench --churn --json CHURN.json # incremental churn grid
     skypeer serve --peers 60 --dims 5       # asyncio query gateway
+    skypeer update insert --peer-id 3 --random 4 --port-file gw.port
+                                            # live update on a gateway
     skypeer export --scale default          # regenerate EXPERIMENTS.md
     skypeer query --peers 400 --dims 8 --subspace 0,3,6 --variant FTPM \
             [--transport socket] [--explain] [--json]
@@ -87,6 +90,9 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     be.add_argument("--smoke", action="store_true",
                     help="run the fig3b-scale serial-vs-parallel smoke")
+    be.add_argument("--churn", action="store_true",
+                    help="run the incremental churn grid alone: every cell must "
+                         "match from-scratch recomputation byte-for-byte")
     be.add_argument("--serve", action="store_true",
                     help="open-loop load through the asyncio gateway "
                          "(p50/p99 latency, shed rate, coalescing verdicts)")
@@ -129,6 +135,30 @@ def _build_parser() -> argparse.ArgumentParser:
                          "(default: until interrupted)")
     sv.add_argument("--port-file", default=None, metavar="PATH",
                     help="write 'host port' to PATH once bound (for scripts)")
+
+    up = sub.add_parser(
+        "update",
+        help="apply one live update (insert/delete/join/fail) to a running gateway",
+    )
+    up.add_argument("kind", choices=("insert", "delete", "join", "fail", "fail-superpeer"))
+    up.add_argument("--host", default="127.0.0.1")
+    up.add_argument("--port", type=int, default=None)
+    up.add_argument("--port-file", default=None, metavar="PATH",
+                    help="read 'host port' as written by skypeer serve --port-file")
+    up.add_argument("--peer-id", type=int, default=None,
+                    help="target peer (insert/delete/fail; optional id for join)")
+    up.add_argument("--superpeer-id", type=int, default=None,
+                    help="target super-peer (join/fail-superpeer)")
+    up.add_argument("--point-ids", type=str, default=None,
+                    help="comma-separated point ids to delete")
+    up.add_argument("--points", type=str, default=None,
+                    help="JSON rows ([[...], ...]) for insert/join")
+    up.add_argument("--random", type=int, default=None, metavar="N",
+                    help="server-side draw of N fresh points (insert/join)")
+    up.add_argument("--seed", type=int, default=0, help="seed for --random")
+    up.add_argument("--dataset",
+                    choices=("uniform", "clustered", "correlated", "anticorrelated"),
+                    default="uniform", help="distribution for --random")
 
     q = sub.add_parser("query", help="run one distributed query and print metrics")
     q.add_argument("--peers", type=int, default=400)
@@ -217,6 +247,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _run_bench(args)
     if args.command == "serve":
         return _run_serve(args)
+    if args.command == "update":
+        return _run_update(args)
     if args.command == "query":
         return _run_single_query(args)
     if args.command == "trace":
@@ -287,17 +319,19 @@ def _run_bench(args: argparse.Namespace) -> int:
     """``skypeer bench``: smoke baseline or open-loop serving load."""
     import json
 
-    from .bench.smoke import bench_serving, bench_smoke, write_bench_smoke
+    from .bench.smoke import bench_churn, bench_serving, bench_smoke, write_bench_smoke
 
-    if not args.smoke and not args.serve:
-        print("nothing to do: pass --smoke and/or --serve", file=sys.stderr)
+    if not args.smoke and not args.serve and not args.churn:
+        print("nothing to do: pass --smoke, --serve and/or --churn", file=sys.stderr)
         return 2
     # Scan-kernel knobs travel as env vars: the bench mixes serial
     # reference runs, in-process scans and engine workers, and the env
     # is the one channel all of them resolve (the engine resolves it in
     # the parent and ships the resolved values to its workers).
     with _scan_kernel_env(args):
-        if args.serve and not args.smoke:
+        if args.churn and not args.smoke and not args.serve:
+            report = bench_churn(scale=args.scale, workers=args.workers)
+        elif args.serve and not args.smoke:
             report = bench_serving(
                 scale=args.scale,
                 workers=args.workers,
@@ -323,6 +357,20 @@ def _run_bench(args: argparse.Namespace) -> int:
     if kernels is not None and not kernels["identical"]:
         print("scan kernels diverged from the serial sorted scan!", file=sys.stderr)
         failed = True
+    incremental = report.get("incremental")
+    if incremental is not None:
+        if not incremental["identical"]:
+            print(
+                "incremental maintenance diverged from from-scratch recomputation!",
+                file=sys.stderr,
+            )
+            failed = True
+        if not incremental["delta_bounded"]:
+            print(
+                "incremental republish rewrote more than the touched slots!",
+                file=sys.stderr,
+            )
+            failed = True
     return 1 if failed else 0
 
 
@@ -384,6 +432,49 @@ def _run_serve(args: argparse.Namespace) -> int:
         if engine is not None:
             shutdown_engines()
     return 0
+
+
+def _run_update(args: argparse.Namespace) -> int:
+    """``skypeer update``: one live mutation against a running gateway."""
+    import asyncio
+    import json
+
+    from .serving.client import GatewayClient
+
+    host, port = args.host, args.port
+    if args.port_file:
+        with open(args.port_file, "r", encoding="utf-8") as handle:
+            host, port_text = handle.read().split()
+            port = int(port_text)
+    if port is None:
+        print("no gateway address: pass --port or --port-file", file=sys.stderr)
+        return 2
+    fields: dict = {}
+    if args.peer_id is not None:
+        fields["peer_id"] = args.peer_id
+    if args.superpeer_id is not None:
+        fields["superpeer_id"] = args.superpeer_id
+    if args.point_ids is not None:
+        fields["point_ids"] = [int(x) for x in args.point_ids.split(",") if x]
+    if args.points is not None:
+        fields["points"] = json.loads(args.points)
+    elif args.kind in ("insert", "join"):
+        fields["points"] = {
+            "random": args.random if args.random is not None else 4,
+            "seed": args.seed,
+            "dataset": args.dataset,
+        }
+
+    async def go():
+        client = await GatewayClient.connect(host, port)
+        try:
+            return await client.update(args.kind, **fields)
+        finally:
+            await client.close()
+
+    response = asyncio.run(go())
+    print(json.dumps(response.payload, indent=2, sort_keys=True))
+    return 0 if response.ok else 1
 
 
 def _resolve_transport(args: argparse.Namespace) -> str:

@@ -16,6 +16,16 @@ from .transport import (
     read_frame,
 )
 from .updates import UpdateOutcome, delete_points, insert_points
+from .workload import (
+    ChurnOp,
+    apply_op,
+    churn_grid,
+    churn_schedule,
+    fresh_points,
+    next_point_id,
+    plan_op,
+    rebuild_reference,
+)
 from .wire import QueryMessage, ResultMessage, WireError, cost_estimate, decode
 
 __all__ = [
@@ -48,4 +58,12 @@ __all__ = [
     "UpdateOutcome",
     "insert_points",
     "delete_points",
+    "ChurnOp",
+    "apply_op",
+    "churn_grid",
+    "churn_schedule",
+    "fresh_points",
+    "next_point_id",
+    "plan_op",
+    "rebuild_reference",
 ]

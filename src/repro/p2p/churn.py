@@ -10,10 +10,15 @@ kept each peer's uploaded list, recovery is a re-merge of the surviving
 lists.  (The paper defers failures to future work; this is the
 straightforward recovery its data structures support, and the tests
 assert it restores exactness.)
+
+Every mutation here also bumps the touched super-peers' store
+generations (``SuperPeerNetwork.store_generations``) so the shared-
+memory publication layer can republish only the changed slots.
 """
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass
 
 from ..core.dataset import PointSet
@@ -60,12 +65,11 @@ def join_peer(
         raise ValueError(f"peer id {peer_id} already present")
     peer = Peer(peer_id=peer_id, data=data)
     network.peers[peer_id] = peer
-    network.topology.peers_of[superpeer_id] = network.topology.peers_of[superpeer_id] + (
-        peer_id,
-    )
+    peers_of = network.topology.peers_of
+    peers_of[superpeer_id] = peers_of[superpeer_id] + (peer_id,)
     uploaded = peer.compute_extended_skyline(index_kind=network.index_kind)
     merge = superpeer.merge_in_peer(peer_id, uploaded.result, index_kind=network.index_kind)
-    _refresh_preprocessing(network)
+    _refresh_preprocessing(network, touched=(superpeer_id,))
     return ChurnEvent(
         peer_id=peer_id,
         superpeer_id=superpeer_id,
@@ -83,11 +87,10 @@ def fail_peer(network: SuperPeerNetwork, peer_id: int) -> ChurnEvent:
     superpeer_id = network.topology.superpeer_of_peer(peer_id)
     superpeer = network.superpeers[superpeer_id]
     del network.peers[peer_id]
-    network.topology.peers_of[superpeer_id] = tuple(
-        p for p in network.topology.peers_of[superpeer_id] if p != peer_id
-    )
+    peers_of = network.topology.peers_of
+    peers_of[superpeer_id] = tuple(p for p in peers_of[superpeer_id] if p != peer_id)
     merge = superpeer.drop_peer(peer_id, index_kind=network.index_kind)
-    _refresh_preprocessing(network)
+    _refresh_preprocessing(network, touched=(superpeer_id,))
     return ChurnEvent(
         peer_id=peer_id,
         superpeer_id=superpeer_id,
@@ -104,7 +107,7 @@ class SuperPeerFailure:
 
     superpeer_id: int
     orphaned_peers: tuple[int, ...]
-    adopters: dict[int, int]          # peer -> adopting super-peer
+    adopters: dict[int, int]  # peer -> adopting super-peer
     healing_edges: tuple[tuple[int, int], ...]  # backbone edges added
 
 
@@ -134,9 +137,7 @@ def fail_superpeer(network: SuperPeerNetwork, superpeer_id: int) -> SuperPeerFai
     # --- backbone healing -------------------------------------------
     del topology.adjacency[superpeer_id]
     for nb in victim_neighbours:
-        topology.adjacency[nb] = tuple(
-            x for x in topology.adjacency[nb] if x != superpeer_id
-        )
+        topology.adjacency[nb] = tuple(x for x in topology.adjacency[nb] if x != superpeer_id)
     healing: list[tuple[int, int]] = []
     ring = sorted(victim_neighbours)
     for a, b in zip(ring, ring[1:]):
@@ -156,13 +157,13 @@ def fail_superpeer(network: SuperPeerNetwork, superpeer_id: int) -> SuperPeerFai
         topology.peers_of[adopter_id] = topology.peers_of[adopter_id] + (peer_id,)
         uploaded = victim_state.peer_skylines.get(peer_id)
         if uploaded is None:  # pragma: no cover - defensive
-            uploaded = network.peers[peer_id].compute_extended_skyline(
+            computation = network.peers[peer_id].compute_extended_skyline(
                 index_kind=network.index_kind
-            ).result
-        network.superpeers[adopter_id].merge_in_peer(
-            peer_id, uploaded, index_kind=network.index_kind
-        )
-    _refresh_preprocessing(network)
+            )
+            uploaded = computation.result
+        adopter = network.superpeers[adopter_id]
+        adopter.merge_in_peer(peer_id, uploaded, index_kind=network.index_kind)
+    _refresh_preprocessing(network, touched=sorted(set(adopters.values())))
     return SuperPeerFailure(
         superpeer_id=superpeer_id,
         orphaned_peers=tuple(orphans),
@@ -171,15 +172,20 @@ def fail_superpeer(network: SuperPeerNetwork, superpeer_id: int) -> SuperPeerFai
     )
 
 
-def _refresh_preprocessing(network: SuperPeerNetwork) -> None:
-    """Recompute the selectivity report after a membership change."""
+def _refresh_preprocessing(
+    network: SuperPeerNetwork, touched: Iterable[int] | None = None
+) -> None:
+    """Recompute the selectivity report after a membership change.
+
+    ``touched`` names the super-peers whose stores (or peer sets)
+    changed; only their generation counters advance, which is what lets
+    the shm layer republish per-slot deltas.  ``None`` bumps everyone.
+    """
     from .network import PreprocessingReport
 
     total = sum(len(peer) for peer in network.peers.values())
     uploaded = sum(
-        len(lst)
-        for sp in network.superpeers.values()
-        for lst in sp.peer_skylines.values()
+        len(lst) for sp in network.superpeers.values() for lst in sp.peer_skylines.values()
     )
     stored = sum(sp.store_size for sp in network.superpeers.values())
     upload_bytes = sum(
@@ -189,6 +195,11 @@ def _refresh_preprocessing(network: SuperPeerNetwork) -> None:
     )
     previous = network.preprocessing
     network.epoch += 1
+    live = set(network.superpeers)
+    for stale in [sp for sp in network.store_generations if sp not in live]:
+        del network.store_generations[stale]
+    for sp_id in sorted(live if touched is None else set(touched) & live):
+        network.bump_store_generation(sp_id)
     network.preprocessing = PreprocessingReport(
         total_points=total,
         peer_skyline_points=uploaded,

@@ -119,6 +119,18 @@ class SuperPeerNetwork:
         #: bumped whenever stores change (pre-processing, churn, data
         #: updates); caches key their entries on it
         self.epoch = 0
+        #: per-super-peer generation counters: bumped only when *that*
+        #: super-peer's store (or peer set) changes, so incremental
+        #: publication can republish just the touched slots
+        self.store_generations: dict[int, int] = {
+            sp: 0 for sp in topology.superpeer_ids
+        }
+
+    def bump_store_generation(self, superpeer_id: int) -> int:
+        """Record that ``superpeer_id``'s store changed; returns the new gen."""
+        gen = self.store_generations.get(superpeer_id, 0) + 1
+        self.store_generations[superpeer_id] = gen
+        return gen
 
     # ------------------------------------------------------------------
     # construction
@@ -346,6 +358,8 @@ class SuperPeerNetwork:
             compute_seconds=compute_seconds,
         )
         self.epoch += 1
+        for sp_id in self.topology.superpeer_ids:
+            self.bump_store_generation(sp_id)
         return self.preprocessing
 
     # ------------------------------------------------------------------

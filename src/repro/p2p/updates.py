@@ -16,7 +16,9 @@ algebra:
   ext-skyline and the super-peer re-merges its peer lists.
 
 Both paths leave every future query exact; the property tests compare
-against a from-scratch rebuild.
+against a from-scratch rebuild.  Each update bumps the owning
+super-peer's store generation so shm publication republishes only that
+slot.
 """
 
 from __future__ import annotations
@@ -44,14 +46,11 @@ class UpdateOutcome:
     superpeer_id: int
     kind: str  # "insert" or "delete"
     points_changed: int
-    peer_skyline_delta: int     # change in the peer's uploaded list size
-    store_rebuilt: bool         # True when the cheap incremental path
-                                # was unavailable
+    peer_skyline_delta: int  # change in the peer's uploaded list size
+    store_rebuilt: bool  # True when the cheap incremental path was unavailable
 
 
-def insert_points(
-    network: SuperPeerNetwork, peer_id: int, points: PointSet
-) -> UpdateOutcome:
+def insert_points(network: SuperPeerNetwork, peer_id: int, points: PointSet) -> UpdateOutcome:
     """Add ``points`` to a peer; update stores incrementally."""
     peer = _get_peer(network, peer_id)
     if points.dimensionality != network.dimensionality:
@@ -67,9 +66,7 @@ def insert_points(
     old_upload = superpeer.peer_skylines[peer_id]
     before = len(old_upload)
 
-    network.peers[peer_id] = Peer(
-        peer_id=peer_id, data=PointSet.concat([peer.data, points])
-    )
+    network.peers[peer_id] = Peer(peer_id=peer_id, data=PointSet.concat([peer.data, points]))
     # The peer's new ext-skyline: merge the old one with the newcomers'
     # own ext-skyline (strict mode handles the evictions).
     newcomers = extended_skyline_points(points)
@@ -87,16 +84,16 @@ def insert_points(
     if survivors_ids:
         keep = np.array([int(i) in survivors_ids for i in merged_upload.points.ids])
         delta = SortedByF.from_points(merged_upload.points.mask(keep))
-        store = superpeer.store if superpeer.store is not None else SortedByF.empty(
-            network.dimensionality
-        )
+        store = superpeer.store
+        if store is None:
+            store = SortedByF.empty(network.dimensionality)
         superpeer.store = merge_sorted_skylines(
             [store, delta],
             full_space(network.dimensionality),
             strict=True,
             index_kind=network.index_kind,
         ).result
-    _refresh(network)
+    _refresh(network, superpeer_id)
     return UpdateOutcome(
         peer_id=peer_id,
         superpeer_id=superpeer_id,
@@ -107,9 +104,7 @@ def insert_points(
     )
 
 
-def delete_points(
-    network: SuperPeerNetwork, peer_id: int, point_ids
-) -> UpdateOutcome:
+def delete_points(network: SuperPeerNetwork, peer_id: int, point_ids) -> UpdateOutcome:
     """Remove points (by id) from a peer; rebuild stores if needed."""
     peer = _get_peer(network, peer_id)
     doomed = frozenset(int(i) for i in point_ids)
@@ -135,7 +130,7 @@ def delete_points(
         delta = len(new_upload) - before
     else:
         delta = 0
-    _refresh(network)
+    _refresh(network, superpeer_id)
     return UpdateOutcome(
         peer_id=peer_id,
         superpeer_id=superpeer_id,
@@ -153,7 +148,7 @@ def _get_peer(network: SuperPeerNetwork, peer_id: int) -> Peer:
         raise KeyError(f"unknown peer {peer_id}") from None
 
 
-def _refresh(network: SuperPeerNetwork) -> None:
+def _refresh(network: SuperPeerNetwork, superpeer_id: int) -> None:
     from .churn import _refresh_preprocessing
 
-    _refresh_preprocessing(network)
+    _refresh_preprocessing(network, touched=(superpeer_id,))

@@ -26,6 +26,7 @@ per-slice skylines merge back byte-identically to the serial scan.
 from .engine import (
     EngineStats,
     ParallelEngine,
+    UpdateReport,
     default_workers,
     get_engine,
     preprocess_network_parallel,
@@ -66,6 +67,7 @@ __all__ = [
     "ParallelEngine",
     "SHM_ENV",
     "SharedNetwork",
+    "UpdateReport",
     "attach_network",
     "default_workers",
     "get_engine",

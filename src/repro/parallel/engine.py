@@ -41,6 +41,8 @@ timings) — see :class:`EngineStats`.
 from __future__ import annotations
 
 import atexit
+import contextlib
+import copy
 import math
 import multiprocessing
 import os
@@ -66,6 +68,7 @@ __all__ = [
     "EngineStats",
     "PIN_ENV",
     "ParallelEngine",
+    "UpdateReport",
     "default_workers",
     "get_engine",
     "pin_cpus_enabled",
@@ -205,7 +208,18 @@ def _materialize(spec: dict[str, Any]) -> tuple[Any, Any, dict[str, Any] | None]
     hit = _WORKER_NETWORKS.get(token)
     if hit is not None:
         _WORKER_NETWORKS.move_to_end(token)
-        return hit[0], hit[2], None
+        network, attached, cache = hit
+        if spec["kind"] == "shm" and attached is not None:
+            manifest = spec["manifest"]
+            if int(manifest.get("subepoch", 0)) != attached.subepoch:
+                # Same publication, newer sub-epoch: re-map only the
+                # slots whose generation advanced instead of attaching
+                # (or rebuilding) the whole network.
+                started = time.perf_counter()
+                delta = attached.refresh(manifest)
+                seconds = time.perf_counter() - started
+                return network, cache, {"mode": "shm-delta", "seconds": seconds, **delta}
+        return network, cache, None
     started = time.perf_counter()
     if spec["kind"] == "shm":
         attached = attach_network(spec["manifest"])
@@ -278,8 +292,12 @@ def _cached_local_compute(
     def local_compute(sp: int, subspace: Any, threshold: float) -> SkylineComputation:
         cols = tuple(int(c) for c in subspace)
         store = network.store_of(sp)
+        # The store generation invalidates by *slot*: an update to one
+        # super-peer moves only its generation, so every other slot's
+        # cached scans keep hitting across the epoch bump.
+        generation = network.store_generations.get(sp, 0)
         scan_key = make_key(
-            "scan", sp, cols, float(threshold), index_kind, scan_chunk,
+            "scan", sp, generation, cols, float(threshold), index_kind, scan_chunk,
             substrate, partitioner, parts,
         )
         hit = cache.get(scan_key)
@@ -298,7 +316,7 @@ def _cached_local_compute(
                     cache.stats.invalid += 1
             else:
                 cache.stats.invalid += 1
-        proj_key = make_key("proj", sp, cols)
+        proj_key = make_key("proj", sp, generation, cols)
         seeded = store.has_projection(cols)
         if not seeded:
             proj_hit = cache.get(proj_key)
@@ -352,7 +370,9 @@ def _cached_peer_compute(network: Any, cache: Any):
     index_kind = network.index_kind
 
     def peer_compute(peer: Any) -> SkylineComputation:
-        key = make_key("ext", peer.peer_id, index_kind)
+        owner = network.topology.superpeer_of_peer(peer.peer_id)
+        generation = network.store_generations.get(owner, 0)
+        key = make_key("ext", peer.peer_id, generation, index_kind)
         hit = cache.get(key)
         if hit is not None:
             meta, arrays, token = hit
@@ -513,10 +533,11 @@ def _run_partition_batch(
         else int(np.searchsorted(store.f, threshold, side="right"))
     )
     slices = partition_positions(partitioner, proj[:prefix], parts)
+    generation = network.store_generations.get(sp, 0)
     scans: list[tuple[int, dict[str, Any]]] = []
     for pi in part_indices:
         key = make_key(
-            "pscan", sp, cols, float(threshold), strict, substrate,
+            "pscan", sp, generation, cols, float(threshold), strict, substrate,
             partitioner, parts, pi, scan_chunk,
         )
         hit = cache.get(key)
@@ -604,6 +625,11 @@ class EngineStats:
     cache_invalid: int = 0
     cache_kinds: set[str] = field(default_factory=set)
     cpu_pinning: bool = False
+    updates_applied: int = 0
+    incremental_republishes: int = 0
+    full_republishes: int = 0
+    republished_bytes: int = 0
+    update_seconds: float = 0.0
     serve_coalesce_hits: int = 0
     serve_shed: int = 0
     serve_queue_depth_peak: int = 0
@@ -656,12 +682,105 @@ class EngineStats:
             "cache_invalid": self.cache_invalid,
             "cache_kinds": sorted(self.cache_kinds),
             "cpu_pinning": self.cpu_pinning,
+            "updates_applied": self.updates_applied,
+            "incremental_republishes": self.incremental_republishes,
+            "full_republishes": self.full_republishes,
+            "republished_bytes": self.republished_bytes,
+            "update_seconds": self.update_seconds,
             "serve_coalesce_hits": self.serve_coalesce_hits,
             "serve_shed": self.serve_shed,
             "serve_queue_depth_peak": self.serve_queue_depth_peak,
             "serve_queries": self.serve_queries,
             "serve_intra_query_subtasks": self.serve_intra_query_subtasks,
         }
+
+
+@dataclass(frozen=True)
+class UpdateReport:
+    """What one :meth:`ParallelEngine.apply_update` did, end to end.
+
+    ``republished_bytes`` is the shm delta actually rewritten (0 when no
+    shm publication was live); ``slot_nbytes`` is the touched slots'
+    current size and ``total_nbytes`` the whole publication's data bytes
+    — the bench asserts ``republished_bytes <= slot_nbytes <
+    total_nbytes``, i.e. the delta scales with the touched slot, not the
+    network.  ``full_republish`` marks the paths that cannot go
+    incremental (snapshot mode, super-peer set surgery): the stale
+    publication is withdrawn and the next fan-out republishes in full.
+    """
+
+    kind: str
+    epoch: int
+    touched_superpeers: tuple[int, ...]
+    full_republish: bool
+    republished_bytes: int
+    slot_nbytes: int
+    total_nbytes: int
+    seconds: float
+    outcome: Any
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "epoch": self.epoch,
+            "touched_superpeers": list(self.touched_superpeers),
+            "full_republish": self.full_republish,
+            "republished_bytes": self.republished_bytes,
+            "slot_nbytes": self.slot_nbytes,
+            "total_nbytes": self.total_nbytes,
+            "seconds": self.seconds,
+        }
+
+
+class _EpochGate:
+    """Readers–writer gate serializing updates against in-flight fan-outs.
+
+    Query/pre-processing fan-outs hold the *read* side for their whole
+    dispatch (submit through result collection), so an update's *write*
+    side — which mutates the network, republishes slots and unlinks the
+    overlays it supersedes — runs only when no worker can still be
+    asked to attach a superseded segment.  Writers get priority (new
+    readers queue behind a waiting writer), so a steady query stream
+    cannot starve updates; queries observe either the pre-update or the
+    post-update epoch, never a torn mix.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+
+    @contextlib.contextmanager
+    def read(self):
+        with self._cond:
+            while self._writer or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._readers -= 1
+                if not self._readers:
+                    self._cond.notify_all()
+
+    @contextlib.contextmanager
+    def write(self):
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer = True
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._writer = False
+                self._cond.notify_all()
 
 
 class _Publication:
@@ -736,6 +855,9 @@ class ParallelEngine:
         # executor threads at once; the publication table, the stats
         # accumulators and close() serialize on this lock.
         self._lock = threading.Lock()
+        # Fan-outs read, ``apply_update`` writes: segments retired by an
+        # in-place republish are only unlinked once readers drain.
+        self._gate = _EpochGate()
         started = time.perf_counter()
         ctx = multiprocessing.get_context(self.start_method)
         pool_kwargs: dict[str, Any] = {}
@@ -788,11 +910,13 @@ class ParallelEngine:
         cached = self._publications.get(key)
         if cached is not None:
             alive = cached.network_ref()
-            if alive is network and cached.epoch == network.epoch and (
-                (cached.kind == "shm") == self.use_shm
-            ):
-                self._publications.move_to_end(key)
-                return cached
+            if alive is network and (cached.kind == "shm") == self.use_shm:
+                if cached.epoch == network.epoch:
+                    self._publications.move_to_end(key)
+                    return cached
+                if self._republish_incremental(cached, network):
+                    self._publications.move_to_end(key)
+                    return cached
             del self._publications[key]
             cached.withdraw()
         self._token_counter += 1
@@ -802,7 +926,10 @@ class ParallelEngine:
         path = None
         if self.use_shm:
             shared = publish_network(network)
-            spec = {"token": token, "kind": "shm", "manifest": shared.manifest}
+            # Specs carry an immutable *snapshot* of the manifest: a
+            # later in-place republish must not tear a spec that a
+            # concurrent submit is pickling.
+            spec = {"token": token, "kind": "shm", "manifest": copy.deepcopy(shared.manifest)}
         else:
             import pickle
 
@@ -832,11 +959,160 @@ class ParallelEngine:
             old.withdraw()
         return publication
 
+    def _republish_incremental(
+        self, publication: _Publication, network: "SuperPeerNetwork"
+    ) -> int | None:
+        """Try to refresh a stale publication in place; returns the bytes.
+
+        Republishes only the slots whose generation moved since the
+        publication last saw this network, keeping the token (so worker
+        LRU entries refresh instead of re-attaching) and swapping the
+        spec for a fresh manifest snapshot.  Returns ``None`` when the
+        publication cannot go incremental — snapshot mode, or the
+        super-peer set itself changed (topology surgery republishes in
+        full).  Superseded overlays are *not* unlinked here: a reader
+        may still be dispatching against the previous spec.  They are
+        reaped under the write gate (``apply_update``) or at close.
+
+        Caller must hold ``self._lock``.
+        """
+        shared = publication.shared
+        if publication.kind != "shm" or shared is None:
+            return None
+        generations = {int(k): int(v) for k, v in shared.manifest["generations"].items()}
+        if set(network.superpeers) != set(generations):
+            return None
+        touched = sorted(
+            sp
+            for sp, gen in network.store_generations.items()
+            if generations.get(sp) != int(gen)
+        )
+        if touched and len(touched) >= len(generations):
+            # Every slot moved (e.g. a full re-preprocess): overlaying
+            # everything would strand the entire base segment as
+            # garbage, so republish from scratch instead.
+            return None
+        started = time.perf_counter()
+        nbytes = shared.republish(network, touched)
+        publication.spec = {
+            **publication.spec, "manifest": copy.deepcopy(shared.manifest),
+        }
+        publication.epoch = network.epoch
+        self.stats.publish_seconds += time.perf_counter() - started
+        self.stats.incremental_republishes += 1
+        self.stats.republished_bytes += nbytes
+        return nbytes
+
     def published_segments(self) -> list[str]:
         """Names of the live shm segments (tests assert cleanup)."""
         return [
             p.shared.name for p in self._publications.values() if p.shared is not None
         ]
+
+    # ------------------------------------------------------------------
+    # live updates
+    # ------------------------------------------------------------------
+    def apply_update(
+        self,
+        network: "SuperPeerNetwork",
+        kind: str,
+        *,
+        peer_id: int | None = None,
+        points: Any = None,
+        point_ids: Sequence[int] | None = None,
+        superpeer_id: int | None = None,
+        data: Any = None,
+    ) -> UpdateReport:
+        """Apply one update/churn event to a *live, served* network.
+
+        ``kind`` selects the mutation — ``"insert"``/``"delete"``
+        (:mod:`repro.p2p.updates`), ``"join"``/``"fail"``/
+        ``"fail-superpeer"`` (:mod:`repro.p2p.churn`) — and the engine
+        then refreshes every live publication of this network
+        *incrementally*: only the touched super-peers' slots republish
+        (under a new sub-epoch), workers re-map just those slots at the
+        next batch, and block-cache entries for untouched slots keep
+        hitting.  Runs under the write side of the epoch gate, so
+        concurrent ``run_queries`` calls see either the old epoch or the
+        new one — never a torn mix — and the overlays this update
+        supersedes are unlinked only after in-flight fan-outs drain.
+        """
+        from ..p2p import churn, updates
+
+        if self._closed:
+            raise RuntimeError("engine is closed")
+        started = time.perf_counter()
+        with self._gate.write():
+            before = dict(network.store_generations)
+            if kind == "insert":
+                outcome: Any = updates.insert_points(network, peer_id, points)
+            elif kind == "delete":
+                outcome = updates.delete_points(network, peer_id, point_ids)
+            elif kind == "join":
+                outcome = churn.join_peer(network, superpeer_id, data, peer_id=peer_id)
+            elif kind == "fail":
+                outcome = churn.fail_peer(network, peer_id)
+            elif kind == "fail-superpeer":
+                outcome = churn.fail_superpeer(network, superpeer_id)
+            else:
+                raise ValueError(
+                    f"unknown update kind {kind!r}; expected insert/delete/join/"
+                    "fail/fail-superpeer"
+                )
+            touched = tuple(
+                sorted(
+                    sp
+                    for sp, gen in network.store_generations.items()
+                    if before.get(sp) != gen
+                )
+            )
+            republished = 0
+            slot_nbytes = 0
+            total_nbytes = 0
+            full = False
+            with self._lock:
+                for key in [k for k in self._publications if k[0] == id(network)]:
+                    publication = self._publications[key]
+                    if publication.network_ref() is not network:
+                        continue
+                    if publication.epoch == network.epoch:
+                        continue
+                    nbytes = self._republish_incremental(publication, network)
+                    if nbytes is None:
+                        # Snapshot mode or super-peer set surgery: drop
+                        # the stale publication; the next fan-out
+                        # republishes in full.
+                        del self._publications[key]
+                        publication.withdraw()
+                        full = True
+                        self.stats.full_republishes += 1
+                        continue
+                    republished += nbytes
+                    manifest = publication.shared.manifest
+                    slot_nbytes = max(
+                        slot_nbytes,
+                        sum(int(manifest["slot_nbytes"][sp]) for sp in touched),
+                    )
+                    total_nbytes = max(
+                        total_nbytes,
+                        sum(int(b) for b in manifest["slot_nbytes"].values()),
+                    )
+                    # Readers are drained (write gate held): segments
+                    # superseded by this republish can go now.
+                    publication.shared.reap_retired()
+                self.stats.updates_applied += 1
+                self.stats.update_seconds += time.perf_counter() - started
+        return UpdateReport(
+            kind=kind,
+            epoch=network.epoch,
+            touched_superpeers=touched,
+            full_republish=full,
+            republished_bytes=republished,
+            slot_nbytes=slot_nbytes,
+            total_nbytes=total_nbytes,
+            seconds=time.perf_counter() - started,
+            outcome=outcome,
+        )
 
     # ------------------------------------------------------------------
     # query fan-out
@@ -864,14 +1140,34 @@ class ParallelEngine:
         so workers never read their own environment); a non-``none``
         partitioner splits each scan in-process inside its worker —
         whole queries stay the unit of fan-out here.
+
+        Holds the read side of the epoch gate for the whole dispatch,
+        so a concurrent :meth:`apply_update` waits for this fan-out to
+        drain before retiring the segments it supersedes.
         """
+        if self._closed:
+            raise RuntimeError("engine is closed")
+        with self._gate.read():
+            return self._run_queries_gated(
+                network, queries, variants, scan_chunk, scan_substrate,
+                partitioner, partition_parts,
+            )
+
+    def _run_queries_gated(
+        self,
+        network: "SuperPeerNetwork",
+        queries: Sequence["Query"],
+        variants: Sequence["Variant"],
+        scan_chunk: int | None,
+        scan_substrate: str | None,
+        partitioner: str | None,
+        partition_parts: int | None,
+    ) -> dict["Variant", list["QueryExecution"]]:
         from ..core.substrates import resolve_scan_substrate
         from ..obs.runtime import active_metrics
         from ..skypeer.variants import Variant
         from .partition import resolve_partition_parts, resolve_partitioner
 
-        if self._closed:
-            raise RuntimeError("engine is closed")
         substrate = resolve_scan_substrate(scan_substrate)
         part_kind = resolve_partitioner(partitioner)
         # Whole-query scans resolve the slice count with the FIXED
@@ -952,6 +1248,26 @@ class ParallelEngine:
         byte-identical to the serial scan; accounted under
         ``intra_query_scans``/``intra_query_subtasks``, never ``tasks``.
         """
+        if self._closed:
+            raise RuntimeError("engine is closed")
+        with self._gate.read():
+            return self._run_partitioned_scan_gated(
+                network, sp, subspace, initial_threshold, strict,
+                partitioner, parts, substrate, scan_chunk,
+            )
+
+    def _run_partitioned_scan_gated(
+        self,
+        network: "SuperPeerNetwork",
+        sp: int,
+        subspace: Sequence[int],
+        initial_threshold: float,
+        strict: bool,
+        partitioner: str | None,
+        parts: int | None,
+        substrate: str | None,
+        scan_chunk: int | None,
+    ) -> Any:
         import numpy as np
 
         from ..core.local_skyline import SkylineComputation
@@ -963,8 +1279,6 @@ class ParallelEngine:
             resolve_partitioner,
         )
 
-        if self._closed:
-            raise RuntimeError("engine is closed")
         started = time.perf_counter()
         substrate = resolve_scan_substrate(substrate)
         # "none" means "don't partition whole-query scans"; an explicit
@@ -1038,6 +1352,12 @@ class ParallelEngine:
         """
         if self._closed:
             raise RuntimeError("engine is closed")
+        with self._gate.read():
+            return self._preprocess_network_gated(network)
+
+    def _preprocess_network_gated(
+        self, network: "SuperPeerNetwork"
+    ) -> list["SuperPeerPreprocess"]:
         spec = self._publish(network, for_query=False).spec
         sp_ids = list(network.topology.superpeer_ids)
         target = max(1, math.ceil(len(sp_ids) / (self.workers * _BATCH_OVERSUBSCRIBE)))

@@ -18,6 +18,18 @@ entirely on platforms with POSIX shared memory (``/dev/shm``):
   shared buffer — byte-identical to the parent's stores (no rebuild,
   so even incrementally-updated stores attach exactly).
 
+**Incremental republish.**  The publication is laid out as one *slot
+per super-peer* (its peers' partitions plus its store).  When an
+update/churn event touches one super-peer, :meth:`SharedNetwork.
+republish` writes just that slot into a small *overlay* segment and
+advances the manifest's per-slot generation counter plus a ``subepoch``;
+the base segment is never rewritten.  Workers holding an attached copy
+call :meth:`AttachedNetwork.refresh` to re-map only the changed slots —
+republished bytes and attach time scale with the delta, not the
+network.  Retired overlay segments are kept until
+:meth:`SharedNetwork.reap_retired` (or ``close``) unlinks them, so
+in-flight attaches never race an unlink.
+
 Lifecycle: the parent owns the segment.  ``SharedNetwork`` is a context
 manager, registers an ``atexit`` unlink so an abandoned handle cannot
 leak a ``/dev/shm`` entry past interpreter exit, and ``close(unlink=
@@ -36,6 +48,7 @@ import os
 import secrets
 import tempfile
 from multiprocessing import shared_memory
+from collections.abc import Iterable
 from typing import TYPE_CHECKING, Any, Mapping
 
 import numpy as np
@@ -55,6 +68,7 @@ __all__ = [
     "SHM_ENV",
     "SharedNetwork",
     "attach_network",
+    "manifest_data_nbytes",
     "publish_network",
     "shm_enabled",
     "shm_supported",
@@ -125,6 +139,73 @@ class _Layout:
         return slot
 
 
+def _write_arrays(segment: shared_memory.SharedMemory, layout: _Layout) -> None:
+    for slot, array in layout.arrays:
+        view = np.ndarray(
+            slot["shape"], dtype=slot["dtype"],
+            buffer=segment.buf, offset=slot["offset"],
+        )
+        view[...] = array
+        del view  # release the buffer export so close() stays legal
+
+
+def _pack_superpeer(
+    layout: _Layout,
+    network: "SuperPeerNetwork",
+    sp_id: int,
+    partitions: dict[int, dict[str, Any]],
+    stores: dict[int, dict[str, Any]],
+) -> int:
+    """Append one super-peer's slot (peer partitions + store); returns its bytes."""
+    start = layout.nbytes
+    for peer_id in network.topology.peers_of[sp_id]:
+        peer = network.peers[peer_id]
+        partitions[peer_id] = {
+            "values": layout.add(peer.data.values),
+            "ids": layout.add(peer.data.ids),
+        }
+    superpeer = network.superpeers[sp_id]
+    if superpeer.store is not None:
+        store = superpeer.store
+        stores[sp_id] = {
+            "values": layout.add(store.points.values),
+            "ids": layout.add(store.points.ids),
+            "f": layout.add(store.f),
+        }
+    return layout.nbytes - start
+
+
+def _release_segment(segment: shared_memory.SharedMemory, unlink: bool) -> None:
+    """Close (and optionally unlink) one owned segment.
+
+    A worker's attach/de-register dance (see ``_attach_segment``) may
+    have dropped this segment from the shared resource tracker;
+    re-register (idempotent) so the unregister inside ``unlink()``
+    finds its entry instead of logging a KeyError.
+    """
+    try:
+        segment.close()
+    except BufferError:  # pragma: no cover - a view outlived us
+        pass
+    if not unlink:
+        return
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.register(segment._name, "shared_memory")  # type: ignore[attr-defined]
+    except Exception:  # pragma: no cover - tracker internals moved
+        pass
+    try:
+        segment.unlink()
+    except FileNotFoundError:  # pragma: no cover - already reaped
+        pass
+
+
+def manifest_data_nbytes(manifest: Mapping[str, Any]) -> int:
+    """Total bytes of the *current* data slots (a full republish's cost)."""
+    return int(sum(manifest.get("slot_nbytes", {}).values()))
+
+
 class SharedNetwork:
     """Parent-side handle of a published network (owns the segment)."""
 
@@ -133,6 +214,10 @@ class SharedNetwork:
         self.manifest = manifest
         self._closed = False
         self._cache: SharedBlockCache | None = None
+        #: live overlay segments, one per incrementally-republished slot
+        self._overlays: dict[int, shared_memory.SharedMemory] = {}
+        #: superseded overlay segments awaiting ``reap_retired``
+        self._retired: list[shared_memory.SharedMemory] = []
         atexit.register(self._atexit_close)
 
     @property
@@ -155,42 +240,98 @@ class SharedNetwork:
     def nbytes(self) -> int:
         return self.manifest["nbytes"]
 
+    @property
+    def subepoch(self) -> int:
+        """Incremental-republish counter (0 for a fresh publication)."""
+        return int(self.manifest.get("subepoch", 0))
+
+    def republish(self, network: "SuperPeerNetwork", touched: Iterable[int]) -> int:
+        """Republish only the ``touched`` super-peers' slots.
+
+        Writes each touched slot (peer partitions + store) into a fresh
+        overlay segment, updates the manifest *in place* (generations,
+        ``peers_of``, ``epoch``, ``subepoch``, overlay locations) and
+        retires any overlay it supersedes.  Returns the number of bytes
+        republished.  The super-peer *set* must be unchanged — topology
+        surgery (``fail_superpeer``) needs a full :func:`publish_network`.
+        """
+        if self._closed:
+            raise RuntimeError("cannot republish a closed SharedNetwork")
+        manifest = self.manifest
+        if set(network.superpeers) != {int(k) for k in manifest["generations"]}:
+            raise ValueError("super-peer set changed; a full publish is required")
+        republished = 0
+        for sp_id in sorted({int(sp) for sp in touched}):
+            if sp_id not in network.superpeers:
+                raise KeyError(f"unknown super-peer {sp_id}")
+            layout = _Layout()
+            partitions: dict[int, dict[str, Any]] = {}
+            stores: dict[int, dict[str, Any]] = {}
+            _pack_superpeer(layout, network, sp_id, partitions, stores)
+            segment = shared_memory.SharedMemory(
+                name=_segment_name(), create=True, size=max(1, layout.nbytes)
+            )
+            try:
+                _write_arrays(segment, layout)
+            except BaseException:
+                segment.close()
+                segment.unlink()
+                raise
+            old = self._overlays.pop(sp_id, None)
+            if old is not None:
+                self._retired.append(old)
+            self._overlays[sp_id] = segment
+            manifest["overlays"][sp_id] = {
+                "segment": segment.name,
+                "nbytes": layout.nbytes,
+                "partitions": partitions,
+                "store": stores.get(sp_id),
+            }
+            manifest["generations"][sp_id] = int(network.store_generations.get(sp_id, 0))
+            manifest["slot_nbytes"][sp_id] = layout.nbytes
+            manifest["peers_of"][sp_id] = tuple(network.topology.peers_of[sp_id])
+            republished += layout.nbytes
+        manifest["epoch"] = network.epoch
+        manifest["subepoch"] = int(manifest.get("subepoch", 0)) + 1
+        return republished
+
+    def reap_retired(self) -> int:
+        """Unlink overlay segments superseded by later ``republish`` calls.
+
+        Deferred so callers can quiesce attachers first (an unlink only
+        breaks *new* attaches by name; existing mappings stay valid).
+        Returns the number of segments reaped.
+        """
+        reaped = 0
+        while self._retired:
+            _release_segment(self._retired.pop(), unlink=True)
+            reaped += 1
+        return reaped
+
     def close(self, unlink: bool = True) -> None:
-        """Release the mapping and (by default) remove the segment.
+        """Release the mappings and (by default) remove the segments.
 
         Idempotent; also de-registers the ``atexit`` hook so a closed
-        handle leaves no trace.
+        handle leaves no trace.  Retired overlays are always unlinked —
+        nothing can reference them once superseded.
         """
         if self._closed:
             return
         self._closed = True
         atexit.unregister(self._atexit_close)
         self._cache = None
-        try:
-            self._segment.close()
-        except BufferError:  # pragma: no cover - a cache view outlived us
-            pass
+        while self._retired:
+            _release_segment(self._retired.pop(), unlink=True)
+        for segment in self._overlays.values():
+            _release_segment(segment, unlink=unlink)
+        self._overlays.clear()
         cache_spec = self.manifest.get("cache")
         if unlink and cache_spec is not None:
             try:
                 os.unlink(cache_spec["lockfile"])
             except OSError:
                 pass
-        if unlink:
-            # A worker's attach/de-register dance (see ``_attach_segment``)
-            # may have dropped this segment from the shared resource
-            # tracker; re-register (idempotent) so the unregister inside
-            # ``unlink()`` finds its entry instead of logging a KeyError.
-            try:
-                from multiprocessing import resource_tracker
-
-                resource_tracker.register(self._segment._name, "shared_memory")  # type: ignore[attr-defined]
-            except Exception:  # pragma: no cover - tracker internals moved
-                pass
-            try:
-                self._segment.unlink()
-            except FileNotFoundError:  # pragma: no cover - already reaped
-                pass
+        _release_segment(self._segment, unlink=unlink)
 
     def _atexit_close(self) -> None:
         self.close(unlink=True)
@@ -217,21 +358,10 @@ def publish_network(network: "SuperPeerNetwork") -> SharedNetwork:
     """
     layout = _Layout()
     partitions: dict[int, dict[str, Any]] = {}
-    for peer_id, peer in network.peers.items():
-        partitions[peer_id] = {
-            "values": layout.add(peer.data.values),
-            "ids": layout.add(peer.data.ids),
-        }
     stores: dict[int, dict[str, Any]] = {}
-    for sp_id, superpeer in network.superpeers.items():
-        if superpeer.store is None:
-            continue
-        store = superpeer.store
-        stores[sp_id] = {
-            "values": layout.add(store.points.values),
-            "ids": layout.add(store.points.ids),
-            "f": layout.add(store.f),
-        }
+    slot_nbytes: dict[int, int] = {}
+    for sp_id in sorted(network.superpeers):
+        slot_nbytes[sp_id] = _pack_superpeer(layout, network, sp_id, partitions, stores)
     cache_spec: dict[str, Any] | None = None
     nbytes = layout.nbytes
     if cache_enabled() is not False:
@@ -247,13 +377,7 @@ def publish_network(network: "SuperPeerNetwork") -> SharedNetwork:
         name=_segment_name(), create=True, size=max(1, nbytes)
     )
     try:
-        for slot, array in layout.arrays:
-            view = np.ndarray(
-                slot["shape"], dtype=slot["dtype"],
-                buffer=segment.buf, offset=slot["offset"],
-            )
-            view[...] = array
-            del view  # release the buffer export so close() stays legal
+        _write_arrays(segment, layout)
         if cache_spec is not None:
             cache_spec["lockfile"] = os.path.join(
                 tempfile.gettempdir(), f"{segment.name}.cachelock"
@@ -285,6 +409,12 @@ def publish_network(network: "SuperPeerNetwork") -> SharedNetwork:
             },
             "partitions": partitions,
             "stores": stores,
+            "generations": {
+                sp: int(network.store_generations.get(sp, 0)) for sp in network.superpeers
+            },
+            "subepoch": 0,
+            "overlays": {},
+            "slot_nbytes": slot_nbytes,
         }
         if cache_spec is not None:
             manifest["cache"] = cache_spec
@@ -303,12 +433,17 @@ class AttachedNetwork:
         network: "SuperPeerNetwork",
         segment: shared_memory.SharedMemory,
         manifest: Mapping[str, Any] | None = None,
+        overlay_segments: Mapping[int, shared_memory.SharedMemory] | None = None,
     ):
         self.network = network
         self._segment = segment
         self._manifest = manifest
         self._closed = False
         self._cache: SharedBlockCache | None = None
+        self._overlay_segments: dict[int, shared_memory.SharedMemory] = dict(
+            overlay_segments or {}
+        )
+        self.subepoch = int(manifest.get("subepoch", 0)) if manifest is not None else 0
 
     @property
     def cache(self) -> SharedBlockCache | None:
@@ -333,10 +468,91 @@ class AttachedNetwork:
         self._closed = True
         self.network = None
         self._cache = None
+        for segment in self._overlay_segments.values():
+            try:
+                segment.close()
+            except BufferError:  # pragma: no cover - a view outlived us
+                pass
+        self._overlay_segments.clear()
         try:
             self._segment.close()
         except BufferError:  # pragma: no cover - a view outlived us
             pass
+
+    def refresh(self, manifest: Mapping[str, Any]) -> dict[str, Any]:
+        """Re-attach only the slots whose generation advanced.
+
+        ``manifest`` is a newer snapshot of the *same* publication (same
+        base segment, higher ``subepoch``).  Peers and stores of every
+        changed super-peer are swapped for zero-copy views over the new
+        overlay segment; untouched slots keep their existing mappings
+        (and any cache entries keyed on their generation stay hot).
+        Returns ``{"slots": n, "bytes": m}`` for the re-attached delta.
+
+        Raises ``ValueError`` when the super-peer set differs — callers
+        must re-attach from scratch instead (the engine republishes in
+        full for topology surgery, so this only guards misuse).
+        """
+        from ..core.dataset import PointSet
+        from ..core.store import SortedByF
+        from ..p2p.node import Peer
+
+        if self._closed:
+            raise RuntimeError("cannot refresh a closed AttachedNetwork")
+        network = self.network
+        subepoch = int(manifest.get("subepoch", 0))
+        if subepoch == self.subepoch and int(manifest["epoch"]) == network.epoch:
+            return {"slots": 0, "bytes": 0}
+        generations = {int(k): int(v) for k, v in manifest.get("generations", {}).items()}
+        if set(generations) != set(network.superpeers):
+            raise ValueError("super-peer set changed; re-attach instead of refreshing")
+        overlays = {int(k): v for k, v in manifest.get("overlays", {}).items()}
+        peers_of = {int(k): tuple(v) for k, v in manifest["peers_of"].items()}
+        changed = [
+            sp_id
+            for sp_id in sorted(generations)
+            if generations[sp_id] != network.store_generations.get(sp_id)
+        ]
+        attached_bytes = 0
+        for sp_id in changed:
+            overlay = overlays.get(sp_id)
+            if overlay is None:  # pragma: no cover - defensive
+                raise ValueError(f"generation moved for super-peer {sp_id} with no overlay")
+            segment = _attach_segment(overlay["segment"])
+            partitions = {int(k): v for k, v in overlay["partitions"].items()}
+            for peer_id in network.topology.peers_of[sp_id]:
+                network.peers.pop(peer_id, None)
+            for peer_id in peers_of[sp_id]:
+                slots = partitions[peer_id]
+                network.peers[peer_id] = Peer(
+                    peer_id=int(peer_id),
+                    data=PointSet.from_trusted(
+                        _view(segment, slots["values"]), _view(segment, slots["ids"])
+                    ),
+                )
+            network.topology.peers_of[sp_id] = peers_of[sp_id]
+            store_slots = overlay.get("store")
+            superpeer = network.superpeers[sp_id]
+            if store_slots is None:
+                superpeer.store = None
+            else:
+                points = PointSet.from_trusted(
+                    _view(segment, store_slots["values"]), _view(segment, store_slots["ids"])
+                )
+                superpeer.store = SortedByF.from_trusted(points, _view(segment, store_slots["f"]))
+            old = self._overlay_segments.pop(sp_id, None)
+            self._overlay_segments[sp_id] = segment
+            if old is not None:
+                try:
+                    old.close()
+                except BufferError:  # pragma: no cover - a view outlived us
+                    pass
+            network.store_generations[sp_id] = generations[sp_id]
+            attached_bytes += int(overlay.get("nbytes", 0))
+        network.epoch = int(manifest["epoch"])
+        self.subepoch = subepoch
+        self._manifest = manifest
+        return {"slots": len(changed), "bytes": attached_bytes}
 
     def __enter__(self) -> "SuperPeerNetwork":
         return self.network
@@ -389,20 +605,39 @@ def attach_network(manifest: Mapping[str, Any]) -> AttachedNetwork:
     from ..p2p.topology import Topology
 
     segment = _attach_segment(manifest["segment"])
+    overlay_segments: dict[int, shared_memory.SharedMemory] = {}
     try:
+        overlays = {int(k): v for k, v in manifest.get("overlays", {}).items()}
+        for sp_id, overlay in overlays.items():
+            overlay_segments[sp_id] = _attach_segment(overlay["segment"])
         topology = Topology(
             adjacency={int(k): tuple(v) for k, v in manifest["adjacency"].items()},
             peers_of={int(k): tuple(v) for k, v in manifest["peers_of"].items()},
         )
-        peers = {
-            int(peer_id): Peer(
-                peer_id=int(peer_id),
-                data=PointSet.from_trusted(
-                    _view(segment, slots["values"]), _view(segment, slots["ids"])
-                ),
-            )
-            for peer_id, slots in manifest["partitions"].items()
-        }
+        base_partitions = {int(k): v for k, v in manifest["partitions"].items()}
+        base_stores = {int(k): v for k, v in manifest["stores"].items()}
+        peers: dict[int, Peer] = {}
+        resolved_stores: dict[int, tuple[shared_memory.SharedMemory, Mapping[str, Any]]] = {}
+        for sp_id, peer_ids in topology.peers_of.items():
+            overlay = overlays.get(sp_id)
+            if overlay is None:
+                sp_segment = segment
+                sp_partitions = base_partitions
+                store_slots = base_stores.get(sp_id)
+            else:
+                sp_segment = overlay_segments[sp_id]
+                sp_partitions = {int(k): v for k, v in overlay["partitions"].items()}
+                store_slots = overlay.get("store")
+            for peer_id in peer_ids:
+                slots = sp_partitions[peer_id]
+                peers[peer_id] = Peer(
+                    peer_id=int(peer_id),
+                    data=PointSet.from_trusted(
+                        _view(sp_segment, slots["values"]), _view(sp_segment, slots["ids"])
+                    ),
+                )
+            if store_slots is not None:
+                resolved_stores[sp_id] = (sp_segment, store_slots)
         network = SuperPeerNetwork(
             topology=topology,
             peers=peers,
@@ -410,15 +645,19 @@ def attach_network(manifest: Mapping[str, Any]) -> AttachedNetwork:
             cost_model=CostModel(**manifest["cost_model"]),
             index_kind=manifest["index_kind"],
         )
-        for sp_id, slots in manifest["stores"].items():
+        for sp_id, (sp_segment, slots) in resolved_stores.items():
             points = PointSet.from_trusted(
-                _view(segment, slots["values"]), _view(segment, slots["ids"])
+                _view(sp_segment, slots["values"]), _view(sp_segment, slots["ids"])
             )
-            network.superpeers[int(sp_id)].store = SortedByF.from_trusted(
-                points, _view(segment, slots["f"])
+            network.superpeers[sp_id].store = SortedByF.from_trusted(
+                points, _view(sp_segment, slots["f"])
             )
         network.epoch = manifest["epoch"]
+        for sp_id, gen in manifest.get("generations", {}).items():
+            network.store_generations[int(sp_id)] = int(gen)
     except BaseException:
+        for overlay_segment in overlay_segments.values():
+            overlay_segment.close()
         segment.close()
         raise
-    return AttachedNetwork(network, segment, manifest)
+    return AttachedNetwork(network, segment, manifest, overlay_segments)

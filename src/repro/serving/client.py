@@ -104,6 +104,10 @@ class GatewayClient:
             {"op": "query", "subspace": [int(d) for d in subspace], "variant": variant}
         )
 
+    async def update(self, kind: str, **fields: Any) -> GatewayResponse:
+        """Send one live-update admin op (insert/delete/join/fail)."""
+        return await self.request({"op": "update", "kind": kind, **fields})
+
     async def ping(self) -> GatewayResponse:
         return await self.request({"op": "ping"})
 

@@ -23,6 +23,12 @@ scans — but the system still executed one query at a time end-to-end.
   :func:`repro.skypeer.netexec.gateway_dispatch` (warm engine, serial,
   or the socket transport).  A job whose waiters all disconnect before
   dispatch is abandoned, not executed.
+* **Live updates** — the ``update`` admin op applies point
+  inserts/deletes and peer joins/failures to the *served* network
+  without a restart: with the engine backend it routes through
+  :meth:`~repro.parallel.ParallelEngine.apply_update`, so shm
+  publications refresh per-slot (sub-epoch republish) while queries
+  keep flowing.
 * **Shutdown** — ``close()`` is idempotent: queued jobs are shed,
   running dispatches get ``shutdown_timeout`` to finish, every future
   is resolved, and connections are drained then closed.  No request
@@ -177,6 +183,8 @@ class GatewayStats:
 
     requests: int = 0
     queries: int = 0
+    updates: int = 0
+    updates_applied: int = 0
     ok: int = 0
     executed: int = 0
     coalesce_hits: int = 0
@@ -485,6 +493,9 @@ class QueryGateway:
                 conn, {"id": request_id, "status": "ok", "stats": self.stats.as_dict()}
             )
             return
+        if op == "update":
+            await self._serve_update(conn, payload, request_id)
+            return
         if op != "query":
             self.stats.protocol_errors += 1
             await self._write(
@@ -492,6 +503,154 @@ class QueryGateway:
             )
             return
         await self._serve_query(conn, payload, request_id)
+
+    # ------------------------------------------------------------------
+    # live updates (admin op)
+    # ------------------------------------------------------------------
+    async def _serve_update(self, conn: _Connection, payload: dict, request_id: Any) -> None:
+        """Apply one insert/delete/join/fail to the *served* network.
+
+        With the engine backend the mutation routes through
+        :meth:`~repro.parallel.ParallelEngine.apply_update`, so live shm
+        publications refresh incrementally (only the touched super-peer
+        slots republish) and the report carries the delta bytes.  The
+        serial backend applies the mutation directly — there is no
+        publication to refresh.  Either way the network epoch bumps, so
+        queries admitted after this response never coalesce with
+        pre-update jobs.
+        """
+        self.stats.updates += 1
+        self._count("serving.updates")
+        if self._closing:
+            self._note_shed(SHED_SHUTDOWN)
+            await self._write(conn, {**shed_payload(SHED_SHUTDOWN), "id": request_id})
+            return
+        try:
+            kind, kwargs = self._parse_update(payload)
+        except (TypeError, ValueError, KeyError) as exc:
+            self.stats.protocol_errors += 1
+            await self._write(
+                conn, {**error_payload(f"bad update: {exc}"), "id": request_id}
+            )
+            return
+        loop = asyncio.get_running_loop()
+        try:
+            report = await loop.run_in_executor(
+                self._executor, self._run_update, kind, kwargs
+            )
+        except Exception as exc:
+            self.stats.backend_errors += 1
+            self._count("serving.backend_errors")
+            await self._write(
+                conn, {**error_payload(f"{type(exc).__name__}: {exc}"), "id": request_id}
+            )
+            return
+        self.stats.updates_applied += 1
+        self._count("serving.updates_applied", kind=kind)
+        await self._write(
+            conn, {"id": request_id, "status": "ok", "op": "update", "update": report}
+        )
+
+    def _parse_update(self, payload: dict) -> tuple[str, dict[str, Any]]:
+        """Resolve an update payload to ``apply_update`` keyword args."""
+        kind = payload.get("kind")
+        if kind not in {"insert", "delete", "join", "fail", "fail-superpeer"}:
+            raise ValueError(f"unknown update kind {kind!r}")
+        kwargs: dict[str, Any] = {}
+        if kind in ("insert", "delete", "fail"):
+            kwargs["peer_id"] = int(payload["peer_id"])
+        if kind == "insert":
+            kwargs["points"] = self._parse_points(payload.get("points"))
+        elif kind == "delete":
+            raw_ids = payload.get("point_ids")
+            if not isinstance(raw_ids, (list, tuple)) or not raw_ids:
+                raise ValueError("point_ids must be a non-empty list")
+            kwargs["point_ids"] = [int(pid) for pid in raw_ids]
+        elif kind == "join":
+            kwargs["superpeer_id"] = int(payload["superpeer_id"])
+            kwargs["data"] = self._parse_points(
+                payload.get("points", payload.get("data"))
+            )
+            if payload.get("peer_id") is not None:
+                kwargs["peer_id"] = int(payload["peer_id"])
+        elif kind == "fail-superpeer":
+            kwargs["superpeer_id"] = int(payload["superpeer_id"])
+        return kind, kwargs
+
+    def _parse_points(self, raw: Any) -> Any:
+        """Points for insert/join: explicit coordinates or server-drawn.
+
+        ``{"random": n, "seed": s, "dataset": ...}`` asks the server to
+        generate ``n`` fresh points (ids allocated past the network's
+        current maximum); a list of coordinate rows — optionally wrapped
+        as ``{"values": [...], "ids": [...]}`` — ships them explicitly.
+        """
+        import numpy as np
+
+        from ..core.dataset import PointSet
+        from ..p2p.workload import fresh_points, next_point_id
+
+        if isinstance(raw, Mapping) and "random" in raw:
+            count = int(raw["random"])
+            if count < 1:
+                raise ValueError("random point count must be positive")
+            return fresh_points(
+                self.network,
+                count,
+                dataset=str(raw.get("dataset", "uniform")),
+                seed=int(raw.get("seed", 0)),
+            )
+        if isinstance(raw, Mapping) and "values" in raw:
+            values = np.asarray(raw["values"], dtype=np.float64)
+            if "ids" in raw and raw["ids"] is not None:
+                ids = np.asarray([int(i) for i in raw["ids"]], dtype=np.int64)
+            else:
+                start = next_point_id(self.network)
+                ids = np.arange(start, start + values.shape[0], dtype=np.int64)
+            return PointSet(values, ids)
+        if isinstance(raw, (list, tuple)) and raw:
+            return self._parse_points({"values": raw})
+        raise ValueError(f"points must be rows or a random spec, got {raw!r}")
+
+    def _run_update(self, kind: str, kwargs: dict[str, Any]) -> dict[str, Any]:
+        """Executor-thread entry: mutate through the backend's path."""
+        if self.backend == "engine" and self.engine is not None:
+            report = self.engine.apply_update(self.network, kind, **kwargs)
+            return report.as_dict()
+        from ..p2p import churn, updates
+
+        started = self._clock()
+        before = dict(self.network.store_generations)
+        if kind == "insert":
+            updates.insert_points(self.network, kwargs["peer_id"], kwargs["points"])
+        elif kind == "delete":
+            updates.delete_points(self.network, kwargs["peer_id"], kwargs["point_ids"])
+        elif kind == "join":
+            churn.join_peer(
+                self.network,
+                kwargs["superpeer_id"],
+                kwargs["data"],
+                peer_id=kwargs.get("peer_id"),
+            )
+        elif kind == "fail":
+            churn.fail_peer(self.network, kwargs["peer_id"])
+        else:
+            churn.fail_superpeer(self.network, kwargs["superpeer_id"])
+        touched = sorted(
+            sp
+            for sp, gen in self.network.store_generations.items()
+            if before.get(sp) != gen
+        )
+        return {
+            "kind": kind,
+            "epoch": self.network.epoch,
+            "touched_superpeers": touched,
+            "full_republish": False,
+            "republished_bytes": 0,
+            "slot_nbytes": 0,
+            "total_nbytes": 0,
+            "seconds": self._clock() - started,
+        }
 
     # ------------------------------------------------------------------
     # admission + fan-out

@@ -20,6 +20,15 @@ Requests
     independent, which is also what makes requests coalescable.
 ``{"op": "ping", "id": ...}`` / ``{"op": "stats", "id": ...}``
     Liveness probe / gateway statistics snapshot.
+``{"op": "update", "id": ..., "kind": "insert", "peer_id": 3,
+"points": {"random": 4, "seed": 7}}``
+    Admin op: apply one live mutation (``insert``/``delete``/``join``/
+    ``fail``/``fail-superpeer``) to the served network.  Points for
+    insert/join are either explicit rows (``[[...], ...]`` or
+    ``{"values": ..., "ids": ...}``) or a server-side draw
+    (``{"random": n, "seed": s}``).  The response's ``update`` object
+    is the engine's :class:`~repro.parallel.UpdateReport` — touched
+    super-peers, republished delta bytes, new epoch.
 
 Responses
 ---------

@@ -10,6 +10,12 @@ from repro.bench.smoke import DETERMINISTIC_FIELDS, SMOKE_SCHEMA, bench_smoke, w
 from repro.cli import main as cli_main
 
 
+# The smoke fixture and the standalone churn run each spin up worker
+# pools and replay whole benchmark sweeps: give them a deadline well
+# beyond CI's per-test --timeout default.
+pytestmark = pytest.mark.timeout(900)
+
+
 @pytest.fixture(scope="module")
 def report():
     """One micro smoke run shared across assertions (it spins a pool)."""
@@ -93,6 +99,44 @@ def test_kernels_identity_verdict_includes_salsa(report):
     # in: it cannot be true while the salsa gate is false.
     if report["kernels"]["identical"]:
         assert report["kernels"]["salsa"]["identical"] is True
+
+
+def test_incremental_section_identical_at_every_cell(report):
+    incremental = report["incremental"]
+    assert incremental["identical"] is True
+    assert incremental["delta_bounded"] is True
+    assert incremental["exercised"] is True
+    assert incremental["cells"]
+    for cell in incremental["cells"]:
+        assert cell["identical"] is True
+        assert cell["delta_bounded"] is True
+        assert len(cell["ops"]) == incremental["ops_per_cell"]
+
+
+def test_incremental_deltas_scale_with_the_touched_slot(report):
+    incremental = report["incremental"]
+    if not incremental["shm"]:
+        pytest.skip("snapshot mode: every op is an honest full republish")
+    saw_incremental = False
+    for cell in incremental["cells"]:
+        for op in cell["ops"]:
+            if op["full_republish"]:
+                continue
+            saw_incremental = True
+            assert op["republished_bytes"] <= op["slot_nbytes"]
+            assert op["republished_bytes"] < op["total_nbytes"]
+            assert op["touched_superpeers"]
+    assert saw_incremental
+
+
+def test_bench_churn_standalone_report():
+    from repro.bench.smoke import bench_churn
+
+    churn = bench_churn(scale="tiny", workers=2)
+    assert churn["schema"] == SMOKE_SCHEMA
+    assert churn["sweep"] == "incremental-churn-grid"
+    assert churn["incremental"]["identical"] is True
+    assert churn["incremental"]["delta_bounded"] is True
 
 
 def test_report_is_json_serializable(report, tmp_path):

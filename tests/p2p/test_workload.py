@@ -1,0 +1,206 @@
+"""Churn workload generation: schedules, grids, op planning, rebuild."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import PointSet
+from repro.data.workload import Query
+from repro.p2p.network import SuperPeerNetwork
+from repro.p2p.topology import Topology
+from repro.p2p.workload import (
+    ChurnOp,
+    apply_op,
+    churn_grid,
+    churn_schedule,
+    fresh_points,
+    next_point_id,
+    plan_op,
+    rebuild_reference,
+)
+from repro.skypeer.executor import execute_query
+from repro.skypeer.variants import Variant
+
+
+def build_network(seed: int = 7, d: int = 4) -> SuperPeerNetwork:
+    rng = np.random.default_rng(seed)
+    topo = Topology.generate(n_peers=9, n_superpeers=3, degree=3.0, seed=seed)
+    partitions = {}
+    next_id = 0
+    for peers in topo.peers_of.values():
+        for pid in peers:
+            partitions[pid] = PointSet(
+                rng.random((10, d)), np.arange(next_id, next_id + 10)
+            )
+            next_id += 10
+    return SuperPeerNetwork.from_partitions(topo, partitions)
+
+
+# ----------------------------------------------------------------------
+# schedules
+# ----------------------------------------------------------------------
+class TestChurnSchedule:
+    def test_replays_identically_from_the_seed(self):
+        a = churn_schedule(16, 0.7, 0.3, seed=42)
+        b = churn_schedule(16, 0.7, 0.3, seed=42)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        assert churn_schedule(16, 0.5, 0.5, seed=1) != churn_schedule(
+            16, 0.5, 0.5, seed=2
+        )
+
+    def test_pure_update_rate_never_churns(self):
+        ops = churn_schedule(32, 1.0, 0.0, seed=0)
+        assert {op.kind for op in ops} <= {"insert", "delete"}
+
+    def test_pure_churn_rate_never_updates(self):
+        ops = churn_schedule(32, 0.0, 1.0, seed=0)
+        assert {op.kind for op in ops} <= {"join", "fail"}
+
+    def test_mixed_rates_draw_both_families(self):
+        kinds = {op.kind for op in churn_schedule(64, 0.5, 0.5, seed=3)}
+        assert kinds & {"insert", "delete"}
+        assert kinds & {"join", "fail"}
+
+    def test_every_op_gets_its_own_seed(self):
+        ops = churn_schedule(16, 1.0, 1.0, seed=5)
+        assert len({op.seed for op in ops}) == len(ops)
+        assert [op.index for op in ops] == list(range(16))
+
+    def test_zero_rates_yield_empty_schedule(self):
+        assert churn_schedule(8, 0.0, 0.0) == ()
+        assert churn_schedule(0, 1.0, 1.0) == ()
+
+    def test_rejects_negative_inputs(self):
+        with pytest.raises(ValueError):
+            churn_schedule(-1, 1.0, 0.0)
+        with pytest.raises(ValueError):
+            churn_schedule(4, -0.1, 0.0)
+
+
+class TestChurnGrid:
+    def test_default_grid_excludes_zero_zero(self):
+        cells = churn_grid()
+        assert (0.0, 0.0) not in cells
+        assert (1.0, 0.0) in cells and (0.0, 1.0) in cells
+
+    def test_custom_rates(self):
+        assert churn_grid([1.0], [0.0, 1.0]) == ((1.0, 0.0), (1.0, 1.0))
+
+
+# ----------------------------------------------------------------------
+# planning + application
+# ----------------------------------------------------------------------
+class TestPlanOp:
+    def test_plan_is_deterministic_and_pure(self):
+        network = build_network()
+        op = ChurnOp(index=0, kind="insert", n_points=3, seed=99)
+        epoch = network.epoch
+        kind_a, kwargs_a = plan_op(network, op)
+        kind_b, kwargs_b = plan_op(network, op)
+        assert network.epoch == epoch  # planning never mutates
+        assert kind_a == kind_b == "insert"
+        assert kwargs_a["peer_id"] == kwargs_b["peer_id"]
+        assert np.array_equal(
+            kwargs_a["points"].values, kwargs_b["points"].values
+        )
+
+    def test_infeasible_delete_degrades_to_insert(self):
+        network = build_network()
+        for peer in network.peers.values():
+            peer.data = PointSet(
+                np.empty((0, network.dimensionality)), np.empty(0, dtype=np.int64)
+            )
+        kind, kwargs = plan_op(network, ChurnOp(0, "delete", 2, seed=1))
+        assert kind == "insert"
+        assert len(kwargs["points"]) == 2
+
+    def test_fail_targets_only_peers_with_siblings(self):
+        network = build_network()
+        kind, kwargs = plan_op(network, ChurnOp(0, "fail", 0, seed=2))
+        assert kind == "fail"
+        sp = network.topology.superpeer_of_peer(kwargs["peer_id"])
+        assert len(network.topology.peers_of[sp]) > 1
+
+    def test_insert_allocates_globally_fresh_ids(self):
+        network = build_network()
+        _, kwargs = plan_op(network, ChurnOp(0, "insert", 4, seed=3))
+        existing = {
+            int(i) for peer in network.peers.values() for i in peer.data.ids
+        }
+        assert not existing & {int(i) for i in kwargs["points"].ids}
+
+
+class TestFreshPoints:
+    def test_seed_determinism_and_fresh_ids(self):
+        network = build_network()
+        a = fresh_points(network, 5, seed=11)
+        b = fresh_points(network, 5, seed=11)
+        assert np.array_equal(a.values, b.values)
+        assert int(a.ids.min()) == next_point_id(network)
+
+    def test_next_point_id_on_empty_network(self):
+        network = build_network()
+        for peer in network.peers.values():
+            peer.data = PointSet(
+                np.empty((0, network.dimensionality)), np.empty(0, dtype=np.int64)
+            )
+        assert next_point_id(network) == 0
+
+
+# ----------------------------------------------------------------------
+# incremental vs from-scratch identity
+# ----------------------------------------------------------------------
+def _skylines(network: SuperPeerNetwork, subspaces) -> list:
+    out = []
+    for subspace in subspaces:
+        query = Query(
+            subspace=tuple(subspace), initiator=network.topology.superpeer_ids[0]
+        )
+        out.append(execute_query(network, query, Variant.FTPM).result)
+    return out
+
+
+@pytest.mark.parametrize("update_rate,churn_rate", [(1.0, 0.0), (0.5, 0.5), (0.0, 1.0)])
+def test_applied_schedule_matches_from_scratch_rebuild(update_rate, churn_rate):
+    """The core identity: incremental maintenance == full recomputation."""
+    network = build_network()
+    for op in churn_schedule(6, update_rate, churn_rate, seed=13):
+        apply_op(network, op)
+    reference = rebuild_reference(network)
+    subspaces = [(0, 1, 2), (1, 3), (0, 2, 3)]
+    for live, rebuilt in zip(_skylines(network, subspaces), _skylines(reference, subspaces)):
+        assert np.array_equal(live.points.values, rebuilt.points.values)
+        assert np.array_equal(live.points.ids, rebuilt.points.ids)
+        assert np.array_equal(live.f, rebuilt.f)
+
+
+def test_rebuild_reference_is_a_deep_copy():
+    network = build_network()
+    reference = rebuild_reference(network)
+    assert reference is not network
+    assert set(reference.peers) == set(network.peers)
+    pid = sorted(network.peers)[0]
+    assert np.array_equal(
+        reference.peers[pid].data.values, network.peers[pid].data.values
+    )
+    assert not np.shares_memory(
+        reference.peers[pid].data.values, network.peers[pid].data.values
+    )
+
+
+def test_apply_op_bumps_only_the_touched_generation():
+    network = build_network()
+    before = dict(network.store_generations)
+    op = ChurnOp(index=0, kind="insert", n_points=2, seed=17)
+    kind, kwargs = plan_op(network, op)
+    assert kind == "insert"
+    apply_op(network, op)
+    touched = network.topology.superpeer_of_peer(kwargs["peer_id"])
+    for sp, gen in network.store_generations.items():
+        if sp == touched:
+            assert gen == before[sp] + 1
+        else:
+            assert gen == before[sp]

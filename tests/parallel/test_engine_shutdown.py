@@ -12,6 +12,7 @@ before the drain or raises (never leaks a segment afterwards), and no
 from __future__ import annotations
 
 import glob
+import os
 import threading
 
 import numpy as np
@@ -214,3 +215,105 @@ class TestSharedRegistry:
         assert _ENGINES == {}
         monkeypatch.undo()
         a.close()
+
+
+class TestEpochGateRaces:
+    """Updates racing fan-outs: old epoch or new, never a torn mix."""
+
+    @staticmethod
+    def _snapshot(store) -> tuple:
+        return (
+            store.points.ids.tobytes(),
+            store.points.values.tobytes(),
+            store.f.tobytes(),
+        )
+
+    @pytest.mark.skipif(not shm_supported(), reason="needs POSIX shared memory")
+    def test_apply_update_racing_run_queries_never_tears(self):
+        from repro.p2p.workload import fresh_points
+        from repro.skypeer.executor import execute_query
+
+        network = _network(seed=31)
+        query = Query(subspace=(0, 1, 2), initiator=network.topology.superpeer_ids[0])
+        with ParallelEngine(2, use_shm=True) as engine:
+            engine.run_queries(network, [query], [Variant.FTPM])
+            # Every answer a reader may legally observe: the pre-update
+            # skyline plus the one after each applied update.
+            legal = {self._snapshot(execute_query(network, query, Variant.FTPM).result)}
+            observed: list[tuple] = []
+            errors: list[Exception] = []
+            lock = threading.Lock()
+
+            def reader():
+                for _ in range(8):
+                    try:
+                        runs = engine.run_queries(network, [query], [Variant.FTPM])
+                        snap = self._snapshot(runs[Variant.FTPM][0].result)
+                        with lock:
+                            observed.append(snap)
+                    except Exception as exc:  # pragma: no cover - fail loudly
+                        errors.append(exc)
+                        return
+
+            threads = [threading.Thread(target=reader) for _ in range(3)]
+            for thread in threads:
+                thread.start()
+            peer_id = sorted(network.peers)[0]
+            for i in range(4):
+                engine.apply_update(
+                    network, "insert", peer_id=peer_id,
+                    points=fresh_points(network, 2, seed=50 + i),
+                )
+                # The write gate has drained: the network is quiescent,
+                # so a serial read here is race-free.
+                legal.add(
+                    self._snapshot(execute_query(network, query, Variant.FTPM).result)
+                )
+            for thread in threads:
+                thread.join()
+            assert not errors
+            assert observed
+            torn = [snap for snap in observed if snap not in legal]
+            assert torn == [], f"{len(torn)} torn responses"
+            assert engine.stats.updates_applied == 4
+        assert [s for s in _segments() if f"{os.getpid():x}" in s] == []
+
+    def test_apply_update_after_close_raises_cleanly(self):
+        from repro.p2p.workload import fresh_points
+
+        network = _network(seed=32)
+        engine = ParallelEngine(2)
+        engine.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            engine.apply_update(
+                network, "insert", peer_id=sorted(network.peers)[0],
+                points=fresh_points(network, 1, seed=1),
+            )
+
+    @pytest.mark.skipif(not shm_supported(), reason="needs POSIX shared memory")
+    def test_apply_update_racing_close_applies_or_raises(self):
+        from repro.p2p.workload import fresh_points
+
+        network = _network(seed=33)
+        query = Query(subspace=(0, 1), initiator=network.topology.superpeer_ids[0])
+        engine = ParallelEngine(2, use_shm=True)
+        engine.run_queries(network, [query], [Variant.FTPM])
+        outcomes: list[str] = []
+
+        def updater():
+            try:
+                engine.apply_update(
+                    network, "insert", peer_id=sorted(network.peers)[0],
+                    points=fresh_points(network, 1, seed=2),
+                )
+                outcomes.append("applied")
+            except RuntimeError:
+                outcomes.append("refused")
+
+        thread = threading.Thread(target=updater)
+        thread.start()
+        engine.close()
+        thread.join()
+        assert outcomes and outcomes[0] in ("applied", "refused")
+        assert engine.closed
+        assert [s for s in _segments() if f"{os.getpid():x}" in s] == []

@@ -1,0 +1,301 @@
+"""Incremental epochs: per-slot republish, worker refresh, apply_update."""
+
+from __future__ import annotations
+
+import copy
+import glob
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import PointSet
+from repro.data.workload import Query
+from repro.p2p.churn import fail_superpeer, join_peer
+from repro.p2p.network import SuperPeerNetwork
+from repro.p2p.topology import Topology
+from repro.p2p.updates import insert_points
+from repro.p2p.workload import fresh_points
+from repro.parallel import ParallelEngine, shm_supported
+from repro.parallel.shm import attach_network, manifest_data_nbytes, publish_network
+from repro.skypeer.executor import execute_query
+from repro.skypeer.variants import Variant
+
+pytestmark = pytest.mark.skipif(
+    not shm_supported(), reason="POSIX shared memory unavailable"
+)
+
+
+def build_network(seed: int = 3, d: int = 4, n_superpeers: int = 3) -> SuperPeerNetwork:
+    rng = np.random.default_rng(seed)
+    topo = Topology.generate(
+        n_peers=3 * n_superpeers, n_superpeers=n_superpeers, degree=3.0, seed=seed
+    )
+    partitions = {}
+    next_id = 0
+    for peers in topo.peers_of.values():
+        for pid in peers:
+            partitions[pid] = PointSet(
+                rng.random((10, d)), np.arange(next_id, next_id + 10)
+            )
+            next_id += 10
+    return SuperPeerNetwork.from_partitions(topo, partitions)
+
+
+def _shm_leaks() -> list[str]:
+    return glob.glob(f"/dev/shm/repro-shm-{os.getpid():x}-*")
+
+
+def _attached_equals_network(attached, network) -> None:
+    for sp_id, superpeer in network.superpeers.items():
+        mirror = attached.network.superpeers[sp_id]
+        assert np.array_equal(mirror.store.points.values, superpeer.store.points.values)
+        assert np.array_equal(mirror.store.points.ids, superpeer.store.points.ids)
+        assert np.array_equal(mirror.store.f, superpeer.store.f)
+    for pid, peer in network.peers.items():
+        mirror = attached.network.peers[pid]
+        assert np.array_equal(mirror.data.values, peer.data.values)
+        assert np.array_equal(mirror.data.ids, peer.data.ids)
+
+
+# ----------------------------------------------------------------------
+# slot republish (publisher side)
+# ----------------------------------------------------------------------
+class TestRepublish:
+    def test_republish_touches_only_the_named_slots(self):
+        network = build_network()
+        shared = publish_network(network)
+        try:
+            before = copy.deepcopy(shared.manifest)
+            target = sorted(network.superpeers)[0]
+            peer_id = network.topology.peers_of[target][0]
+            insert_points(network, peer_id, fresh_points(network, 3, seed=5))
+            nbytes = shared.republish(network, [target])
+            manifest = shared.manifest
+            assert manifest["subepoch"] == before["subepoch"] + 1
+            assert manifest["generations"][target] == before["generations"][target] + 1
+            assert nbytes == manifest["slot_nbytes"][target]
+            assert target in manifest["overlays"]
+            for sp in network.superpeers:
+                if sp != target:
+                    assert manifest["generations"][sp] == before["generations"][sp]
+                    assert sp not in manifest["overlays"]
+        finally:
+            shared.close()
+        assert _shm_leaks() == []
+
+    def test_republished_slot_is_smaller_than_the_publication(self):
+        network = build_network()
+        shared = publish_network(network)
+        try:
+            target = sorted(network.superpeers)[0]
+            peer_id = network.topology.peers_of[target][0]
+            insert_points(network, peer_id, fresh_points(network, 2, seed=6))
+            delta = shared.republish(network, [target])
+            assert 0 < delta < manifest_data_nbytes(shared.manifest)
+        finally:
+            shared.close()
+
+    def test_superseded_overlays_are_retired_not_leaked(self):
+        network = build_network()
+        shared = publish_network(network)
+        try:
+            target = sorted(network.superpeers)[0]
+            peer_id = network.topology.peers_of[target][0]
+            for seed in (7, 8):
+                insert_points(network, peer_id, fresh_points(network, 1, seed=seed))
+                shared.republish(network, [target])
+            assert shared.reap_retired() == 1  # the first overlay, superseded
+            assert shared.reap_retired() == 0
+        finally:
+            shared.close()
+        assert _shm_leaks() == []
+
+
+# ----------------------------------------------------------------------
+# slot refresh (worker side)
+# ----------------------------------------------------------------------
+class TestRefresh:
+    def test_refresh_mirrors_the_republished_slot(self):
+        network = build_network()
+        shared = publish_network(network)
+        attached = None
+        try:
+            attached = attach_network(shared.manifest)
+            target = sorted(network.superpeers)[0]
+            peer_id = network.topology.peers_of[target][0]
+            insert_points(network, peer_id, fresh_points(network, 4, seed=9))
+            shared.republish(network, [target])
+            delta = attached.refresh(shared.manifest)
+            assert delta["slots"] == 1
+            assert delta["bytes"] == shared.manifest["slot_nbytes"][target]
+            _attached_equals_network(attached, network)
+        finally:
+            if attached is not None:
+                attached.close()
+            shared.close()
+        assert _shm_leaks() == []
+
+    def test_refresh_same_subepoch_is_a_noop(self):
+        network = build_network()
+        shared = publish_network(network)
+        attached = None
+        try:
+            attached = attach_network(shared.manifest)
+            assert attached.refresh(shared.manifest) == {"slots": 0, "bytes": 0}
+        finally:
+            if attached is not None:
+                attached.close()
+            shared.close()
+
+    def test_refresh_rejects_superpeer_set_surgery(self):
+        network = build_network()
+        shared = publish_network(network)
+        attached = None
+        try:
+            attached = attach_network(shared.manifest)
+            mangled = copy.deepcopy(shared.manifest)
+            mangled["subepoch"] += 1
+            doomed = sorted(mangled["generations"])[0]
+            del mangled["generations"][doomed]
+            with pytest.raises(ValueError):
+                attached.refresh(mangled)
+        finally:
+            if attached is not None:
+                attached.close()
+            shared.close()
+
+    def test_sequential_updates_converge_to_the_live_network(self):
+        network = build_network()
+        shared = publish_network(network)
+        attached = None
+        try:
+            attached = attach_network(shared.manifest)
+            superpeers = sorted(network.superpeers)
+            join_peer(network, superpeers[1], fresh_points(network, 5, seed=10))
+            shared.republish(network, [superpeers[1]])
+            attached.refresh(shared.manifest)
+            peer_id = network.topology.peers_of[superpeers[0]][0]
+            insert_points(network, peer_id, fresh_points(network, 3, seed=11))
+            shared.republish(network, [superpeers[0]])
+            attached.refresh(shared.manifest)
+            _attached_equals_network(attached, network)
+            assert attached.network.store_generations == network.store_generations
+        finally:
+            if attached is not None:
+                attached.close()
+            shared.close()
+        assert _shm_leaks() == []
+
+
+# ----------------------------------------------------------------------
+# engine.apply_update (end to end)
+# ----------------------------------------------------------------------
+class TestApplyUpdate:
+    def _queries(self, network):
+        return [
+            Query(subspace=s, initiator=network.topology.superpeer_ids[0])
+            for s in ((0, 1, 2), (1, 3))
+        ]
+
+    def test_insert_refreshes_the_live_publication_incrementally(self):
+        network = build_network()
+        queries = self._queries(network)
+        with ParallelEngine(2, use_shm=True) as engine:
+            engine.run_queries(network, queries, [Variant.FTPM])
+            publications_before = engine.stats.publications
+            peer_id = sorted(network.peers)[0]
+            report = engine.apply_update(
+                network, "insert", peer_id=peer_id,
+                points=fresh_points(network, 3, seed=12),
+            )
+            assert not report.full_republish
+            assert report.touched_superpeers == (
+                network.topology.superpeer_of_peer(peer_id),
+            )
+            assert 0 < report.republished_bytes <= report.slot_nbytes
+            assert report.slot_nbytes < report.total_nbytes
+            assert engine.stats.publications == publications_before
+            assert engine.stats.incremental_republishes == 1
+            assert engine.stats.updates_applied == 1
+            assert engine.stats.republished_bytes == report.republished_bytes
+            # Post-update answers are byte-identical to a serial run on
+            # the live (mutated) network.
+            live = engine.run_queries(network, queries, [Variant.FTPM])[Variant.FTPM]
+            for query, execution in zip(queries, live):
+                reference = execute_query(network, query, Variant.FTPM)
+                assert np.array_equal(
+                    execution.result.points.ids, reference.result.points.ids
+                )
+                assert np.array_equal(
+                    execution.result.points.values, reference.result.points.values
+                )
+                assert np.array_equal(execution.result.f, reference.result.f)
+        assert _shm_leaks() == []
+
+    def test_superpeer_failure_falls_back_to_full_republish(self):
+        network = build_network(n_superpeers=3)
+        queries = self._queries(network)
+        with ParallelEngine(2, use_shm=True) as engine:
+            engine.run_queries(network, queries, [Variant.FTPM])
+            doomed = sorted(network.superpeers)[-1]
+            report = engine.apply_update(
+                network, "fail-superpeer", superpeer_id=doomed
+            )
+            assert report.full_republish
+            assert engine.stats.full_republishes == 1
+            live = engine.run_queries(network, queries, [Variant.FTPM])[Variant.FTPM]
+            reference = execute_query(network, queries[0], Variant.FTPM)
+            assert np.array_equal(
+                live[0].result.points.ids, reference.result.points.ids
+            )
+        assert _shm_leaks() == []
+
+    def test_update_on_unpublished_network_reports_no_bytes(self):
+        network = build_network()
+        with ParallelEngine(2, use_shm=True) as engine:
+            report = engine.apply_update(
+                network, "insert", peer_id=sorted(network.peers)[0],
+                points=fresh_points(network, 2, seed=13),
+            )
+            assert report.republished_bytes == 0
+            assert not report.full_republish
+            assert report.touched_superpeers
+        assert _shm_leaks() == []
+
+    def test_apply_update_rejects_unknown_kind(self):
+        network = build_network()
+        with ParallelEngine(2, use_shm=True) as engine:
+            with pytest.raises(ValueError):
+                engine.apply_update(network, "shuffle")
+
+    def test_untouched_slot_cache_entries_survive_an_update(self):
+        """Block-cache invalidation is (slot, generation)-keyed: an update
+        to one super-peer must not evict the others' cached scans."""
+        network = build_network()
+        queries = self._queries(network)
+        with ParallelEngine(2, use_shm=True) as engine:
+            engine.run_queries(network, queries, [Variant.FTPM])
+            engine.run_queries(network, queries, [Variant.FTPM])  # warm
+            warm_hits = engine.stats.cache_hits
+            assert warm_hits > 0
+            peer_id = sorted(network.peers)[0]
+            engine.apply_update(
+                network, "insert", peer_id=peer_id,
+                points=fresh_points(network, 2, seed=14),
+            )
+            engine.run_queries(network, queries, [Variant.FTPM])
+            assert engine.stats.cache_hits > warm_hits
+        assert _shm_leaks() == []
+
+
+def test_fail_superpeer_bumps_only_adopters():
+    network = build_network(n_superpeers=3)
+    doomed = sorted(network.superpeers)[-1]
+    before = dict(network.store_generations)
+    event = fail_superpeer(network, doomed)
+    assert doomed not in network.store_generations
+    adopters = set(event.adoptions.values()) if hasattr(event, "adoptions") else None
+    for sp, gen in network.store_generations.items():
+        if adopters is None or sp in adopters:
+            assert gen >= before[sp]

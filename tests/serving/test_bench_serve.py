@@ -25,6 +25,10 @@ from .conftest import run
 
 REPO = pathlib.Path(__file__).resolve().parents[2]
 
+# Open-loop runs spin a pool and replay full request schedules: allow
+# well beyond CI's per-test --timeout default.
+pytestmark = pytest.mark.timeout(900)
+
 BENCH_KWARGS = dict(
     scale="tiny", workers=2, concurrency=8, requests=32, rate=300.0
 )

@@ -279,3 +279,103 @@ class TestShutdownFaults:
         leftovers, connections = run(scenario())
         assert leftovers == []
         assert connections == set()
+
+
+class TestEpochRaces:
+    """Live updates racing coalesced queries: old epoch or new, never torn."""
+
+    def test_update_racing_coalesced_queries_never_torn(self):
+        import json
+
+        from repro.data.workload import Query
+        from repro.parallel import ParallelEngine
+        from repro.parallel.shm import shm_supported
+        from repro.serving.proto import result_payload
+        from repro.skypeer.variants import Variant
+
+        from .conftest import build_network
+
+        network = build_network(seed=23)
+        engine = ParallelEngine(2, use_shm=shm_supported())
+        subspace = (0, 1, 2)
+
+        def serial_snapshot() -> str:
+            # Only called while the network is quiescent (the update's
+            # response frame has arrived, the next one is not yet sent),
+            # so this serial read cannot race a mutation.
+            query = Query(
+                subspace=subspace, initiator=network.topology.superpeer_ids[0]
+            )
+            store = execute_query(network, query, Variant.FTPM).result
+            return json.dumps(result_payload(store), sort_keys=True)
+
+        async def scenario():
+            legal: set[str] = set()
+            responses = []
+            config = GatewayConfig(dispatchers=2)
+            async with QueryGateway(network, engine=engine, config=config) as gateway:
+                host, port = gateway.address
+                clients = [
+                    await GatewayClient.connect(host, port) for _ in range(3)
+                ]
+                warm = await clients[0].query(subspace)
+                assert warm.ok
+                legal.add(serial_snapshot())
+                peer_id = sorted(network.peers)[0]
+                for round_no in range(3):
+                    # Queries take off first, then the update lands while
+                    # they are mid-coalesce/mid-dispatch.
+                    tasks = [
+                        asyncio.ensure_future(client.query(subspace))
+                        for client in clients
+                        for _ in range(2)
+                    ]
+                    update = await clients[0].update(
+                        "insert", peer_id=peer_id,
+                        points={"random": 2, "seed": round_no},
+                    )
+                    assert update.ok, update.payload
+                    legal.add(serial_snapshot())
+                    responses.extend(await asyncio.gather(*tasks))
+                for client in clients:
+                    await client.close()
+            return legal, responses, gateway.stats
+
+        try:
+            legal, responses, stats = run(bounded(scenario()))
+        finally:
+            engine.close()
+        assert stats.updates_applied == 3
+        for response in responses:
+            assert response.ok, response.payload
+            snapshot = json.dumps(response.payload["result"], sort_keys=True)
+            assert snapshot in legal, "torn response: matches no epoch"
+
+    def test_update_during_shutdown_is_shed_not_applied(self, network):
+        epoch_before = network.epoch
+
+        async def scenario():
+            gateway = QueryGateway(network, config=GatewayConfig())
+            written: list[dict] = []
+
+            async def capture(conn, payload):
+                written.append(payload)
+
+            gateway._write = capture
+            gateway._closing = True  # shutdown racing the update frame
+            await gateway._serve_update(
+                None,
+                {
+                    "kind": "insert",
+                    "peer_id": sorted(network.peers)[0],
+                    "points": {"random": 1, "seed": 0},
+                },
+                7,
+            )
+            return written, gateway.stats
+
+        written, stats = run(bounded(scenario()))
+        assert written == [{"status": "shed", "reason": SHED_SHUTDOWN, "id": 7}]
+        assert stats.updates == 1
+        assert stats.updates_applied == 0
+        assert network.epoch == epoch_before  # the mutation never ran

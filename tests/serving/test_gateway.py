@@ -285,3 +285,135 @@ class TestEngineStatsMirror:
             serve_fields = engine.stats.as_dict()
             assert "serve_coalesce_hits" in serve_fields
             assert "serve_queue_depth_peak" in serve_fields
+
+
+class TestUpdateOp:
+    """The ``update`` admin op: live mutations through the gateway."""
+
+    def test_serial_backend_applies_insert_and_bumps_epoch(self):
+        from .conftest import build_network
+
+        network = build_network(seed=29)
+        peer_id = sorted(network.peers)[0]
+        size_before = len(network.peers[peer_id].data)
+        epoch_before = network.epoch
+
+        async def scenario():
+            async with QueryGateway(network, config=GatewayConfig()) as gateway:
+                host, port = gateway.address
+                async with await GatewayClient.connect(host, port) as client:
+                    rows = [[0.5] * network.dimensionality, [0.6] * network.dimensionality]
+                    response = await client.update(
+                        "insert", peer_id=peer_id, points=rows
+                    )
+            return response, gateway.stats
+
+        response, stats = run(scenario())
+        assert response.ok, response.payload
+        report = response.payload["update"]
+        assert report["kind"] == "insert"
+        assert report["epoch"] == network.epoch == epoch_before + 1
+        assert report["touched_superpeers"] == [
+            network.topology.superpeer_of_peer(peer_id)
+        ]
+        assert report["republished_bytes"] == 0  # serial: nothing published
+        assert len(network.peers[peer_id].data) == size_before + 2
+        assert stats.updates == stats.updates_applied == 1
+
+    def test_server_side_random_points_and_delete(self):
+        from .conftest import build_network
+
+        network = build_network(seed=31)
+        peer_id = sorted(network.peers)[0]
+
+        async def scenario():
+            async with QueryGateway(network, config=GatewayConfig()) as gateway:
+                host, port = gateway.address
+                async with await GatewayClient.connect(host, port) as client:
+                    inserted = await client.update(
+                        "insert", peer_id=peer_id,
+                        points={"random": 3, "seed": 5},
+                    )
+                    doomed = [int(i) for i in network.peers[peer_id].data.ids[:2]]
+                    deleted = await client.update(
+                        "delete", peer_id=peer_id, point_ids=doomed
+                    )
+            return inserted, deleted
+
+        inserted, deleted = run(scenario())
+        assert inserted.ok and deleted.ok
+        assert deleted.payload["update"]["kind"] == "delete"
+
+    def test_join_and_fail_round_trip(self):
+        from .conftest import build_network
+
+        network = build_network(seed=37)
+        superpeer_id = sorted(network.superpeers)[0]
+        peers_before = set(network.peers)
+
+        async def scenario():
+            async with QueryGateway(network, config=GatewayConfig()) as gateway:
+                host, port = gateway.address
+                async with await GatewayClient.connect(host, port) as client:
+                    joined = await client.update(
+                        "join", superpeer_id=superpeer_id,
+                        points={"random": 4, "seed": 9},
+                    )
+                    new_peer = (set(network.peers) - peers_before).pop()
+                    failed = await client.update("fail", peer_id=new_peer)
+            return joined, failed
+
+        joined, failed = run(scenario())
+        assert joined.ok and failed.ok
+        assert set(network.peers) == peers_before
+
+    def test_malformed_updates_are_errors_not_mutations(self):
+        from .conftest import build_network
+
+        network = build_network(seed=41)
+        epoch_before = network.epoch
+
+        async def scenario():
+            async with QueryGateway(network, config=GatewayConfig()) as gateway:
+                host, port = gateway.address
+                async with await GatewayClient.connect(host, port) as client:
+                    bad_kind = await client.update("shuffle")
+                    no_target = await client.update("insert", points=[[0.1, 0.2, 0.3, 0.4]])
+                    bad_points = await client.update(
+                        "insert", peer_id=sorted(network.peers)[0], points="nope"
+                    )
+                    unknown_peer = await client.update(
+                        "insert", peer_id=10**6, points={"random": 1}
+                    )
+            return bad_kind, no_target, bad_points, unknown_peer, gateway.stats
+
+        bad_kind, no_target, bad_points, unknown_peer, stats = run(scenario())
+        for response in (bad_kind, no_target, bad_points):
+            assert response.status == "error", response.payload
+        assert unknown_peer.status == "error"
+        assert network.epoch == epoch_before
+        assert stats.updates == 4
+        assert stats.updates_applied == 0
+
+    def test_post_update_queries_do_not_coalesce_with_stale_jobs(self):
+        from .conftest import build_network
+
+        network = build_network(seed=43)
+
+        async def scenario():
+            async with QueryGateway(network, config=GatewayConfig()) as gateway:
+                host, port = gateway.address
+                async with await GatewayClient.connect(host, port) as client:
+                    first = await client.query([0, 1])
+                    await client.update(
+                        "insert", peer_id=sorted(network.peers)[0],
+                        points={"random": 2, "seed": 3},
+                    )
+                    second = await client.query([0, 1])
+            return first, second, gateway.stats
+
+        first, second, stats = run(scenario())
+        assert first.ok and second.ok
+        # Distinct epochs => distinct coalescing keys => both executed.
+        assert stats.executed == 2
+        assert stats.coalesce_hits == 0
