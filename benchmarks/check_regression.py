@@ -64,6 +64,19 @@ its touched slots and strictly below the publication — deterministic
 byte counters, machine-stable) and ``exercised`` (on shm platforms at
 least one op must actually take the incremental path; vacuous in
 snapshot mode, where every op is an honest full republish).
+
+Schema-8 reports add ``update_latency`` (embedded by ``bench --smoke``
+and ``bench --churn``): the compute side of the same churn grid,
+replayed serially through the delta-maintenance paths (eviction
+ledgers + sorted splices).  Its gated verdicts are ``identical``
+(every post-op store byte-identical to a from-scratch rebuild),
+``delete_incremental`` (at least one skyline-touching delete resolved
+via the eviction ledger with no delete falling back to a rebuild, each
+examining strictly fewer candidates than the rebuild-equivalent work —
+deterministic counters) and ``insert_no_resort`` (zero
+``SortedByF.from_points`` full re-sorts during incremental inserts).
+The incremental-vs-rebuild wall-clock ratio is printed
+informationally.
 """
 
 from __future__ import annotations
@@ -315,6 +328,45 @@ def check_current_verdicts(current: dict) -> list[str]:
                 f"republished vs {cell.get('publication_nbytes', 0)}B "
                 f"publication"
             )
+    update_latency = current.get("update_latency")
+    if update_latency is not None:
+        if not update_latency.get("identical", True):
+            broken = [
+                f"u={cell.get('update_rate')},c={cell.get('churn_rate')} "
+                f"op#{i} ({op.get('kind')}/{op.get('path')})"
+                for cell in update_latency.get("cells", [])
+                for i, op in enumerate(cell.get("ops", []))
+                if not op.get("identical", True)
+            ]
+            problems.append(
+                "delta maintenance diverged from from-scratch rebuild at: "
+                f"{broken}"
+            )
+        if not update_latency.get("delete_incremental", True):
+            problems.append(
+                "ledger delete path not effective: "
+                f"{update_latency.get('promoted_deletes', 0)} promoted / "
+                f"{update_latency.get('rebuilt_deletes', 0)} rebuilt of "
+                f"{update_latency.get('deletes', 0)} deletes (promoted ops "
+                "must exist, none may rebuild, and each must examine fewer "
+                "candidates than the rebuild-equivalent work)"
+            )
+        if not update_latency.get("insert_no_resort", True):
+            problems.append(
+                "incremental insert ran a full re-sort: "
+                f"{update_latency.get('insert_from_points', 0)} "
+                f"SortedByF.from_points call(s) across "
+                f"{update_latency.get('inserts', 0)} insert(s)"
+            )
+        ratio = update_latency.get("rebuild_over_incremental")
+        print(
+            f"  [info] update_latency: {update_latency.get('deletes', 0)} "
+            f"deletes ({update_latency.get('promoted_deletes', 0)} via "
+            f"ledger), {update_latency.get('inserts', 0)} inserts "
+            f"({update_latency.get('insert_from_points', 0)} re-sorts), "
+            "rebuild/incremental wall "
+            + (f"{ratio:.2f}x" if ratio else "n/a")
+        )
     return problems
 
 

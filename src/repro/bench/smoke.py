@@ -98,6 +98,25 @@ op's republished bytes are bounded by its touched slots' size, which
 is strictly less than the publication — the delta scales with the
 update, not the network).  ``skypeer bench --churn`` emits the same
 section standalone via :func:`bench_churn`.
+
+Schema 8 adds ``"update_latency"``: the *compute* side of the same
+churn grid.  Each op runs serially (no engine — shm republish is
+schema 7's concern) through the delta-maintenance paths
+(:mod:`repro.p2p.updates`, :mod:`repro.core.ledger`), timing the
+incremental application against a from-scratch
+:func:`~repro.p2p.workload.rebuild_reference` after every op and
+recording the maintenance ``path`` (``spliced``/``promoted``/
+``rebuilt``/``merged``), the candidate points ``examined`` and the
+``store.from_points`` full re-sorts the op triggered.  Gated verdicts:
+``identical`` (every post-op store byte-identical to the rebuild, all
+cells), ``delete_incremental`` (at least one skyline-touching delete
+resolved via the eviction ledger — ``path="promoted"``, no delete fell
+back to ``rebuilt``, and each ledger delete examined strictly fewer
+candidates than the rebuild-equivalent work of re-scanning the peer's
+data plus the super-peer's lists) and ``insert_no_resort`` (no
+``SortedByF.from_points`` full re-sort ran during any incremental
+insert — stores move only by O(k log n) sorted splices).  Both
+:func:`bench_smoke` and :func:`bench_churn` embed the section.
 """
 
 from __future__ import annotations
@@ -116,7 +135,7 @@ from .harness import VariantStats, build_network, make_queries, run_queries
 
 __all__ = ["SMOKE_SCHEMA", "bench_churn", "bench_serving", "bench_smoke", "write_bench_smoke"]
 
-SMOKE_SCHEMA = "repro-bench-smoke/7"
+SMOKE_SCHEMA = "repro-bench-smoke/8"
 
 #: VariantStats fields that do not depend on wall-clock measurement —
 #: these must match exactly between serial and parallel runs.
@@ -835,6 +854,136 @@ def _bench_incremental(
     }
 
 
+def _bench_update_latency(
+    grid_cells: Sequence[tuple[float, float]] = ((1.0, 0.0), (0.5, 0.5), (0.0, 1.0)),
+    ops_per_cell: int = 6,
+) -> dict[str, Any]:
+    """Per-op incremental-vs-rebuild latency over the churn grid.
+
+    Replays the deterministic churn schedules serially through the
+    delta-maintenance paths, timing each op and the from-scratch
+    rebuild it must match, and recording the path taken, the candidate
+    points examined and any ``store.from_points`` full re-sorts.  The
+    rebuild-equivalent work of a delete — what the pre-ledger code
+    recomputed — is the peer's remaining data plus every list its
+    super-peer holds; ``delete_incremental`` asserts ledger deletes
+    examine strictly less than that.
+    """
+    from ..obs.metrics import MetricsRegistry
+    from ..obs.runtime import observed
+    from ..p2p import churn, updates
+    from ..p2p.workload import churn_schedule, plan_op, rebuild_reference
+
+    cells: list[dict[str, Any]] = []
+    identical = True
+    deletes = inserts = 0
+    promoted_deletes = rebuilt_deletes = 0
+    delete_bounded = True
+    insert_from_points = 0
+    incremental_seconds_total = 0.0
+    rebuild_seconds_total = 0.0
+    for cell_index, (update_rate, churn_rate) in enumerate(grid_cells):
+        network = _churn_network(seed=131 + cell_index)
+        schedule = churn_schedule(ops_per_cell, update_rate, churn_rate, seed=17 + cell_index)
+        ops: list[dict[str, Any]] = []
+        for op in schedule:
+            kind, kwargs = plan_op(network, op)
+            rebuild_work = 0
+            if kind in ("insert", "delete", "fail"):
+                sp_id = network.topology.superpeer_of_peer(kwargs["peer_id"])
+                superpeer = network.superpeers[sp_id]
+                rebuild_work = len(network.peers[kwargs["peer_id"]].data) + sum(
+                    len(lst) for lst in superpeer.peer_skylines.values()
+                )
+            registry = MetricsRegistry()
+            started = time.perf_counter()
+            with observed(metrics=registry):
+                if kind == "insert":
+                    outcome: Any = updates.insert_points(
+                        network, kwargs["peer_id"], kwargs["points"]
+                    )
+                elif kind == "delete":
+                    outcome = updates.delete_points(
+                        network, kwargs["peer_id"], kwargs["point_ids"]
+                    )
+                elif kind == "join":
+                    outcome = churn.join_peer(
+                        network, kwargs["superpeer_id"], kwargs["data"]
+                    )
+                else:
+                    outcome = churn.fail_peer(network, kwargs["peer_id"])
+            incremental_seconds = time.perf_counter() - started
+            from_points_runs = int(registry.total("store.from_points"))
+            started = time.perf_counter()
+            reference = rebuild_reference(network)
+            rebuild_seconds = time.perf_counter() - started
+            op_identical = all(
+                _stores_identical(
+                    network.superpeers[sp].require_store(),
+                    reference.superpeers[sp].require_store(),
+                )
+                for sp in network.superpeers
+            )
+            identical = identical and op_identical
+            incremental_seconds_total += incremental_seconds
+            rebuild_seconds_total += rebuild_seconds
+            path = outcome.path
+            examined = outcome.examined
+            if kind == "delete":
+                deletes += 1
+                if path == "promoted":
+                    promoted_deletes += 1
+                    delete_bounded = delete_bounded and examined < rebuild_work
+                elif path == "rebuilt":
+                    rebuilt_deletes += 1
+            elif kind == "insert":
+                inserts += 1
+                insert_from_points += from_points_runs
+            ops.append(
+                {
+                    "kind": kind,
+                    "path": path,
+                    "examined": examined,
+                    "promoted": getattr(outcome, "promoted", 0),
+                    "rebuild_work": rebuild_work,
+                    "from_points_runs": from_points_runs,
+                    "incremental_seconds": incremental_seconds,
+                    "rebuild_seconds": rebuild_seconds,
+                    "identical": op_identical,
+                }
+            )
+        cells.append(
+            {
+                "update_rate": update_rate,
+                "churn_rate": churn_rate,
+                "ops": ops,
+                "identical": all(o["identical"] for o in ops),
+            }
+        )
+    return {
+        "grid": [list(cell) for cell in grid_cells],
+        "ops_per_cell": ops_per_cell,
+        "cells": cells,
+        "deletes": deletes,
+        "promoted_deletes": promoted_deletes,
+        "rebuilt_deletes": rebuilt_deletes,
+        "inserts": inserts,
+        "insert_from_points": insert_from_points,
+        "incremental_seconds_total": incremental_seconds_total,
+        "rebuild_seconds_total": rebuild_seconds_total,
+        "rebuild_over_incremental": (
+            rebuild_seconds_total / incremental_seconds_total
+            if incremental_seconds_total > 0
+            else None
+        ),
+        "identical": identical,
+        "delete_incremental": (
+            promoted_deletes > 0 and rebuilt_deletes == 0 and delete_bounded
+        ),
+        "insert_no_resort": inserts > 0 and insert_from_points == 0,
+    }
+
+
 def _other_start_method(primary: str) -> str | None:
     """The fork/spawn counterpart of ``primary``, when available."""
     import multiprocessing
@@ -941,6 +1090,8 @@ def bench_smoke(
 
     incremental = _bench_incremental(n_workers, primary=primary, shm_ok=shm_ok)
 
+    update_latency = _bench_update_latency()
+
     parallel_wall = walls[primary_label]
     return {
         "schema": SMOKE_SCHEMA,
@@ -974,6 +1125,7 @@ def bench_smoke(
         "serving": serving,
         "kernels": kernels,
         "incremental": incremental,
+        "update_latency": update_latency,
         "engines": engines,
         "equality": equality,
         "parallel_matches_serial": all(eq["matches"] for eq in equality.values()),
@@ -1042,11 +1194,14 @@ def bench_churn(
 ) -> dict[str, Any]:
     """Standalone churn gauntlet (``skypeer bench --churn``).
 
-    Emits a schema-7 document whose only measurement section is
-    ``"incremental"`` — the same section :func:`bench_smoke` embeds —
-    so ``benchmarks/check_regression.py`` applies the same gated
-    verdicts (``identical``, ``delta_bounded``) to either report kind.
-    CI uploads it as the churn-grid artifact.
+    Emits a schema-8 document whose measurement sections are
+    ``"incremental"`` (live-engine slot republish) and
+    ``"update_latency"`` (serial delta-maintenance compute) — the same
+    sections :func:`bench_smoke` embeds — so
+    ``benchmarks/check_regression.py`` applies the same gated verdicts
+    (``identical``, ``delta_bounded``, ``delete_incremental``,
+    ``insert_no_resort``) to either report kind.  CI uploads it as the
+    churn-grid artifact.
     """
     scale = resolve_scale(scale)
     n_workers = resolve_workers(workers)
@@ -1055,6 +1210,7 @@ def bench_churn(
     primary = start_method()
     shm_ok = shm_supported()
     incremental = _bench_incremental(n_workers, primary=primary, shm_ok=shm_ok)
+    update_latency = _bench_update_latency()
     return {
         "schema": SMOKE_SCHEMA,
         "sweep": "incremental-churn-grid",
@@ -1065,6 +1221,7 @@ def bench_churn(
         "cpu_count": os.cpu_count(),
         "python": platform.python_version(),
         "incremental": incremental,
+        "update_latency": update_latency,
     }
 
 

@@ -1,0 +1,248 @@
+"""Eviction ledgers: dominance witnesses for incremental maintenance.
+
+When a strict (ext-domination) merge evicts a point, the evicted point
+was ext-dominated by at least one *member* of the surviving skyline —
+strict ``<`` on every dimension is transitive, so any chain of
+dominators terminates at a member.  An :class:`EvictionLedger` records
+one such member per evicted point (its *witness*) together with the
+point's full-space row.  That single pointer is what makes deletions
+cheap (the survey's dynamic-maintenance technique): when points die,
+only *orphans* — entries whose witness was among the victims — can
+possibly resurface, so they alone are re-tested against the remaining
+members, instead of recomputing the whole skyline.
+
+The load-bearing invariant is **member witnesses**: every entry's
+witness is a *current* member of the skyline the ledger shadows.  The
+maintenance paths (:mod:`repro.p2p.updates`, ``SuperPeer.drop_peer``)
+preserve it by re-pointing dependents whenever a witness is itself
+evicted (:meth:`EvictionLedger.repoint`) and by assigning fresh member
+witnesses during promotion (:func:`promote_candidates`).
+
+A second structural fact keeps promotions one-directional: a promoted
+orphan can never evict a surviving member.  Before the delete, the
+orphan ``c`` was ext-dominated by a (now dead) witness ``t`` that was a
+member; had ``c`` ext-dominated a surviving member ``m``, transitivity
+would give ``t`` ext-dom ``m`` — impossible, members are mutually
+non-ext-dominated.  Deletions therefore splice promoted points in with
+no eviction scan at all.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from .dataset import PointSet
+from .dominance import extended_skyline_mask
+
+if False:  # pragma: no cover - import cycle guard (typing only)
+    from .store import SortedByF
+
+__all__ = [
+    "EvictionLedger",
+    "admit_points",
+    "build_witness_ledger",
+    "find_witnesses",
+    "promote_candidates",
+]
+
+#: Candidate rows are witnessed in blocks so the pairwise ``(n, m, d)``
+#: comparison tensor stays small even against large member sets.
+_WITNESS_CHUNK = 256
+
+
+class EvictionLedger:
+    """``id -> (witness_id, row)`` for every point a merge evicted.
+
+    Entries are plain dicts of numpy rows, so a ledger pickles with the
+    network it belongs to and its iteration order is the (deterministic)
+    insertion order of the maintenance path that filled it.
+    """
+
+    __slots__ = ("entries",)
+
+    def __init__(self, entries: dict[int, tuple[int, np.ndarray]] | None = None):
+        self.entries: dict[int, tuple[int, np.ndarray]] = dict(entries or {})
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    # Slots classes pickle via the protocol-2 default, but be explicit:
+    # the ledger travels inside SuperPeer between processes.
+    def __getstate__(self) -> dict[int, tuple[int, np.ndarray]]:
+        return self.entries
+
+    def __setstate__(self, state: dict[int, tuple[int, np.ndarray]]) -> None:
+        self.entries = state
+
+    def record(self, point_id: int, witness_id: int, row: np.ndarray) -> None:
+        """Track an evicted point under one surviving ext-dominator."""
+        self.entries[int(point_id)] = (
+            int(witness_id),
+            np.asarray(row, dtype=np.float64),
+        )
+
+    def discard(self, ids: Iterable[int]) -> None:
+        """Forget entries for points that left the dataset entirely."""
+        for point_id in ids:
+            self.entries.pop(int(point_id), None)
+
+    def witness_of(self, point_id: int) -> int | None:
+        entry = self.entries.get(int(point_id))
+        return None if entry is None else entry[0]
+
+    def pop_orphans(self, dead: frozenset[int]) -> tuple[np.ndarray, np.ndarray]:
+        """Remove and return ``(ids, rows)`` of entries whose witness died.
+
+        Only these entries can resurface after ``dead`` is deleted —
+        every other entry keeps a living ext-dominator.
+        """
+        orphan_ids = [pid for pid, (w, _) in self.entries.items() if w in dead]
+        if not orphan_ids:
+            return np.zeros(0, dtype=np.int64), np.zeros((0, 0), dtype=np.float64)
+        rows = np.stack([self.entries.pop(pid)[1] for pid in orphan_ids])
+        return np.asarray(orphan_ids, dtype=np.int64), rows
+
+    def repoint(self, mapping: dict[int, int]) -> None:
+        """Re-target entries whose witness was itself just evicted.
+
+        ``mapping`` sends each evicted witness to its own evictor; by
+        transitivity the evictor ext-dominates every dependent, so the
+        member-witness invariant survives the eviction.
+        """
+        if not mapping:
+            return
+        for pid, (witness, row) in self.entries.items():
+            new_witness = mapping.get(witness)
+            if new_witness is not None:
+                self.entries[pid] = (int(new_witness), row)
+
+
+def find_witnesses(
+    member_values: np.ndarray, candidate_values: np.ndarray, chunk: int = _WITNESS_CHUNK
+) -> np.ndarray:
+    """For each candidate row, the index of one ext-dominating member.
+
+    Returns ``-1`` where no member strictly dominates the candidate on
+    every dimension (the candidate belongs in the skyline).
+    """
+    n = candidate_values.shape[0]
+    out = np.full(n, -1, dtype=np.int64)
+    if n == 0 or member_values.shape[0] == 0:
+        return out
+    for start in range(0, n, chunk):
+        block = candidate_values[start : start + chunk]
+        dom = np.all(member_values[None, :, :] < block[:, None, :], axis=2)
+        has = dom.any(axis=1)
+        out[start : start + block.shape[0]][has] = dom.argmax(axis=1)[has]
+    return out
+
+
+def build_witness_ledger(members: PointSet, others: PointSet) -> EvictionLedger | None:
+    """Witness every non-member against the member set, in one pass.
+
+    This is the lazy bootstrap for stores built before ledgers existed
+    (pre-processing, joins): one vectorized dominance sweep, no skyline
+    recomputation.  Returns ``None`` when some non-member has no member
+    ext-dominator — theoretically impossible for a genuine ext-skyline
+    plus its evictees, so the caller treats it as "the ledger cannot
+    answer" and falls back to the honest rebuild.
+    """
+    ledger = EvictionLedger()
+    if len(others) == 0:
+        return ledger
+    witness = find_witnesses(members.values, others.values)
+    if np.any(witness < 0):
+        return None
+    witness_ids = members.ids[witness]
+    for pid, wid, row in zip(others.ids, witness_ids, others.values):
+        ledger.record(int(pid), int(wid), row)
+    return ledger
+
+
+def promote_candidates(
+    store: "SortedByF",
+    ledger: EvictionLedger,
+    candidate_ids: np.ndarray,
+    candidate_rows: np.ndarray,
+) -> tuple["SortedByF", PointSet, int]:
+    """Re-admit orphaned candidates into an ext-skyline store.
+
+    Candidates are tested against the surviving members and against each
+    other; survivors splice in — with *no eviction scan*, per the
+    module-level argument that a promoted orphan can never ext-dominate
+    a surviving member — and losers get a fresh member witness.
+    Returns ``(new_store, promoted_points, examined)`` where
+    ``examined`` counts the candidates dominance-tested (the work the
+    ledger saved is everything *not* in this count).
+    """
+    examined = int(candidate_ids.shape[0])
+    if examined == 0:
+        return store, PointSet.empty(store.dimensionality), 0
+    witness = find_witnesses(store.points.values, candidate_rows)
+    held = witness >= 0
+    member_ids = store.points.ids
+    for pid, widx, row in zip(
+        candidate_ids[held], witness[held], candidate_rows[held]
+    ):
+        ledger.record(int(pid), int(member_ids[widx]), row)
+    free_ids = candidate_ids[~held]
+    free_rows = candidate_rows[~held]
+    if free_ids.shape[0] == 0:
+        return store, PointSet.empty(store.dimensionality), examined
+    mask = extended_skyline_mask(free_rows)
+    promoted = PointSet(free_rows[mask], free_ids[mask])
+    loser_ids = free_ids[~mask]
+    if loser_ids.shape[0]:
+        loser_rows = free_rows[~mask]
+        loser_witness = find_witnesses(promoted.values, loser_rows)
+        if np.any(loser_witness < 0):  # pragma: no cover - transitivity guard
+            raise RuntimeError("orphan promotion lost a witness chain")
+        for pid, widx, row in zip(loser_ids, loser_witness, loser_rows):
+            ledger.record(int(pid), int(promoted.ids[widx]), row)
+    return store.splice_insert(promoted), promoted, examined
+
+
+def admit_points(
+    store: "SortedByF", ledger: EvictionLedger, incoming: PointSet
+) -> tuple["SortedByF", PointSet, dict[int, int]]:
+    """Merge mutually non-dominated ``incoming`` points into a store.
+
+    The insert-path counterpart of :func:`promote_candidates`: incoming
+    points dominated by a member are ledgered (not admitted), admitted
+    points may evict members — each evicted member is ledgered under its
+    evictor and existing dependents are re-pointed to that evictor,
+    which (being undominated by any member, or it could not have evicted
+    one) is itself admitted.  Returns ``(new_store, admitted,
+    evictions)`` with ``evictions`` mapping each evicted member id to
+    its evictor's id.
+    """
+    if len(incoming) == 0:
+        return store, incoming, {}
+    witness = find_witnesses(store.points.values, incoming.values)
+    held = witness >= 0
+    member_ids = store.points.ids
+    for pid, widx, row in zip(
+        incoming.ids[held], witness[held], incoming.values[held]
+    ):
+        ledger.record(int(pid), int(member_ids[widx]), row)
+    admitted = incoming.mask(~held)
+    if len(admitted) == 0:
+        return store, admitted, {}
+    evictor = find_witnesses(admitted.values, store.points.values)
+    evicted = evictor >= 0
+    evictions: dict[int, int] = {}
+    if evicted.any():
+        evicted_ids = store.points.ids[evicted]
+        evictor_ids = admitted.ids[evictor[evicted]]
+        evictions = {
+            int(m): int(n) for m, n in zip(evicted_ids, evictor_ids)
+        }
+        ledger.repoint(evictions)
+        for mid, nid, row in zip(
+            evicted_ids, evictor_ids, store.points.values[evicted]
+        ):
+            ledger.record(int(mid), int(nid), row)
+        store = store.splice_delete(evicted_ids)
+    return store.splice_insert(admitted), admitted, evictions

@@ -21,6 +21,7 @@ from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
+from ..obs.runtime import active_metrics
 from .dataset import PointSet
 from .mapping import f_values
 
@@ -54,7 +55,16 @@ class SortedByF:
 
     @classmethod
     def from_points(cls, points: PointSet) -> "SortedByF":
-        """Sort an arbitrary point set by ``f`` and cache the keys."""
+        """Sort an arbitrary point set by ``f`` and cache the keys.
+
+        This is the O(n log n) full re-sort; the update hot path must
+        use :meth:`splice_insert`/:meth:`splice_delete` instead, and the
+        ``store.from_points`` counter exists so tests and the bench can
+        assert it stays off that path.
+        """
+        metrics = active_metrics()
+        if metrics is not None:
+            metrics.counter("store.from_points").inc()
         keys = f_values(points.values)
         order = np.argsort(keys, kind="stable")
         return cls(points.take(order), keys[order])
@@ -179,6 +189,85 @@ class SortedByF:
                 cache.pop(next(iter(cache)))
             hit = cache[key] = (order, keys)
         return hit
+
+    # ------------------------------------------------------------------
+    # sorted splices (incremental maintenance)
+    # ------------------------------------------------------------------
+    def splice_insert(self, points: PointSet) -> "SortedByF":
+        """A new store with ``points`` spliced in at their f-positions.
+
+        O(k log n) ``searchsorted`` plus one array splice — the f-order
+        invariant is preserved without re-sorting the store
+        (ties land after existing equal keys, matching the stable-sort
+        order of :meth:`from_points` over ``[existing, new]``).  Cached
+        projections are patched by the same splice so warm subspaces
+        stay warm; R-tree and SaLSa caches are dropped (their layouts
+        are position-dependent) and rebuild lazily.  The caller
+        guarantees the incoming ids are not already present.
+        """
+        if len(points) == 0:
+            return self
+        keys = f_values(points.values)
+        order = np.argsort(keys, kind="stable")
+        incoming = points.take(order)
+        keys = keys[order]
+        pos = np.searchsorted(self.f, keys, side="right")
+        values = np.insert(self.points.values, pos, incoming.values, axis=0)
+        ids = np.insert(self.points.ids, pos, incoming.ids)
+        out = SortedByF.from_trusted(
+            PointSet.from_trusted(values, ids), np.insert(self.f, pos, keys)
+        )
+        cache = self._projections
+        if cache:
+            full = tuple(range(self.dimensionality))
+            patched: dict[tuple[int, ...], tuple[np.ndarray, np.ndarray]] = {}
+            for key, (proj, dists) in cache.items():
+                if key == full:
+                    nproj = out.points.values
+                    sub = incoming.values
+                else:
+                    sub = incoming.values[:, list(key)]
+                    nproj = np.insert(proj, pos, sub, axis=0)
+                    nproj.setflags(write=False)
+                ndists = np.insert(dists, pos, sub.max(axis=1))
+                ndists.setflags(write=False)
+                patched[key] = (nproj, ndists)
+            out._projections = patched
+        return out
+
+    def splice_delete(self, ids: np.ndarray | Sequence[int]) -> "SortedByF":
+        """A new store with the given point ids spliced out.
+
+        Ids not present are ignored.  The surviving rows keep their
+        relative f-order, so no re-sort or re-validation is needed;
+        cached projections are masked by the same keep-vector (R-tree
+        and SaLSa caches drop, as in :meth:`splice_insert`).
+        """
+        drop_ids = np.asarray(ids if isinstance(ids, np.ndarray) else list(ids))
+        if len(self) == 0 or drop_ids.size == 0:
+            return self
+        keep = ~np.isin(self.points.ids, drop_ids)
+        if keep.all():
+            return self
+        out = SortedByF.from_trusted(
+            PointSet.from_trusted(self.points.values[keep], self.points.ids[keep]),
+            self.f[keep],
+        )
+        cache = self._projections
+        if cache:
+            full = tuple(range(self.dimensionality))
+            patched: dict[tuple[int, ...], tuple[np.ndarray, np.ndarray]] = {}
+            for key, (proj, dists) in cache.items():
+                if key == full:
+                    nproj = out.points.values
+                else:
+                    nproj = proj[keep]
+                    nproj.setflags(write=False)
+                ndists = dists[keep]
+                ndists.setflags(write=False)
+                patched[key] = (nproj, ndists)
+            out._projections = patched
+        return out
 
     def has_projection(self, subspace: Sequence[int]) -> bool:
         """True when :meth:`projection` would hit the instance cache."""

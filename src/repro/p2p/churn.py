@@ -31,7 +31,15 @@ __all__ = ["ChurnEvent", "SuperPeerFailure", "join_peer", "fail_peer", "fail_sup
 
 @dataclass(frozen=True)
 class ChurnEvent:
-    """Outcome of one churn operation."""
+    """Outcome of one churn operation.
+
+    ``path`` records how the store absorbed the change: ``"merged"``
+    (join — incremental Algorithm 2 merge of the new list), ``"promoted"``
+    (fail — eviction-ledger withdrawal: the dead list spliced out and
+    only the orphaned witnesses re-tested) or ``"rebuilt"`` (fail with
+    no live ledger — surviving lists re-merged from scratch).
+    ``examined`` counts the points dominance-tested on that path.
+    """
 
     peer_id: int
     superpeer_id: int
@@ -39,6 +47,8 @@ class ChurnEvent:
     uploaded_points: int
     store_size_after: int
     merge: SkylineComputation
+    path: str = "rebuilt"
+    examined: int = 0
 
 
 def join_peer(
@@ -77,11 +87,18 @@ def join_peer(
         uploaded_points=len(uploaded.result),
         store_size_after=superpeer.store_size,
         merge=merge,
+        path="merged",
+        examined=merge.examined,
     )
 
 
 def fail_peer(network: SuperPeerNetwork, peer_id: int) -> ChurnEvent:
-    """Remove a peer and rebuild its super-peer's store."""
+    """Remove a peer and withdraw its contribution from the store.
+
+    With a live store ledger the withdrawal is incremental (dead list
+    spliced out, orphans promoted — ``path="promoted"``); otherwise the
+    surviving lists are re-merged from scratch (``path="rebuilt"``).
+    """
     if peer_id not in network.peers:
         raise KeyError(f"unknown peer {peer_id}")
     superpeer_id = network.topology.superpeer_of_peer(peer_id)
@@ -89,7 +106,11 @@ def fail_peer(network: SuperPeerNetwork, peer_id: int) -> ChurnEvent:
     del network.peers[peer_id]
     peers_of = network.topology.peers_of
     peers_of[superpeer_id] = tuple(p for p in peers_of[superpeer_id] if p != peer_id)
+    superpeer.ensure_store_ledger()
     merge = superpeer.drop_peer(peer_id, index_kind=network.index_kind)
+    # drop_peer's rebuild fallback nulls the store ledger; the
+    # incremental path keeps it live, so its presence names the path.
+    path = "promoted" if superpeer.store_ledger is not None else "rebuilt"
     _refresh_preprocessing(network, touched=(superpeer_id,))
     return ChurnEvent(
         peer_id=peer_id,
@@ -98,6 +119,8 @@ def fail_peer(network: SuperPeerNetwork, peer_id: int) -> ChurnEvent:
         uploaded_points=0,
         store_size_after=superpeer.store_size,
         merge=merge,
+        path=path,
+        examined=merge.examined,
     )
 
 
@@ -175,30 +198,26 @@ def fail_superpeer(network: SuperPeerNetwork, superpeer_id: int) -> SuperPeerFai
 def _refresh_preprocessing(
     network: SuperPeerNetwork, touched: Iterable[int] | None = None
 ) -> None:
-    """Recompute the selectivity report after a membership change.
+    """Refresh the selectivity report after a membership or data change.
 
     ``touched`` names the super-peers whose stores (or peer sets)
     changed; only their generation counters advance, which is what lets
-    the shm layer republish per-slot deltas.  ``None`` bumps everyone.
+    the shm layer republish per-slot deltas — and only their selectivity
+    rows are recomputed (:meth:`SuperPeerNetwork.refresh_selectivity`),
+    so a one-point update does O(touched) work instead of re-summing
+    every peer and list network-wide.  ``None`` bumps and recomputes
+    everyone.
     """
     from .network import PreprocessingReport
 
-    total = sum(len(peer) for peer in network.peers.values())
-    uploaded = sum(
-        len(lst) for sp in network.superpeers.values() for lst in sp.peer_skylines.values()
-    )
-    stored = sum(sp.store_size for sp in network.superpeers.values())
-    upload_bytes = sum(
-        network.cost_model.result_bytes(len(lst), network.dimensionality)
-        for sp in network.superpeers.values()
-        for lst in sp.peer_skylines.values()
-    )
+    touched_ids = None if touched is None else tuple(touched)
+    total, uploaded, stored, upload_bytes = network.refresh_selectivity(touched_ids)
     previous = network.preprocessing
     network.epoch += 1
     live = set(network.superpeers)
     for stale in [sp for sp in network.store_generations if sp not in live]:
         del network.store_generations[stale]
-    for sp_id in sorted(live if touched is None else set(touched) & live):
+    for sp_id in sorted(live if touched_ids is None else set(touched_ids) & live):
         network.bump_store_generation(sp_id)
     network.preprocessing = PreprocessingReport(
         total_points=total,

@@ -116,6 +116,10 @@ class SuperPeerNetwork:
             for sp in topology.superpeer_ids
         }
         self.preprocessing: PreprocessingReport | None = None
+        #: per-super-peer ``(peer_points, uploaded, stored, upload_bytes)``
+        #: — maintained by delta so single-super-peer updates refresh the
+        #: selectivity report without re-summing the whole network
+        self._selectivity: dict[int, tuple[int, int, int, int]] | None = None
         #: bumped whenever stores change (pre-processing, churn, data
         #: updates); caches key their entries on it
         self.epoch = 0
@@ -131,6 +135,48 @@ class SuperPeerNetwork:
         gen = self.store_generations.get(superpeer_id, 0) + 1
         self.store_generations[superpeer_id] = gen
         return gen
+
+    def compute_superpeer_selectivity(self, superpeer_id: int) -> tuple[int, int, int, int]:
+        """``(peer_points, uploaded, stored, upload_bytes)`` for one super-peer."""
+        superpeer = self.superpeers[superpeer_id]
+        peer_points = sum(
+            len(self.peers[p]) for p in self.topology.peers_of[superpeer_id]
+        )
+        uploaded = 0
+        upload_bytes = 0
+        for lst in superpeer.peer_skylines.values():
+            uploaded += len(lst)
+            upload_bytes += self.cost_model.result_bytes(len(lst), self.dimensionality)
+        return peer_points, uploaded, superpeer.store_size, upload_bytes
+
+    def refresh_selectivity(
+        self, touched: Sequence[int] | None = None
+    ) -> tuple[int, int, int, int]:
+        """Network-wide selectivity totals, maintained by delta.
+
+        ``touched`` names the super-peers whose peers/lists/stores may
+        have changed: only their cache rows are recomputed (plus dead
+        rows dropped), so a one-point update does O(touched) work, not a
+        re-sum over every peer and list in the network.  ``None`` — or a
+        cold cache — recomputes everything.
+        """
+        live = set(self.superpeers)
+        cache = self._selectivity
+        if cache is None or touched is None:
+            cache = {sp: self.compute_superpeer_selectivity(sp) for sp in sorted(live)}
+            self._selectivity = cache
+        else:
+            for stale in [sp for sp in cache if sp not in live]:
+                del cache[stale]
+            for sp_id in sorted(set(touched) & live):
+                cache[sp_id] = self.compute_superpeer_selectivity(sp_id)
+        total = uploaded = stored = upload_bytes = 0
+        for peer_points, up, st, ub in cache.values():
+            total += peer_points
+            uploaded += up
+            stored += st
+            upload_bytes += ub
+        return total, uploaded, stored, upload_bytes
 
     # ------------------------------------------------------------------
     # construction
@@ -334,6 +380,7 @@ class SuperPeerNetwork:
                         "preprocess.upload_bytes", superpeer=sp_id
                     ).inc(peer_bytes)
             superpeer.store = result.merge.result
+            superpeer.store_ledger = None  # wholesale replacement
             compute_seconds += result.merge.duration
             stored += superpeer.store_size
             if tracer is not None:
@@ -360,6 +407,7 @@ class SuperPeerNetwork:
         self.epoch += 1
         for sp_id in self.topology.superpeer_ids:
             self.bump_store_generation(sp_id)
+        self.refresh_selectivity(touched=None)
         return self.preprocessing
 
     # ------------------------------------------------------------------

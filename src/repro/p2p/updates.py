@@ -7,18 +7,24 @@ algebra:
 
 * **insert** — a new point joins the peer's ext-skyline iff nothing
   there ext-dominates it; if it joins, it evicts what it ext-dominates.
-  The super-peer then merges just ``[store, surviving new points]``:
-  sound because the store's other entries can only be evicted (never
-  resurrected) by additions.
+  The surviving newcomers then splice into the super-peer store the
+  same way (existing store entries can only be evicted, never
+  resurrected, by additions).
 * **delete** — if no deleted point was in the peer's uploaded
-  ext-skyline the stores are untouched; otherwise points the victim had
-  been ext-dominating may resurface, so the peer recomputes its
-  ext-skyline and the super-peer re-merges its peer lists.
+  ext-skyline the stores are untouched; otherwise only *orphans* —
+  points whose recorded dominance witness was among the victims
+  (:mod:`repro.core.ledger`) — are re-tested and promoted, first into
+  the peer's list and then into the store.  When a ledger cannot
+  answer, the path falls back to the honest from-scratch recompute and
+  says so (``path="rebuilt"``, ``store_rebuilt=True``).
 
-Both paths leave every future query exact; the property tests compare
-against a from-scratch rebuild.  Each update bumps the owning
-super-peer's store generation so shm publication republishes only that
-slot.
+Both paths keep every future query exact; the property tests compare
+against a from-scratch rebuild byte for byte.  Stores change by
+O(k log n) sorted splices (:meth:`~repro.core.store.SortedByF.
+splice_insert`), so ``SortedByF.from_points`` never runs on the
+incremental path — the ``store.from_points`` metric pins that down.
+Each update bumps the owning super-peer's store generation so shm
+publication republishes only that slot.
 """
 
 from __future__ import annotations
@@ -28,19 +34,31 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.dataset import PointSet
+from ..core.dominance import extended_skyline_mask
 from ..core.extended_skyline import extended_skyline_points
-from ..core.merging import merge_sorted_skylines
+from ..core.ledger import admit_points, find_witnesses, promote_candidates
 from ..core.store import SortedByF
-from ..core.subspace import full_space
+from ..obs.runtime import active_metrics
 from .network import SuperPeerNetwork
-from .node import Peer
+from .node import Peer, SuperPeer
 
 __all__ = ["UpdateOutcome", "insert_points", "delete_points"]
 
 
 @dataclass(frozen=True)
 class UpdateOutcome:
-    """What one update did to the peer and its super-peer."""
+    """What one update did to the peer and its super-peer.
+
+    ``path`` names the maintenance route taken: ``"spliced"`` (pure
+    sorted splices, no candidate re-testing), ``"promoted"`` (the
+    eviction ledger answered a skyline-touching delete by re-testing
+    only the orphaned candidates) or ``"rebuilt"`` (the ledger could
+    not answer; peer ext-skyline recomputed and the store re-merged
+    from scratch).  ``examined`` counts the candidate points dominance-
+    tested on the incremental paths — the work a rebuild would have
+    spent is everything *not* in this number — and ``promoted`` counts
+    the candidates that re-entered a list or the store.
+    """
 
     peer_id: int
     superpeer_id: int
@@ -48,10 +66,13 @@ class UpdateOutcome:
     points_changed: int
     peer_skyline_delta: int  # change in the peer's uploaded list size
     store_rebuilt: bool  # True when the cheap incremental path was unavailable
+    path: str = "spliced"  # "spliced" | "promoted" | "rebuilt"
+    examined: int = 0
+    promoted: int = 0
 
 
 def insert_points(network: SuperPeerNetwork, peer_id: int, points: PointSet) -> UpdateOutcome:
-    """Add ``points`` to a peer; update stores incrementally."""
+    """Add ``points`` to a peer; update stores by sorted splices."""
     peer = _get_peer(network, peer_id)
     if points.dimensionality != network.dimensionality:
         raise ValueError(
@@ -66,9 +87,164 @@ def insert_points(network: SuperPeerNetwork, peer_id: int, points: PointSet) -> 
     old_upload = superpeer.peer_skylines[peer_id]
     before = len(old_upload)
 
+    peer_ledger = superpeer.ensure_peer_ledger(peer_id, peer.data)
+    store_ledger = superpeer.ensure_store_ledger()
     network.peers[peer_id] = Peer(peer_id=peer_id, data=PointSet.concat([peer.data, points]))
-    # The peer's new ext-skyline: merge the old one with the newcomers'
-    # own ext-skyline (strict mode handles the evictions).
+
+    if peer_ledger is None or store_ledger is None or superpeer.store is None:
+        delta = _insert_rebuild(network, superpeer, peer_id, old_upload, points)
+        _refresh(network, superpeer_id)
+        outcome = UpdateOutcome(
+            peer_id=peer_id,
+            superpeer_id=superpeer_id,
+            kind="insert",
+            points_changed=len(points),
+            peer_skyline_delta=delta,
+            store_rebuilt=True,
+            path="rebuilt",
+            examined=len(points),
+        )
+        _record(outcome)
+        return outcome
+
+    # The newcomers' own ext-skyline (vectorized mask — order-preserving,
+    # no sort); internal victims are witnessed after the admission pass
+    # so their witness chains resolve to upload members.
+    inner_mask = extended_skyline_mask(points.values)
+    inner = points.mask(inner_mask)
+    new_upload, admitted, evictions = admit_points(old_upload, peer_ledger, inner)
+    victims = points.mask(~inner_mask)
+    if len(victims):
+        victim_witness = find_witnesses(inner.values, victims.values)
+        for pid, widx, row in zip(victims.ids, victim_witness, victims.values):
+            wid = int(inner.ids[widx])
+            resolved = peer_ledger.witness_of(wid)
+            peer_ledger.record(int(pid), wid if resolved is None else resolved, row)
+    superpeer.receive_peer_skyline(peer_id, new_upload)
+    superpeer.peer_ledgers[peer_id] = peer_ledger
+
+    # Store side: members evicted from the upload leave the store (and
+    # the ledger — they are no longer uploaded anywhere), with their
+    # dependents re-pointed to the evictor, which — undominated by any
+    # store member, or it could not have evicted one — is admitted next.
+    store = superpeer.store
+    if evictions:
+        evicted_ids = np.fromiter(evictions, count=len(evictions), dtype=np.int64)
+        store_ledger.discard(evicted_ids)
+        store_ledger.repoint(evictions)
+        store = store.splice_delete(evicted_ids)
+    store, _store_admitted, _store_evictions = admit_points(store, store_ledger, admitted)
+    superpeer.store = store
+    superpeer.store_ledger = store_ledger
+
+    _refresh(network, superpeer_id)
+    outcome = UpdateOutcome(
+        peer_id=peer_id,
+        superpeer_id=superpeer_id,
+        kind="insert",
+        points_changed=len(points),
+        peer_skyline_delta=len(new_upload) - before,
+        store_rebuilt=False,
+        path="spliced",
+        examined=len(points),
+    )
+    _record(outcome)
+    return outcome
+
+
+def delete_points(network: SuperPeerNetwork, peer_id: int, point_ids) -> UpdateOutcome:
+    """Remove points (by id) from a peer; promote orphans if needed."""
+    peer = _get_peer(network, peer_id)
+    doomed = frozenset(int(i) for i in point_ids)
+    missing = doomed - peer.data.id_set()
+    if missing:
+        raise KeyError(f"peer {peer_id} does not hold points {sorted(missing)[:5]}")
+    superpeer_id = network.topology.superpeer_of_peer(peer_id)
+    superpeer = network.superpeers[superpeer_id]
+    old_upload = superpeer.peer_skylines[peer_id]
+    before = len(old_upload)
+    doomed_arr = np.fromiter(doomed, count=len(doomed), dtype=np.int64)
+
+    peer_ledger = superpeer.ensure_peer_ledger(peer_id, peer.data)
+    store_ledger = superpeer.ensure_store_ledger()
+    remaining = peer.data.mask(~np.isin(peer.data.ids, doomed_arr))
+    network.peers[peer_id] = Peer(peer_id=peer_id, data=remaining)
+
+    doomed_members = doomed & old_upload.points.id_set()
+    if not doomed_members:
+        # No uploaded point died: lists and store are untouched, only
+        # the ledger forgets the victims.
+        if peer_ledger is not None:
+            peer_ledger.discard(doomed)
+        path, delta, examined, promoted, rebuilt = "spliced", 0, 0, 0, False
+    elif peer_ledger is None or store_ledger is None or superpeer.store is None:
+        # Honest fallback: victims may have been shadowing other points
+        # and no ledger can say which — recompute the peer's ext-skyline
+        # and re-merge the super-peer store.
+        new_upload = SortedByF.from_points(extended_skyline_points(remaining))
+        superpeer.receive_peer_skyline(peer_id, new_upload)
+        superpeer.rebuild_store(index_kind=network.index_kind)
+        path, delta, rebuilt = "rebuilt", len(new_upload) - before, True
+        examined, promoted = len(remaining), 0
+    else:
+        member_arr = np.fromiter(doomed_members, count=len(doomed_members), dtype=np.int64)
+        # Peer list: splice the victims out, re-test only the orphans.
+        peer_ledger.discard(doomed)
+        upload = old_upload.splice_delete(member_arr)
+        orphan_ids, orphan_rows = peer_ledger.pop_orphans(doomed_members)
+        upload, peer_promoted, peer_examined = promote_candidates(
+            upload, peer_ledger, orphan_ids, orphan_rows
+        )
+        superpeer.receive_peer_skyline(peer_id, upload)
+        superpeer.peer_ledgers[peer_id] = peer_ledger
+        delta = len(upload) - before
+        # Store: splice the victims out; candidates are the store
+        # orphans plus the freshly promoted upload members.
+        store = superpeer.store
+        removed = frozenset(
+            int(i) for i in store.points.ids[np.isin(store.points.ids, member_arr)]
+        )
+        store_ledger.discard(member_arr)
+        store = store.splice_delete(member_arr)
+        store_orphan_ids, store_orphan_rows = store_ledger.pop_orphans(removed)
+        candidate_ids, candidate_rows = _stack_candidates(
+            store_orphan_ids, store_orphan_rows, peer_promoted
+        )
+        store, store_promoted, store_examined = promote_candidates(
+            store, store_ledger, candidate_ids, candidate_rows
+        )
+        superpeer.store = store
+        superpeer.store_ledger = store_ledger
+        path, rebuilt = "promoted", False
+        examined = peer_examined + store_examined
+        promoted = len(peer_promoted) + len(store_promoted)
+    _refresh(network, superpeer_id)
+    outcome = UpdateOutcome(
+        peer_id=peer_id,
+        superpeer_id=superpeer_id,
+        kind="delete",
+        points_changed=len(doomed),
+        peer_skyline_delta=delta,
+        store_rebuilt=rebuilt,
+        path=path,
+        examined=examined,
+        promoted=promoted,
+    )
+    _record(outcome)
+    return outcome
+
+
+def _insert_rebuild(
+    network: SuperPeerNetwork,
+    superpeer: SuperPeer,
+    peer_id: int,
+    old_upload: SortedByF,
+    points: PointSet,
+) -> int:
+    """Fallback insert: full merge of old list + newcomers' ext-skyline."""
+    from ..core.merging import merge_sorted_skylines
+    from ..core.subspace import full_space
+
     newcomers = extended_skyline_points(points)
     merged_upload = merge_sorted_skylines(
         [old_upload, SortedByF.from_points(newcomers)],
@@ -77,12 +253,12 @@ def insert_points(network: SuperPeerNetwork, peer_id: int, points: PointSet) -> 
         index_kind=network.index_kind,
     ).result
     superpeer.receive_peer_skyline(peer_id, merged_upload)
-
-    # Store side: merging [store, surviving newcomers] is sufficient —
-    # existing store entries can only be evicted by additions.
     survivors_ids = merged_upload.points.id_set() & newcomers.id_set()
     if survivors_ids:
-        keep = np.array([int(i) in survivors_ids for i in merged_upload.points.ids])
+        keep = np.isin(
+            merged_upload.points.ids,
+            np.fromiter(survivors_ids, count=len(survivors_ids), dtype=np.int64),
+        )
         delta = SortedByF.from_points(merged_upload.points.mask(keep))
         store = superpeer.store
         if store is None:
@@ -93,52 +269,32 @@ def insert_points(network: SuperPeerNetwork, peer_id: int, points: PointSet) -> 
             strict=True,
             index_kind=network.index_kind,
         ).result
-    _refresh(network, superpeer_id)
-    return UpdateOutcome(
-        peer_id=peer_id,
-        superpeer_id=superpeer_id,
-        kind="insert",
-        points_changed=len(points),
-        peer_skyline_delta=len(merged_upload) - before,
-        store_rebuilt=False,
+        superpeer.store_ledger = None
+    return len(merged_upload) - len(old_upload)
+
+
+def _stack_candidates(
+    orphan_ids: np.ndarray, orphan_rows: np.ndarray, promoted: PointSet
+) -> tuple[np.ndarray, np.ndarray]:
+    """Concatenate store-orphan and freshly promoted candidate sets."""
+    if orphan_ids.size == 0:
+        return promoted.ids, promoted.values
+    if len(promoted) == 0:
+        return orphan_ids, orphan_rows
+    return (
+        np.concatenate([orphan_ids, promoted.ids]),
+        np.concatenate([orphan_rows, promoted.values], axis=0),
     )
 
 
-def delete_points(network: SuperPeerNetwork, peer_id: int, point_ids) -> UpdateOutcome:
-    """Remove points (by id) from a peer; rebuild stores if needed."""
-    peer = _get_peer(network, peer_id)
-    doomed = frozenset(int(i) for i in point_ids)
-    missing = doomed - peer.data.id_set()
-    if missing:
-        raise KeyError(f"peer {peer_id} does not hold points {sorted(missing)[:5]}")
-    superpeer_id = network.topology.superpeer_of_peer(peer_id)
-    superpeer = network.superpeers[superpeer_id]
-    old_upload = superpeer.peer_skylines[peer_id]
-    before = len(old_upload)
-
-    keep = np.array([int(i) not in doomed for i in peer.data.ids])
-    remaining = peer.data.mask(keep)
-    network.peers[peer_id] = Peer(peer_id=peer_id, data=remaining)
-
-    touched_upload = bool(doomed & old_upload.points.id_set())
-    if touched_upload:
-        # Victims may have been shadowing other points: recompute the
-        # peer's ext-skyline and re-merge the super-peer store.
-        new_upload = SortedByF.from_points(extended_skyline_points(remaining))
-        superpeer.receive_peer_skyline(peer_id, new_upload)
-        superpeer.rebuild_store(index_kind=network.index_kind)
-        delta = len(new_upload) - before
-    else:
-        delta = 0
-    _refresh(network, superpeer_id)
-    return UpdateOutcome(
-        peer_id=peer_id,
-        superpeer_id=superpeer_id,
-        kind="delete",
-        points_changed=len(doomed),
-        peer_skyline_delta=delta,
-        store_rebuilt=touched_upload,
-    )
+def _record(outcome: UpdateOutcome) -> None:
+    """Emit the ``update.*`` counters (no-ops when observability is off)."""
+    metrics = active_metrics()
+    if metrics is None:
+        return
+    metrics.counter(f"update.{outcome.path}", kind=outcome.kind).inc()
+    metrics.counter("update.examined_points", kind=outcome.kind).inc(outcome.examined)
+    metrics.counter("update.promoted_points", kind=outcome.kind).inc(outcome.promoted)
 
 
 def _get_peer(network: SuperPeerNetwork, peer_id: int) -> Peer:

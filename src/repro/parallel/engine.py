@@ -630,6 +630,10 @@ class EngineStats:
     full_republishes: int = 0
     republished_bytes: int = 0
     update_seconds: float = 0.0
+    update_spliced: int = 0
+    update_promoted: int = 0
+    update_rebuilt: int = 0
+    update_points_examined: int = 0
     serve_coalesce_hits: int = 0
     serve_shed: int = 0
     serve_queue_depth_peak: int = 0
@@ -687,6 +691,10 @@ class EngineStats:
             "full_republishes": self.full_republishes,
             "republished_bytes": self.republished_bytes,
             "update_seconds": self.update_seconds,
+            "update_spliced": self.update_spliced,
+            "update_promoted": self.update_promoted,
+            "update_rebuilt": self.update_rebuilt,
+            "update_points_examined": self.update_points_examined,
             "serve_coalesce_hits": self.serve_coalesce_hits,
             "serve_shed": self.serve_shed,
             "serve_queue_depth_peak": self.serve_queue_depth_peak,
@@ -707,6 +715,13 @@ class UpdateReport:
     network.  ``full_republish`` marks the paths that cannot go
     incremental (snapshot mode, super-peer set surgery): the stale
     publication is withdrawn and the next fan-out republishes in full.
+
+    When the underlying mutation reports a maintenance path (insert/
+    delete outcomes, churn events), :meth:`as_dict` surfaces it:
+    ``path`` (``spliced``/``promoted``/``rebuilt``/``merged``),
+    ``examined`` candidate points dominance-tested and ``promoted``
+    points re-admitted — the delta-maintenance accounting the update-
+    latency bench gates on.
     """
 
     kind: str
@@ -720,7 +735,7 @@ class UpdateReport:
     outcome: Any
 
     def as_dict(self) -> dict[str, Any]:
-        return {
+        out = {
             "kind": self.kind,
             "epoch": self.epoch,
             "touched_superpeers": list(self.touched_superpeers),
@@ -730,6 +745,13 @@ class UpdateReport:
             "total_nbytes": self.total_nbytes,
             "seconds": self.seconds,
         }
+        path = getattr(self.outcome, "path", None)
+        if path is not None:
+            out["path"] = path
+            out["examined"] = getattr(self.outcome, "examined", 0)
+            out["promoted"] = getattr(self.outcome, "promoted", 0)
+            out["store_rebuilt"] = getattr(self.outcome, "store_rebuilt", path == "rebuilt")
+        return out
 
 
 class _EpochGate:
@@ -1102,6 +1124,14 @@ class ParallelEngine:
                     publication.shared.reap_retired()
                 self.stats.updates_applied += 1
                 self.stats.update_seconds += time.perf_counter() - started
+                path = getattr(outcome, "path", None)
+                if path in ("spliced", "merged"):
+                    self.stats.update_spliced += 1
+                elif path == "promoted":
+                    self.stats.update_promoted += 1
+                elif path == "rebuilt":
+                    self.stats.update_rebuilt += 1
+                self.stats.update_points_examined += getattr(outcome, "examined", 0)
         return UpdateReport(
             kind=kind,
             epoch=network.epoch,

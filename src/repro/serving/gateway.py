@@ -621,19 +621,24 @@ class QueryGateway:
 
         started = self._clock()
         before = dict(self.network.store_generations)
+        outcome: Any = None
         if kind == "insert":
-            updates.insert_points(self.network, kwargs["peer_id"], kwargs["points"])
+            outcome = updates.insert_points(
+                self.network, kwargs["peer_id"], kwargs["points"]
+            )
         elif kind == "delete":
-            updates.delete_points(self.network, kwargs["peer_id"], kwargs["point_ids"])
+            outcome = updates.delete_points(
+                self.network, kwargs["peer_id"], kwargs["point_ids"]
+            )
         elif kind == "join":
-            churn.join_peer(
+            outcome = churn.join_peer(
                 self.network,
                 kwargs["superpeer_id"],
                 kwargs["data"],
                 peer_id=kwargs.get("peer_id"),
             )
         elif kind == "fail":
-            churn.fail_peer(self.network, kwargs["peer_id"])
+            outcome = churn.fail_peer(self.network, kwargs["peer_id"])
         else:
             churn.fail_superpeer(self.network, kwargs["superpeer_id"])
         touched = sorted(
@@ -641,7 +646,7 @@ class QueryGateway:
             for sp, gen in self.network.store_generations.items()
             if before.get(sp) != gen
         )
-        return {
+        response: dict[str, Any] = {
             "kind": kind,
             "epoch": self.network.epoch,
             "touched_superpeers": touched,
@@ -651,6 +656,13 @@ class QueryGateway:
             "total_nbytes": 0,
             "seconds": self._clock() - started,
         }
+        path = getattr(outcome, "path", None)
+        if path is not None:
+            response["path"] = path
+            response["examined"] = getattr(outcome, "examined", 0)
+            response["promoted"] = getattr(outcome, "promoted", 0)
+            response["store_rebuilt"] = getattr(outcome, "store_rebuilt", path == "rebuilt")
+        return response
 
     # ------------------------------------------------------------------
     # admission + fan-out

@@ -1,0 +1,198 @@
+"""Eviction-ledger witnesses, orphan promotion and insert admission."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dataset import PointSet
+from repro.core.dominance import extended_skyline_mask
+from repro.core.ledger import (
+    EvictionLedger,
+    admit_points,
+    build_witness_ledger,
+    find_witnesses,
+    promote_candidates,
+)
+from repro.core.store import SortedByF
+
+
+def _split_skyline(seed: int, n: int = 60, d: int = 3):
+    """A random set split into (ext-skyline members, evicted others)."""
+    rng = np.random.default_rng(seed)
+    points = PointSet(rng.random((n, d)), np.arange(n))
+    mask = extended_skyline_mask(points.values)
+    return points, points.mask(mask), points.mask(~mask)
+
+
+def _ext_dominates(a: np.ndarray, b: np.ndarray) -> bool:
+    return bool(np.all(a < b))
+
+
+class TestFindWitnesses:
+    def test_witness_actually_dominates(self):
+        _, members, others = _split_skyline(seed=1)
+        witness = find_witnesses(members.values, others.values)
+        assert np.all(witness >= 0)
+        for idx, row in zip(witness, others.values):
+            assert _ext_dominates(members.values[idx], row)
+
+    def test_members_have_no_witness(self):
+        _, members, _ = _split_skyline(seed=2)
+        witness = find_witnesses(members.values, members.values)
+        assert np.all(witness == -1)
+
+    def test_chunking_matches_unchunked(self):
+        _, members, others = _split_skyline(seed=3, n=100)
+        small = find_witnesses(members.values, others.values, chunk=3)
+        big = find_witnesses(members.values, others.values, chunk=10_000)
+        assert np.array_equal(small, big)
+
+
+class TestEvictionLedger:
+    def test_bootstrap_is_member_witnessed(self):
+        _, members, others = _split_skyline(seed=4)
+        ledger = build_witness_ledger(members, others)
+        assert ledger is not None and len(ledger) == len(others)
+        member_ids = members.id_set()
+        for pid in others.ids:
+            assert ledger.witness_of(int(pid)) in member_ids
+
+    def test_bootstrap_refuses_unwitnessable(self):
+        members = PointSet(np.array([[0.5, 0.5]]), np.array([0]))
+        others = PointSet(np.array([[0.1, 0.9]]), np.array([1]))  # not dominated
+        assert build_witness_ledger(members, others) is None
+
+    def test_pop_orphans_exactly_the_dependents(self):
+        _, members, others = _split_skyline(seed=5)
+        ledger = build_witness_ledger(members, others)
+        dead = int(members.ids[0])
+        expected = {
+            int(pid) for pid in others.ids if ledger.witness_of(int(pid)) == dead
+        }
+        orphan_ids, orphan_rows = ledger.pop_orphans(frozenset([dead]))
+        assert set(int(i) for i in orphan_ids) == expected
+        assert orphan_rows.shape == (len(expected), others.dimensionality)
+        for pid in expected:
+            assert ledger.witness_of(pid) is None  # popped, not retained
+
+    def test_pop_orphans_empty(self):
+        ledger = EvictionLedger()
+        ids, rows = ledger.pop_orphans(frozenset([1, 2]))
+        assert ids.size == 0 and rows.size == 0
+
+    def test_repoint_moves_dependents(self):
+        ledger = EvictionLedger()
+        ledger.record(5, 1, np.array([0.5, 0.5]))
+        ledger.record(6, 2, np.array([0.6, 0.6]))
+        ledger.repoint({1: 9})
+        assert ledger.witness_of(5) == 9
+        assert ledger.witness_of(6) == 2
+
+    def test_pickle_roundtrip(self):
+        import pickle
+
+        ledger = EvictionLedger()
+        ledger.record(3, 1, np.array([0.1, 0.2]))
+        clone = pickle.loads(pickle.dumps(ledger))
+        assert clone.witness_of(3) == 1
+        assert np.array_equal(clone.entries[3][1], np.array([0.1, 0.2]))
+
+
+class TestPromoteCandidates:
+    def test_delete_then_promote_matches_oracle(self):
+        points, members, others = _split_skyline(seed=6)
+        ledger = build_witness_ledger(members, others)
+        store = SortedByF.from_points(members)
+        dead = frozenset(int(i) for i in members.ids[:3])
+        store = store.splice_delete(np.asarray(sorted(dead)))
+        ledger.discard(dead)
+        orphan_ids, orphan_rows = ledger.pop_orphans(dead)
+        store, promoted, examined = promote_candidates(
+            store, ledger, orphan_ids, orphan_rows
+        )
+        survivors = points.mask(~np.isin(points.ids, np.asarray(sorted(dead))))
+        oracle = SortedByF.from_points(
+            survivors.mask(extended_skyline_mask(survivors.values))
+        )
+        assert np.array_equal(store.points.values, oracle.points.values)
+        assert np.array_equal(store.points.ids, oracle.points.ids)
+        assert np.array_equal(store.f, oracle.f)
+        assert examined == orphan_ids.shape[0]
+        # Every remaining entry is witnessed by a current member.
+        member_ids = store.points.id_set()
+        for pid in list(ledger.entries):
+            assert ledger.witness_of(pid) in member_ids
+
+    def test_no_candidates_is_free(self):
+        _, members, _ = _split_skyline(seed=7)
+        store = SortedByF.from_points(members)
+        out, promoted, examined = promote_candidates(
+            store,
+            EvictionLedger(),
+            np.zeros(0, dtype=np.int64),
+            np.zeros((0, 0)),
+        )
+        assert out is store and len(promoted) == 0 and examined == 0
+
+
+class TestAdmitPoints:
+    def test_admission_matches_oracle(self):
+        points, members, others = _split_skyline(seed=8)
+        ledger = build_witness_ledger(members, others)
+        store = SortedByF.from_points(members)
+        rng = np.random.default_rng(80)
+        raw = PointSet(rng.random((12, 3)) ** 2, np.arange(500, 512))
+        incoming = raw.mask(extended_skyline_mask(raw.values))
+        store, admitted, evictions = admit_points(store, ledger, incoming)
+        union = PointSet.concat([points, incoming])
+        oracle = SortedByF.from_points(
+            union.mask(extended_skyline_mask(union.values))
+        )
+        assert np.array_equal(store.points.values, oracle.points.values)
+        assert np.array_equal(store.points.ids, oracle.points.ids)
+        member_ids = store.points.id_set()
+        assert admitted.id_set() <= member_ids
+        for evicted_id, evictor_id in evictions.items():
+            assert evicted_id not in member_ids
+            assert evictor_id in member_ids
+        for pid in list(ledger.entries):
+            assert ledger.witness_of(pid) in member_ids
+
+    def test_fully_dominated_incoming_only_ledgered(self):
+        _, members, others = _split_skyline(seed=9)
+        ledger = build_witness_ledger(members, others)
+        store = SortedByF.from_points(members)
+        dominated = PointSet(
+            np.full((2, 3), 0.999), np.array([700, 701])
+        )  # dominated by essentially everything
+        out, admitted, evictions = admit_points(store, ledger, dominated)
+        assert len(admitted) == 0 and not evictions
+        assert np.array_equal(out.points.ids, store.points.ids)
+        assert ledger.witness_of(700) in members.id_set()
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 2**16), kills=st.integers(1, 8))
+def test_random_delete_promotion_matches_oracle(seed, kills):
+    points, members, others = _split_skyline(seed=seed, n=50, d=3)
+    ledger = build_witness_ledger(members, others)
+    assert ledger is not None
+    store = SortedByF.from_points(members)
+    rng = np.random.default_rng(seed + 1)
+    kills = min(kills, len(members))
+    dead_ids = rng.choice(members.ids, size=kills, replace=False)
+    dead = frozenset(int(i) for i in dead_ids)
+    store = store.splice_delete(dead_ids)
+    ledger.discard(dead)
+    orphan_ids, orphan_rows = ledger.pop_orphans(dead)
+    store, _promoted, _examined = promote_candidates(
+        store, ledger, orphan_ids, orphan_rows
+    )
+    survivors = points.mask(~np.isin(points.ids, dead_ids))
+    oracle = SortedByF.from_points(
+        survivors.mask(extended_skyline_mask(survivors.values))
+    )
+    assert np.array_equal(store.points.values, oracle.points.values)
+    assert np.array_equal(store.points.ids, oracle.points.ids)
+    assert np.array_equal(store.f, oracle.f)

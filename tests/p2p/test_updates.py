@@ -54,6 +54,22 @@ class TestInsert:
         sp = network.topology.superpeer_of_peer(peer_id)
         assert 9999 in network.superpeers[sp].store.points.id_set()
 
+    def test_insert_never_full_resorts(self, network, rng):
+        """The incremental insert path moves stores only by splices."""
+        from repro.obs.metrics import MetricsRegistry
+        from repro.obs.runtime import observed
+
+        peer_id = next(iter(network.peers))
+        registry = MetricsRegistry()
+        with observed(metrics=registry):
+            outcome = insert_points(
+                network, peer_id, PointSet(rng.random((5, 4)), np.arange(9100, 9105))
+            )
+        assert outcome.path == "spliced"
+        assert registry.total("store.from_points") == 0
+        assert registry.total("update.spliced") == 1
+        _assert_stores_fresh(network)
+
     def test_duplicate_ids_rejected(self, network, rng):
         peer_id = next(iter(network.peers))
         existing = int(network.peers[peer_id].data.ids[0])
@@ -93,7 +109,11 @@ class TestDelete:
         sp = network.topology.superpeer_of_peer(peer_id)
         uploaded = sorted(network.superpeers[sp].peer_skylines[peer_id].points.id_set())
         outcome = delete_points(network, peer_id, uploaded[:2])
-        assert outcome.store_rebuilt
+        # The eviction ledger answers: only orphans are re-tested, no
+        # peer ext-skyline recompute, no store rebuild.
+        assert outcome.path == "promoted"
+        assert not outcome.store_rebuilt
+        assert 0 < outcome.examined < len(network.peers[peer_id])
         _assert_stores_fresh(network)
         _assert_queries_exact(network)
 
